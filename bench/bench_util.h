@@ -1,0 +1,103 @@
+#ifndef POLARMP_BENCH_BENCH_UTIL_H_
+#define POLARMP_BENCH_BENCH_UTIL_H_
+
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench reads its knobs from the environment so CI can run short
+// smoke passes while a full reproduction uses longer windows:
+//   POLARMP_BENCH_MEASURE_MS   measurement window per data point (default 1500)
+//   POLARMP_BENCH_WARMUP_MS    warmup per data point (default 400)
+//   POLARMP_BENCH_THREADS      workers per node (default 2)
+//   POLARMP_BENCH_MAX_NODES    cap on the node-count sweep
+//
+// Loading runs with SetSimTimeScale(0) (instant), measurement at scale 1.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baselines/database.h"
+#include "workload/driver.h"
+
+namespace polarmp {
+namespace bench {
+
+struct BenchConfig {
+  uint64_t measure_ms = 1'500;
+  uint64_t warmup_ms = 400;
+  int threads_per_node = 2;
+  int max_nodes = 8;
+
+  static BenchConfig FromEnv() {
+    BenchConfig cfg;
+    if (const char* v = std::getenv("POLARMP_BENCH_MEASURE_MS")) {
+      cfg.measure_ms = std::strtoull(v, nullptr, 10);
+    }
+    if (const char* v = std::getenv("POLARMP_BENCH_WARMUP_MS")) {
+      cfg.warmup_ms = std::strtoull(v, nullptr, 10);
+    }
+    if (const char* v = std::getenv("POLARMP_BENCH_THREADS")) {
+      cfg.threads_per_node = std::atoi(v);
+    }
+    if (const char* v = std::getenv("POLARMP_BENCH_MAX_NODES")) {
+      cfg.max_nodes = std::atoi(v);
+    }
+    return cfg;
+  }
+
+  std::vector<int> NodeSweep(std::vector<int> candidates) const {
+    std::vector<int> out;
+    for (int n : candidates) {
+      if (n <= max_nodes) out.push_back(n);
+    }
+    return out;
+  }
+};
+
+inline ClusterOptions MakeBenchClusterOptions(int nodes) {
+  ClusterOptions options;
+  options.latency = BenchLatencyProfile();
+  // Keep DSM usage bounded at high node counts.
+  options.undo_segment_bytes = 8ull << 20;
+  options.dsm_bytes_per_server = (64ull << 20) +
+                                 static_cast<uint64_t>(nodes) * (12ull << 20);
+  options.node.trx.lock_wait_timeout_ms = 2'000;
+  return options;
+}
+
+// Loads `workload` at time-scale 0 (instant I/O), then measures at scale 1.
+inline DriverResult SetupAndRun(Database* db, Workload* workload, int nodes,
+                                const BenchConfig& cfg) {
+  SetSimTimeScale(0.0);
+  const Status setup = workload->Setup(db);
+  SetSimTimeScale(1.0);
+  if (!setup.ok()) {
+    std::fprintf(stderr, "workload setup failed: %s\n",
+                 setup.ToString().c_str());
+    std::exit(1);
+  }
+  DriverOptions opts;
+  opts.num_nodes = nodes;
+  opts.threads_per_node = cfg.threads_per_node;
+  opts.warmup_ms = cfg.warmup_ms;
+  opts.duration_ms = cfg.measure_ms;
+  return RunWorkload(db, workload, opts);
+}
+
+inline void PrintFigureHeader(const char* figure, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, title);
+  std::printf("==============================================================\n");
+}
+
+inline void PrintRow(const std::string& label, double tps, double relative,
+                     double abort_rate, double p95_ms) {
+  std::printf("%-34s %10.0f tps   %5.2fx   aborts %4.1f%%   p95 %6.2f ms\n",
+              label.c_str(), tps, relative, abort_rate * 100.0, p95_ms);
+}
+
+}  // namespace bench
+}  // namespace polarmp
+
+#endif  // POLARMP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,121 @@
+// Figure 13 — global secondary index updates: PolarDB-MP vs shared-nothing.
+//
+// Paper setup: increase the number of GSIs on a table under sustained
+// random insertion; measure throughput and single-thread latency. In
+// shared-nothing systems (TiDB/CockroachDB/OceanBase class) GSIs are
+// partitioned independently, so every GSI update is a cross-partition
+// write requiring two-phase commit. Paper shape: with 1 GSI PolarDB-MP
+// loses ~20% throughput while the shared-nothing systems lose 60-70%;
+// with 8 GSIs they retain <20% of their no-GSI throughput while
+// PolarDB-MP stays "acceptable". Latency follows the same trend.
+
+#include "baselines/shared_nothing.h"
+#include "bench/bench_util.h"
+#include "workload/driver.h"
+
+using namespace polarmp;         // NOLINT
+using namespace polarmp::bench;  // NOLINT
+
+namespace {
+
+// Random inserts with `num_indexes` indexed columns derived from the key.
+class GsiInsertWorkload : public Workload {
+ public:
+  GsiInsertWorkload(int num_indexes, int nodes)
+      : num_indexes_(num_indexes), nodes_(nodes) {}
+
+  Status Setup(Database* db) override {
+    POLARMP_RETURN_IF_ERROR(
+        db->CreateTable("gsi_table", static_cast<uint32_t>(num_indexes_)));
+    // Preload so the base and index trees have realistic fan-out; without
+    // this every insert contends on a near-empty tree's root page.
+    constexpr int64_t kPreload = 20'000;
+    Random rng(99);
+    POLARMP_ASSIGN_OR_RETURN(auto conn, db->Connect(0));
+    for (int64_t base = 1; base <= kPreload; base += 500) {
+      POLARMP_RETURN_IF_ERROR(conn->Begin());
+      for (int64_t k = base; k < base + 500 && k <= kPreload; ++k) {
+        std::vector<uint64_t> cols;
+        for (int i = 0; i < num_indexes_; ++i) {
+          cols.push_back(rng.Uniform(1u << 20));
+        }
+        POLARMP_RETURN_IF_ERROR(conn->Insert(
+            "gsi_table", k, EncodeIndexedValue(cols, "order-payload-bytes")));
+      }
+      POLARMP_RETURN_IF_ERROR(conn->Commit());
+    }
+    next_key_.store(kPreload + 1);
+    return Status::OK();
+  }
+
+  Status RunOne(Connection* conn, int node, int worker, Random* rng) override {
+    (void)node;
+    (void)worker;
+    POLARMP_RETURN_IF_ERROR(conn->Begin());
+    // Random key over the 24-bit pk budget ("high random insertion
+    // pressure"): spreads the B-tree hotspot the way the paper's workload
+    // does.
+    const int64_t key = 1 + static_cast<int64_t>(rng->Uniform(1u << 24));
+    std::vector<uint64_t> cols;
+    cols.reserve(num_indexes_);
+    for (int i = 0; i < num_indexes_; ++i) {
+      cols.push_back(rng->Uniform(1u << 20));
+    }
+    const Status st = conn->Put(
+        "gsi_table", key, EncodeIndexedValue(cols, "order-payload-bytes"));
+    if (!st.ok()) return st;
+    return conn->Commit();
+  }
+
+ private:
+  const int num_indexes_;
+  const int nodes_;
+  std::atomic<uint64_t> next_key_{1};
+};
+
+struct Point {
+  double tps = 0;
+  double p95_ms = 0;
+};
+
+Point RunPoint(Database* db, int num_indexes, int nodes,
+               const BenchConfig& cfg) {
+  GsiInsertWorkload workload(num_indexes, nodes);
+  const DriverResult result = SetupAndRun(db, &workload, nodes, cfg);
+  return Point{result.throughput,
+               static_cast<double>(result.latency.Percentile(95)) / 1e6};
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig cfg = BenchConfig::FromEnv();
+  const int nodes = std::min(4, cfg.max_nodes);
+  PrintFigureHeader("Figure 13",
+                    "GSI update cost: PolarDB-MP vs shared-nothing (2PC)");
+
+  std::printf("%-8s %16s %26s\n", "#GSI", "PolarDB-MP", "Shared-Nothing");
+  std::printf("%-8s %9s %9s %9s %9s\n", "", "tps", "vs 0", "tps", "vs 0");
+  double polar_base = 0, sn_base = 0;
+  for (int gsi : {0, 1, 2, 4, 8}) {
+    auto polar = PolarMpDatabase::Create(MakeBenchClusterOptions(nodes), nodes);
+    if (!polar.ok()) return 1;
+    const Point p = RunPoint(polar->get(), gsi, nodes, cfg);
+    SharedNothingDatabase::Options snopts;
+    snopts.profile = BenchLatencyProfile();
+    snopts.nodes = nodes;
+    SharedNothingDatabase sn(snopts);
+    const Point q = RunPoint(&sn, gsi, nodes, cfg);
+    if (gsi == 0) {
+      polar_base = p.tps;
+      sn_base = q.tps;
+    }
+    std::printf("%-8d %9.0f %8.0f%% %9.0f %8.0f%%   (p95 %5.2f / %5.2f ms)\n",
+                gsi, p.tps, polar_base > 0 ? p.tps / polar_base * 100 : 100,
+                q.tps, sn_base > 0 ? q.tps / sn_base * 100 : 100, p.p95_ms,
+                q.p95_ms);
+  }
+  std::printf("\npaper reference: 1 GSI -> PolarDB-MP ~-20%%, shared-nothing "
+              "~-60-70%%; 8 GSIs -> shared-nothing <20%% of baseline\n");
+  return 0;
+}

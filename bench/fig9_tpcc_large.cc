@@ -1,0 +1,74 @@
+// Figure 9 — TPC-C on a large cluster: tpmC and P95 latency vs nodes.
+//
+// Paper setup: up to 32 nodes x 32 vCPUs (1024 vCPUs), zero think time,
+// ~11% cross-warehouse transactions. Paper shape: near-linear to 24 nodes,
+// a mild dip in scalability at 32 (28x at 32 nodes, 9.1M tpmC), with P95
+// latency rising only slightly.
+//
+// Scaled down: 1 worker per node (the host has one core), 2 warehouses per
+// node, node sweep 1..32 by powers of two.
+
+#include "bench/bench_util.h"
+#include "workload/tpcc.h"
+
+using namespace polarmp;         // NOLINT
+using namespace polarmp::bench;  // NOLINT
+
+int main() {
+  BenchConfig cfg = BenchConfig::FromEnv();
+  if (std::getenv("POLARMP_BENCH_THREADS") == nullptr) {
+    cfg.threads_per_node = 1;  // 32 nodes on one host core
+  }
+  if (std::getenv("POLARMP_BENCH_MAX_NODES") == nullptr) {
+    cfg.max_nodes = 32;
+  }
+  // Stretch simulated time uniformly: the host core caps absolute
+  // transactions/second, so a slower per-transaction baseline buys the
+  // 32-node point headroom below that ceiling without changing any ratio.
+  const double kTimeStretch = 6.0;
+  SetSimTimeScale(kTimeStretch);
+  cfg.measure_ms = static_cast<uint64_t>(cfg.measure_ms * kTimeStretch);
+  cfg.warmup_ms = static_cast<uint64_t>(cfg.warmup_ms * kTimeStretch);
+  PrintFigureHeader("Figure 9", "TPC-C tpmC and P95 vs nodes (large cluster)");
+
+  double baseline = 0;
+  for (int nodes : cfg.NodeSweep({1, 2, 4, 8, 16, 24, 32})) {
+    auto db = PolarMpDatabase::Create(MakeBenchClusterOptions(nodes), nodes);
+    if (!db.ok()) {
+      std::fprintf(stderr, "cluster: %s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    TpccOptions wopts;
+    wopts.num_nodes = nodes;
+    wopts.warehouses_per_node = 2;
+    wopts.customers_per_district = 50;
+    wopts.items = 200;
+    TpccWorkload workload(wopts);
+    SetSimTimeScale(0.0);
+    if (const Status s = workload.Setup(db->get()); !s.ok()) {
+      std::fprintf(stderr, "setup: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    SetSimTimeScale(kTimeStretch);
+    DriverOptions dopts;
+    dopts.num_nodes = nodes;
+    dopts.threads_per_node = cfg.threads_per_node;
+    dopts.warmup_ms = cfg.warmup_ms;
+    dopts.duration_ms = cfg.measure_ms;
+    const DriverResult result = RunWorkload(db->get(), &workload, dopts);
+    // tpmC = New-Order transactions per minute.
+    const double tpmc = result.elapsed_s > 0
+                            ? static_cast<double>(workload.new_orders()) /
+                                  result.elapsed_s * 60.0
+                            : 0;
+    if (nodes == 1) baseline = tpmc;
+    std::printf("nodes=%-3d %10.0f tpmC   %5.2fx   p95 %6.2f ms   "
+                "aborts %4.1f%%\n",
+                nodes, tpmc, baseline > 0 ? tpmc / baseline : 1.0,
+                static_cast<double>(result.latency.Percentile(95)) / 1e6,
+                result.abort_rate() * 100.0);
+  }
+  std::printf("\npaper reference: ~28x at 32 nodes (9.1M tpmC), near-linear "
+              "to 24 nodes, P95 rising slightly\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Bank transfers from every primary node at once.
+//
+// Classic consistency demo: N accounts, concurrent transfers issued on all
+// three nodes against the SAME rows. The embedded row locks (§4.3.2) and
+// Lock Fusion's wait-for graph keep the invariant — total balance constant —
+// while deadlock victims are detected and retried.
+//
+// Build & run:   ./build/examples/bank_transfer
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/random.h"
+
+using namespace polarmp;  // NOLINT — example brevity
+
+namespace {
+constexpr int kAccounts = 50;
+constexpr int64_t kInitialBalance = 1'000;
+constexpr int kTransfersPerWorker = 150;
+
+int64_t ParseBalance(const std::string& s) { return std::stoll(s); }
+}  // namespace
+
+int main() {
+  auto cluster = Cluster::Create(ClusterOptions()).value();
+  std::vector<DbNode*> nodes;
+  for (int i = 0; i < 3; ++i) nodes.push_back(cluster->AddNode().value());
+  cluster->CreateTable("accounts").status().ok();
+
+  // Seed the accounts from node 1.
+  {
+    TableHandle table = nodes[0]->OpenTable("accounts").value();
+    Session session(nodes[0], IsolationLevel::kReadCommitted);
+    session.Begin().ok();
+    for (int64_t acc = 0; acc < kAccounts; ++acc) {
+      session.Insert(table, acc, std::to_string(kInitialBalance));
+    }
+    session.Commit().ok();
+  }
+
+  std::atomic<int> committed{0}, deadlock_retries{0};
+  std::vector<std::thread> workers;
+  for (size_t n = 0; n < nodes.size(); ++n) {
+    workers.emplace_back([&, n] {
+      DbNode* node = nodes[n];
+      TableHandle table = node->OpenTable("accounts").value();
+      Random rng(17 * (n + 1));
+      for (int t = 0; t < kTransfersPerWorker; ++t) {
+        const int64_t from = static_cast<int64_t>(rng.Uniform(kAccounts));
+        int64_t to = static_cast<int64_t>(rng.Uniform(kAccounts));
+        if (to == from) to = (to + 1) % kAccounts;
+        const int64_t amount = 1 + static_cast<int64_t>(rng.Uniform(20));
+
+        for (;;) {  // retry deadlock victims / lock timeouts
+          Session session(node, IsolationLevel::kReadCommitted);
+          session.Begin().ok();
+          auto from_balance = session.Get(table, from);
+          auto to_balance = session.Get(table, to);
+          if (!from_balance.ok() || !to_balance.ok()) break;
+          // Lock in a consistent order to keep deadlocks rare (they are
+          // still possible across nodes; Lock Fusion aborts one victim).
+          const Status s1 = session.Update(
+              table, std::min(from, to),
+              std::to_string(ParseBalance(from < to ? *from_balance
+                                                    : *to_balance) +
+                             (from < to ? -amount : amount)));
+          if (!s1.ok()) {
+            deadlock_retries.fetch_add(1);
+            continue;
+          }
+          const Status s2 = session.Update(
+              table, std::max(from, to),
+              std::to_string(ParseBalance(from < to ? *to_balance
+                                                    : *from_balance) +
+                             (from < to ? amount : -amount)));
+          if (!s2.ok()) {
+            deadlock_retries.fetch_add(1);
+            continue;
+          }
+          if (session.Commit().ok()) {
+            committed.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Audit from a fourth, freshly added node.
+  DbNode* auditor = cluster->AddNode().value();
+  TableHandle table = auditor->OpenTable("accounts").value();
+  Session session(auditor, IsolationLevel::kSnapshotIsolation);
+  session.Begin().ok();
+  int64_t total = 0;
+  session.Scan(table, 0, kAccounts, [&](int64_t, const std::string& value) {
+    total += ParseBalance(value);
+    return true;
+  });
+  session.Commit().ok();
+
+  const int64_t expected = kAccounts * kInitialBalance;
+  std::printf("transfers committed: %d (deadlock retries: %d)\n",
+              committed.load(), deadlock_retries.load());
+  std::printf("total balance: %lld (expected %lld) — %s\n",
+              static_cast<long long>(total),
+              static_cast<long long>(expected),
+              total == expected ? "CONSISTENT" : "*** BROKEN ***");
+  std::printf("cross-node row-lock waits: %llu, deadlocks detected: %llu\n",
+              static_cast<unsigned long long>(
+                  cluster->lock_fusion()->rlock_waits()),
+              static_cast<unsigned long long>(
+                  cluster->lock_fusion()->deadlocks_detected()));
+  return total == expected ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// Quickstart: a three-primary PolarDB-MP cluster in one process.
+//
+// Shows the core promise of the paper: every node can read AND write every
+// row — no partitioning, no distributed transactions — with coherence
+// provided by PMFS (transaction/buffer/lock fusion) over disaggregated
+// shared memory.
+//
+// Build & run:   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "cluster/cluster.h"
+
+using namespace polarmp;  // NOLINT — example brevity
+
+int main() {
+  // A cluster with realistic simulated latencies (RDMA ~50us, storage
+  // ~1.5ms). Use ZeroLatencyProfile() for instant experimentation.
+  ClusterOptions options;
+  options.latency = BenchLatencyProfile();
+
+  auto cluster_or = Cluster::Create(options);
+  if (!cluster_or.ok()) {
+    std::fprintf(stderr, "cluster: %s\n",
+                 cluster_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Cluster> cluster = std::move(cluster_or).value();
+
+  // Three primary nodes, all writable.
+  DbNode* node1 = cluster->AddNode().value();
+  DbNode* node2 = cluster->AddNode().value();
+  DbNode* node3 = cluster->AddNode().value();
+
+  // One table, visible cluster-wide.
+  if (auto s = cluster->CreateTable("greetings"); !s.ok()) {
+    std::fprintf(stderr, "create table: %s\n", s.status().ToString().c_str());
+    return 1;
+  }
+
+  // Write on node 1.
+  {
+    TableHandle table = node1->OpenTable("greetings").value();
+    Session session(node1, IsolationLevel::kReadCommitted);
+    session.Begin().ok();
+    session.Insert(table, 1, "hello from node 1");
+    session.Insert(table, 2, "polardb-mp is multi-primary");
+    if (auto s = session.Commit(); !s.ok()) {
+      std::fprintf(stderr, "commit: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Update the same row on node 2 — an operation that would need a
+  // distributed transaction on a shared-nothing system.
+  {
+    TableHandle table = node2->OpenTable("greetings").value();
+    Session session(node2, IsolationLevel::kReadCommitted);
+    session.Begin().ok();
+    session.Update(table, 2, "updated on node 2 via buffer fusion");
+    session.Commit().ok();
+  }
+
+  // Read everything on node 3: the page moved node1 -> node2 -> node3
+  // through the DBP with one-sided RDMA, never touching storage I/O on the
+  // critical path.
+  {
+    TableHandle table = node3->OpenTable("greetings").value();
+    Session session(node3, IsolationLevel::kReadCommitted);
+    session.Begin().ok();
+    session.Scan(table, 0, 100, [](int64_t key, const std::string& value) {
+      std::printf("  row %ld = \"%s\"\n", static_cast<long>(key),
+                  value.c_str());
+      return true;
+    });
+    session.Commit().ok();
+  }
+
+  std::printf("\nfusion traffic: %llu DBP fetches, %llu pushes, "
+              "%llu invalidations, %llu lock RPCs\n",
+              static_cast<unsigned long long>(cluster->buffer_fusion()->fetches()),
+              static_cast<unsigned long long>(cluster->buffer_fusion()->pushes()),
+              static_cast<unsigned long long>(
+                  cluster->buffer_fusion()->invalidations()),
+              static_cast<unsigned long long>(
+                  cluster->lock_fusion()->plock_acquire_rpcs()));
+  return 0;
+}

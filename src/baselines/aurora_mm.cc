@@ -1,0 +1,192 @@
+#include "baselines/aurora_mm.h"
+
+#include <optional>
+
+namespace polarmp {
+
+class AuroraConnection : public Connection {
+ public:
+  AuroraConnection(AuroraMmDatabase* db, SimStore* store, int node)
+      : db_(db), store_(store), node_(node) {}
+
+  Status Begin() override {
+    POLARMP_CHECK(!active_);
+    active_ = true;
+    return Status::OK();
+  }
+
+  Status Rollback() override {
+    Clear();
+    return Status::OK();
+  }
+
+  Status Commit() override {
+    POLARMP_CHECK(active_);
+    if (writes_.empty()) {
+      Clear();
+      return Status::OK();
+    }
+    // Commit = engine work + ship the log to the storage quorum...
+    SimDelay(store_->profile().baseline_commit_overhead_ns);
+    SimDelay(store_->profile().log_append_ns);
+    // ...which validates page versions and aborts on any concurrent
+    // modification of the same pages (OCC, page granularity).
+    if (!store_->ValidateAndBump(write_pages_, node_)) {
+      db_->occ_aborts_.fetch_add(1, std::memory_order_relaxed);
+      Clear();
+      return Status::Aborted("deadlock error (Aurora-MM write conflict)");
+    }
+    for (const auto& [row, value] : writes_) {
+      if (value.has_value()) {
+        store_->PutRow(row.first, row.second, *value);
+      } else {
+        store_->EraseRow(row.first, row.second);
+      }
+    }
+    // Our own cache is current for the pages we just bumped.
+    auto& cache = *db_->node_caches_[node_];
+    std::lock_guard lock(cache.mu);
+    for (const auto& [page, version] : write_pages_) {
+      cache.versions[page] = version + 1;
+    }
+    Clear();
+    return Status::OK();
+  }
+
+  Status Insert(const std::string& table, int64_t key, Slice value) override {
+    POLARMP_ASSIGN_OR_RETURN(uint32_t tid, store_->TableId(table));
+    ObservePage(tid, key, /*write=*/true);
+    if (Exists(tid, key)) return Status::AlreadyExists("key exists");
+    writes_[{tid, key}] = value.ToString();
+    return Status::OK();
+  }
+
+  Status Update(const std::string& table, int64_t key, Slice value) override {
+    POLARMP_ASSIGN_OR_RETURN(uint32_t tid, store_->TableId(table));
+    ObservePage(tid, key, /*write=*/true);
+    if (!Exists(tid, key)) return Status::NotFound("no row");
+    writes_[{tid, key}] = value.ToString();
+    return Status::OK();
+  }
+
+  Status Put(const std::string& table, int64_t key, Slice value) override {
+    POLARMP_ASSIGN_OR_RETURN(uint32_t tid, store_->TableId(table));
+    ObservePage(tid, key, /*write=*/true);
+    writes_[{tid, key}] = value.ToString();
+    return Status::OK();
+  }
+
+  Status Delete(const std::string& table, int64_t key) override {
+    POLARMP_ASSIGN_OR_RETURN(uint32_t tid, store_->TableId(table));
+    ObservePage(tid, key, /*write=*/true);
+    if (!Exists(tid, key)) return Status::NotFound("no row");
+    writes_[{tid, key}] = std::nullopt;
+    return Status::OK();
+  }
+
+  StatusOr<std::string> Get(const std::string& table, int64_t key) override {
+    POLARMP_ASSIGN_OR_RETURN(uint32_t tid, store_->TableId(table));
+    ObservePage(tid, key, /*write=*/false);
+    auto it = writes_.find({tid, key});
+    if (it != writes_.end()) {
+      if (!it->second.has_value()) return Status::NotFound("deleted");
+      return *it->second;
+    }
+    return store_->GetRow(tid, key);
+  }
+
+  Status Scan(const std::string& table, int64_t lo, int64_t hi,
+              const std::function<bool(int64_t, const std::string&)>& fn)
+      override {
+    POLARMP_ASSIGN_OR_RETURN(uint32_t tid, store_->TableId(table));
+    SimPageKey last{UINT32_MAX, 0};
+    return store_->ScanRows(tid, lo, hi,
+                            [&](int64_t key, const std::string& value) {
+                              const SimPageKey page = store_->PageOf(tid, key);
+                              if (!(page == last)) {
+                                db_->TouchPage(node_, page);
+                                last = page;
+                              }
+                              return fn(key, value);
+                            });
+  }
+
+ private:
+  void ObservePage(uint32_t tid, int64_t key, bool write) {
+    SimDelay(store_->profile().baseline_op_overhead_ns);
+    const SimPageKey page = store_->PageOf(tid, key);
+    const uint64_t version = db_->TouchPage(node_, page);
+    if (write) {
+      write_pages_.emplace(page, version);
+      ObserveSegment(tid, key);
+    }
+  }
+
+  // The storage tier validates at segment granularity; segments ride in
+  // the same version space tagged by negative page numbers.
+  void ObserveSegment(uint32_t tid, int64_t key) {
+    const int64_t leaf = key / kSimRowsPerPage;
+    const SimPageKey seg{tid, -(leaf / kSimPagesPerSegment) - 1};
+    const uint64_t version = store_->PageVersion(seg);
+    write_pages_.emplace(seg, version);
+  }
+
+  bool Exists(uint32_t tid, int64_t key) {
+    auto it = writes_.find({tid, key});
+    if (it != writes_.end()) return it->second.has_value();
+    return store_->RowExists(tid, key);
+  }
+
+  void Clear() {
+    active_ = false;
+    writes_.clear();
+    write_pages_.clear();
+  }
+
+  AuroraMmDatabase* db_;
+  SimStore* store_;
+  const int node_;
+  bool active_ = false;
+  std::map<std::pair<uint32_t, int64_t>, std::optional<std::string>> writes_;
+  std::map<SimPageKey, uint64_t> write_pages_;  // version at first touch
+};
+
+AuroraMmDatabase::AuroraMmDatabase(const LatencyProfile& profile, int nodes)
+    : store_(profile), nodes_(nodes) {
+  for (int i = 0; i < nodes; ++i) node_caches_.emplace_back(new NodeCache());
+}
+
+Status AuroraMmDatabase::CreateTable(const std::string& name,
+                                     uint32_t num_indexes) {
+  if (num_indexes != 0) {
+    return Status::NotSupported(
+        "the Aurora-MM model does not simulate GSIs (not part of Fig. 13)");
+  }
+  return store_.CreateTable(name).status();
+}
+
+uint64_t AuroraMmDatabase::TouchPage(int node, SimPageKey page) {
+  const uint64_t current = store_.PageVersion(page);
+  NodeCache& cache = *node_caches_[node];
+  bool stale;
+  {
+    std::lock_guard lock(cache.mu);
+    auto it = cache.versions.find(page);
+    stale = it == cache.versions.end() || it->second < current;
+    cache.versions[page] = current;
+  }
+  if (stale) {
+    // Page (re)fetch from the storage tier — Aurora-MM has no DBP, so every
+    // remotely-modified page costs a storage read on next access.
+    SimDelay(store_.profile().storage_read_ns);
+  }
+  return current;
+}
+
+StatusOr<std::unique_ptr<Connection>> AuroraMmDatabase::Connect(
+    int node_index) {
+  return std::unique_ptr<Connection>(
+      new AuroraConnection(this, &store_, node_index % nodes_));
+}
+
+}  // namespace polarmp

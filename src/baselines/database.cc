@@ -1,0 +1,98 @@
+#include "baselines/database.h"
+
+#include <unordered_map>
+
+namespace polarmp {
+
+namespace {
+
+// Connection over a live PolarDB-MP node: one Session plus a table-handle
+// cache so name resolution happens once.
+class PolarMpConnection : public Connection {
+ public:
+  explicit PolarMpConnection(DbNode* node)
+      : node_(node), session_(node, IsolationLevel::kReadCommitted) {}
+
+  Status Begin() override { return session_.Begin(); }
+  Status Commit() override { return session_.Commit(); }
+  Status Rollback() override {
+    if (!session_.in_transaction()) return Status::OK();  // auto-rolled-back
+    return session_.Rollback();
+  }
+
+  Status Insert(const std::string& table, int64_t key, Slice value) override {
+    POLARMP_ASSIGN_OR_RETURN(TableHandle * handle, Resolve(table));
+    return session_.Insert(*handle, key, value);
+  }
+  Status Update(const std::string& table, int64_t key, Slice value) override {
+    POLARMP_ASSIGN_OR_RETURN(TableHandle * handle, Resolve(table));
+    return session_.Update(*handle, key, value);
+  }
+  Status Put(const std::string& table, int64_t key, Slice value) override {
+    POLARMP_ASSIGN_OR_RETURN(TableHandle * handle, Resolve(table));
+    return session_.Put(*handle, key, value);
+  }
+  Status Delete(const std::string& table, int64_t key) override {
+    POLARMP_ASSIGN_OR_RETURN(TableHandle * handle, Resolve(table));
+    return session_.Delete(*handle, key);
+  }
+  StatusOr<std::string> Get(const std::string& table, int64_t key) override {
+    POLARMP_ASSIGN_OR_RETURN(TableHandle * handle, Resolve(table));
+    return session_.Get(*handle, key);
+  }
+  Status Scan(const std::string& table, int64_t lo, int64_t hi,
+              const std::function<bool(int64_t, const std::string&)>& fn)
+      override {
+    POLARMP_ASSIGN_OR_RETURN(TableHandle * handle, Resolve(table));
+    return session_.Scan(*handle, lo, hi, fn);
+  }
+
+ private:
+  StatusOr<TableHandle*> Resolve(const std::string& table) {
+    auto it = tables_.find(table);
+    if (it == tables_.end()) {
+      POLARMP_ASSIGN_OR_RETURN(TableHandle handle, node_->OpenTable(table));
+      it = tables_.emplace(table, handle).first;
+    }
+    return &it->second;
+  }
+
+  DbNode* node_;
+  Session session_;
+  std::unordered_map<std::string, TableHandle> tables_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<PolarMpDatabase>> PolarMpDatabase::Create(
+    const ClusterOptions& options, int initial_nodes) {
+  POLARMP_ASSIGN_OR_RETURN(std::unique_ptr<Cluster> cluster,
+                           Cluster::Create(options));
+  for (int i = 0; i < initial_nodes; ++i) {
+    POLARMP_RETURN_IF_ERROR(cluster->AddNode().status());
+  }
+  return std::unique_ptr<PolarMpDatabase>(
+      new PolarMpDatabase(std::move(cluster)));
+}
+
+int PolarMpDatabase::num_nodes() const {
+  return static_cast<int>(
+      const_cast<Cluster*>(cluster_.get())->live_nodes().size());
+}
+
+Status PolarMpDatabase::AddNode() { return cluster_->AddNode().status(); }
+
+Status PolarMpDatabase::CreateTable(const std::string& name,
+                                    uint32_t num_indexes) {
+  return cluster_->CreateTable(name, num_indexes).status();
+}
+
+StatusOr<std::unique_ptr<Connection>> PolarMpDatabase::Connect(
+    int node_index) {
+  auto nodes = cluster_->live_nodes();
+  if (nodes.empty()) return Status::Unavailable("no live nodes");
+  DbNode* node = nodes[static_cast<size_t>(node_index) % nodes.size()];
+  return std::unique_ptr<Connection>(new PolarMpConnection(node));
+}
+
+}  // namespace polarmp

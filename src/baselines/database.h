@@ -1,0 +1,79 @@
+#ifndef POLARMP_BASELINES_DATABASE_H_
+#define POLARMP_BASELINES_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace polarmp {
+
+// System-agnostic interface the workload driver runs against. PolarDB-MP
+// implements it over the real engine; the comparison baselines (§5.3/§5.4)
+// implement it over behavioral cost models that share the same latency
+// profile, so cross-system comparisons measure architecture, not
+// implementation accidents.
+//
+// Transactions follow the Session contract: Begin → ops → Commit/Rollback.
+// Ops returning Aborted (deadlock / OCC conflict — what Aurora-MM "reports
+// to the application as a deadlock error") or Busy (lock-wait timeout)
+// have already rolled the transaction back; the driver counts the abort
+// and retries with a fresh transaction.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  virtual Status Begin() = 0;
+  virtual Status Commit() = 0;
+  virtual Status Rollback() = 0;
+
+  virtual Status Insert(const std::string& table, int64_t key,
+                        Slice value) = 0;
+  virtual Status Update(const std::string& table, int64_t key,
+                        Slice value) = 0;
+  virtual Status Put(const std::string& table, int64_t key, Slice value) = 0;
+  virtual Status Delete(const std::string& table, int64_t key) = 0;
+  virtual StatusOr<std::string> Get(const std::string& table, int64_t key) = 0;
+  virtual Status Scan(
+      const std::string& table, int64_t lo, int64_t hi,
+      const std::function<bool(int64_t, const std::string&)>& fn) = 0;
+};
+
+class Database {
+ public:
+  virtual ~Database() = default;
+
+  virtual const char* name() const = 0;
+  virtual int num_nodes() const = 0;
+  // Online scale-out (Fig. 10). Not all baselines support it.
+  virtual Status AddNode() = 0;
+  virtual Status CreateTable(const std::string& name, uint32_t num_indexes) = 0;
+  // A connection bound to node `node_index` (0-based, modulo num_nodes).
+  virtual StatusOr<std::unique_ptr<Connection>> Connect(int node_index) = 0;
+};
+
+// PolarDB-MP behind the Database interface (a thin adapter over Cluster).
+class PolarMpDatabase : public Database {
+ public:
+  static StatusOr<std::unique_ptr<PolarMpDatabase>> Create(
+      const ClusterOptions& options, int initial_nodes);
+
+  const char* name() const override { return "PolarDB-MP"; }
+  int num_nodes() const override;
+  Status AddNode() override;
+  Status CreateTable(const std::string& name, uint32_t num_indexes) override;
+  StatusOr<std::unique_ptr<Connection>> Connect(int node_index) override;
+
+  Cluster* cluster() { return cluster_.get(); }
+
+ private:
+  explicit PolarMpDatabase(std::unique_ptr<Cluster> cluster)
+      : cluster_(std::move(cluster)) {}
+
+  std::unique_ptr<Cluster> cluster_;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_BASELINES_DATABASE_H_

@@ -1,0 +1,240 @@
+#include "baselines/shared_nothing.h"
+
+#include <optional>
+#include <set>
+
+#include "common/coding.h"
+
+#include "node/db_node.h"  // EncodeIndexedValue / DecodeIndexColumn helpers
+
+namespace polarmp {
+
+std::string IndexTableName(const std::string& table, size_t i) {
+  return table + "#idx" + std::to_string(i);
+}
+
+class SharedNothingConnection : public Connection {
+ public:
+  SharedNothingConnection(SharedNothingDatabase* db, SimStore* store,
+                          SimLockTable* locks, int node,
+                          uint64_t lock_timeout_ms)
+      : db_(db),
+        store_(store),
+        locks_(locks),
+        node_(node),
+        lock_timeout_ms_(lock_timeout_ms) {}
+
+  ~SharedNothingConnection() override {
+    if (active_) locks_->ReleaseAll(trx_, /*charge_rpc=*/false);
+  }
+
+  Status Begin() override {
+    POLARMP_CHECK(!active_);
+    active_ = true;
+    trx_ = db_->next_trx_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  Status Rollback() override {
+    locks_->ReleaseAll(trx_, /*charge_rpc=*/true);
+    Clear();
+    return Status::OK();
+  }
+
+  Status Commit() override {
+    POLARMP_CHECK(active_);
+    if (!writes_.empty()) {
+      SimDelay(store_->profile().baseline_commit_overhead_ns);
+      if (participants_.size() <= 1) {
+        SimDelay(store_->profile().log_append_ns);
+        db_->single_partition_commits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Two-phase commit across participants: prepare round (RPC +
+        // forced prepare record each), then the coordinator's decision
+        // record and the commit round.
+        for (size_t i = 0; i < participants_.size(); ++i) {
+          SimDelay(store_->profile().rpc_ns);
+          SimDelay(store_->profile().log_append_ns);
+        }
+        SimDelay(store_->profile().log_append_ns);
+        for (size_t i = 0; i < participants_.size(); ++i) {
+          SimDelay(store_->profile().rpc_ns);
+        }
+        db_->two_phase_commits_.fetch_add(1, std::memory_order_relaxed);
+      }
+      for (const auto& [row, value] : writes_) {
+        if (value.has_value()) {
+          store_->PutRow(row.first, row.second, *value);
+        } else {
+          store_->EraseRow(row.first, row.second);
+        }
+      }
+    }
+    locks_->ReleaseAll(trx_, /*charge_rpc=*/true);
+    Clear();
+    return Status::OK();
+  }
+
+  Status Insert(const std::string& table, int64_t key, Slice value) override {
+    POLARMP_ASSIGN_OR_RETURN(uint32_t tid, store_->TableId(table));
+    POLARMP_RETURN_IF_ERROR(LockRow(tid, key));
+    if (Exists(tid, key)) return Status::AlreadyExists("key exists");
+    writes_[{tid, key}] = value.ToString();
+    return MaintainIndexes(table, key, std::nullopt, value.ToString());
+  }
+
+  Status Update(const std::string& table, int64_t key, Slice value) override {
+    POLARMP_ASSIGN_OR_RETURN(uint32_t tid, store_->TableId(table));
+    POLARMP_RETURN_IF_ERROR(LockRow(tid, key));
+    auto prev = CurrentValue(tid, key);
+    if (!prev.has_value()) return Status::NotFound("no row");
+    writes_[{tid, key}] = value.ToString();
+    return MaintainIndexes(table, key, prev, value.ToString());
+  }
+
+  Status Put(const std::string& table, int64_t key, Slice value) override {
+    POLARMP_ASSIGN_OR_RETURN(uint32_t tid, store_->TableId(table));
+    POLARMP_RETURN_IF_ERROR(LockRow(tid, key));
+    auto prev = CurrentValue(tid, key);
+    writes_[{tid, key}] = value.ToString();
+    return MaintainIndexes(table, key, prev, value.ToString());
+  }
+
+  Status Delete(const std::string& table, int64_t key) override {
+    POLARMP_ASSIGN_OR_RETURN(uint32_t tid, store_->TableId(table));
+    POLARMP_RETURN_IF_ERROR(LockRow(tid, key));
+    auto prev = CurrentValue(tid, key);
+    if (!prev.has_value()) return Status::NotFound("no row");
+    writes_[{tid, key}] = std::nullopt;
+    return MaintainIndexes(table, key, prev, std::nullopt);
+  }
+
+  StatusOr<std::string> Get(const std::string& table, int64_t key) override {
+    POLARMP_ASSIGN_OR_RETURN(uint32_t tid, store_->TableId(table));
+    ChargeRouting(tid, key, /*is_write=*/false);
+    auto cur = CurrentValue(tid, key);
+    if (!cur.has_value()) return Status::NotFound("no row");
+    return *cur;
+  }
+
+  Status Scan(const std::string& table, int64_t lo, int64_t hi,
+              const std::function<bool(int64_t, const std::string&)>& fn)
+      override {
+    POLARMP_ASSIGN_OR_RETURN(uint32_t tid, store_->TableId(table));
+    // A range scan fans out to every partition (scatter-gather).
+    for (int n = 0; n < db_->num_nodes(); ++n) {
+      if (n != node_) SimDelay(store_->profile().rpc_ns);
+    }
+    return store_->ScanRows(tid, lo, hi, fn);
+  }
+
+ private:
+  void ChargeRouting(uint32_t tid, int64_t key, bool is_write) {
+    SimDelay(store_->profile().baseline_op_overhead_ns);
+    const int owner = db_->OwnerOf(tid, key);
+    if (owner != node_) SimDelay(store_->profile().rpc_ns);
+    if (is_write) participants_.insert(owner);
+  }
+
+  Status LockRow(uint32_t tid, int64_t key) {
+    ChargeRouting(tid, key, /*is_write=*/true);
+    const uint64_t resource =
+        (static_cast<uint64_t>(tid) << 40) ^ static_cast<uint64_t>(key);
+    const Status s = locks_->Acquire(resource, trx_, LockMode::kExclusive,
+                                     lock_timeout_ms_, /*charge_rpc=*/false);
+    if (s.IsBusy()) {
+      locks_->ReleaseAll(trx_, /*charge_rpc=*/true);
+      Clear();
+      return Status::Busy("lock timeout (shared-nothing)");
+    }
+    return s;
+  }
+
+  std::optional<std::string> CurrentValue(uint32_t tid, int64_t key) {
+    auto it = writes_.find({tid, key});
+    if (it != writes_.end()) return it->second;
+    auto v = store_->GetRow(tid, key);
+    if (!v.ok()) return std::nullopt;
+    return std::move(v).value();
+  }
+
+  bool Exists(uint32_t tid, int64_t key) {
+    return CurrentValue(tid, key).has_value();
+  }
+
+  // Partitioned-GSI maintenance: each changed index column updates an
+  // entry in the index's own partition — the distributed-transaction
+  // amplification Fig. 13 measures.
+  Status MaintainIndexes(const std::string& table, int64_t key,
+                         const std::optional<std::string>& prev,
+                         const std::optional<std::string>& next) {
+    const uint32_t num_indexes = db_->IndexesOf(table);
+    for (uint32_t i = 0; i < num_indexes; ++i) {
+      std::optional<uint64_t> old_col, new_col;
+      if (prev.has_value()) old_col = DecodeIndexColumn(*prev, i);
+      if (next.has_value()) new_col = DecodeIndexColumn(*next, i);
+      if (old_col == new_col) continue;
+      POLARMP_ASSIGN_OR_RETURN(uint32_t itid,
+                               store_->TableId(IndexTableName(table, i)));
+      if (old_col.has_value()) {
+        const int64_t entry = MakeIndexEntryKey(*old_col, key);
+        POLARMP_RETURN_IF_ERROR(LockRow(itid, entry));
+        writes_[{itid, entry}] = std::nullopt;
+      }
+      if (new_col.has_value()) {
+        const int64_t entry = MakeIndexEntryKey(*new_col, key);
+        POLARMP_RETURN_IF_ERROR(LockRow(itid, entry));
+        char pk[8];
+        EncodeFixed64(pk, static_cast<uint64_t>(key));
+        writes_[{itid, entry}] = std::string(pk, 8);
+      }
+    }
+    return Status::OK();
+  }
+
+  void Clear() {
+    active_ = false;
+    writes_.clear();
+    participants_.clear();
+  }
+
+  SharedNothingDatabase* db_;
+  SimStore* store_;
+  SimLockTable* locks_;
+  const int node_;
+  const uint64_t lock_timeout_ms_;
+  bool active_ = false;
+  uint64_t trx_ = 0;
+  std::map<std::pair<uint32_t, int64_t>, std::optional<std::string>> writes_;
+  std::set<int> participants_;
+};
+
+SharedNothingDatabase::SharedNothingDatabase(const Options& options)
+    : options_(options), store_(options.profile), locks_(options.profile) {}
+
+Status SharedNothingDatabase::CreateTable(const std::string& name,
+                                          uint32_t num_indexes) {
+  POLARMP_RETURN_IF_ERROR(store_.CreateTable(name).status());
+  for (uint32_t i = 0; i < num_indexes; ++i) {
+    POLARMP_RETURN_IF_ERROR(
+        store_.CreateTable(IndexTableName(name, i)).status());
+  }
+  std::lock_guard lock(meta_mu_);
+  table_indexes_[name] = num_indexes;
+  return Status::OK();
+}
+
+uint32_t SharedNothingDatabase::IndexesOf(const std::string& table) {
+  std::lock_guard lock(meta_mu_);
+  auto it = table_indexes_.find(table);
+  return it == table_indexes_.end() ? 0 : it->second;
+}
+
+StatusOr<std::unique_ptr<Connection>> SharedNothingDatabase::Connect(
+    int node_index) {
+  return std::unique_ptr<Connection>(new SharedNothingConnection(
+      this, &store_, &locks_, node_index % options_.nodes,
+      options_.lock_timeout_ms));
+}
+
+}  // namespace polarmp

@@ -1,0 +1,81 @@
+#ifndef POLARMP_BASELINES_SHARED_NOTHING_H_
+#define POLARMP_BASELINES_SHARED_NOTHING_H_
+
+#include <atomic>
+
+#include "baselines/database.h"
+#include "baselines/sim_store.h"
+
+namespace polarmp {
+
+// Shared-nothing distributed SQL behavioral model (§2.2, §5.4 — the
+// TiDB/CockroachDB/OceanBase class of systems).
+//
+// Rows are hash-partitioned across nodes; an operation on a row owned by a
+// different node is a remote execution (one RPC). Global secondary indexes
+// are partitioned *by index key*, independently of the base table, so
+// "when updating a GSI, it has to update more than one partition ... So
+// the two-phase commit must be applied" — a commit touching P>1
+// participants pays the full 2PC: a prepare round (RPC + forced prepare
+// record per participant) and a commit round (coordinator decision record
+// + RPC per participant).
+//
+// Scale-out requires repartitioning ("a process often fraught with heavy,
+// time-consuming data movements") and is not supported online.
+class SharedNothingDatabase : public Database {
+ public:
+  struct Options {
+    LatencyProfile profile;
+    int nodes = 1;
+    uint64_t lock_timeout_ms = 2'000;
+  };
+
+  explicit SharedNothingDatabase(const Options& options);
+
+  const char* name() const override { return "Shared-Nothing"; }
+  int num_nodes() const override { return options_.nodes; }
+  Status AddNode() override {
+    return Status::NotSupported(
+        "shared-nothing scale-out requires repartitioning");
+  }
+  Status CreateTable(const std::string& name, uint32_t num_indexes) override;
+  StatusOr<std::unique_ptr<Connection>> Connect(int node_index) override;
+
+  uint64_t two_phase_commits() const {
+    return two_phase_commits_.load(std::memory_order_relaxed);
+  }
+  uint64_t single_partition_commits() const {
+    return single_partition_commits_.load(std::memory_order_relaxed);
+  }
+
+  // Number of partitioned GSIs on `table` (0 if unknown).
+  uint32_t IndexesOf(const std::string& table);
+
+ private:
+  friend class SharedNothingConnection;
+
+  int OwnerOf(uint32_t table, int64_t key) const {
+    // SplitMix64 finalizer: std::hash on integers is the identity on
+    // common standard libraries, which would correlate partition choice
+    // with low key bits.
+    uint64_t h = (static_cast<uint64_t>(table) << 40) ^
+                 (static_cast<uint64_t>(key) + 0x9E3779B97F4A7C15ull);
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    h ^= h >> 31;
+    return static_cast<int>(h % static_cast<uint64_t>(options_.nodes));
+  }
+
+  const Options options_;
+  SimStore store_;
+  SimLockTable locks_;
+  std::map<std::string, uint32_t> table_indexes_;  // name -> #GSIs
+  std::mutex meta_mu_;
+  std::atomic<uint64_t> two_phase_commits_{0};
+  std::atomic<uint64_t> single_partition_commits_{0};
+  std::atomic<uint64_t> next_trx_{1};
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_BASELINES_SHARED_NOTHING_H_

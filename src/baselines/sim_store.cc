@@ -1,0 +1,155 @@
+#include "baselines/sim_store.h"
+
+#include <chrono>
+
+namespace polarmp {
+
+StatusOr<uint32_t> SimStore::CreateTable(const std::string& name) {
+  std::lock_guard lock(mu_);
+  if (table_ids_.count(name) != 0) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  const uint32_t id = static_cast<uint32_t>(table_ids_.size());
+  table_ids_[name] = id;
+  return id;
+}
+
+StatusOr<uint32_t> SimStore::TableId(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = table_ids_.find(name);
+  if (it == table_ids_.end()) {
+    return Status::NotFound("table missing: " + name);
+  }
+  return it->second;
+}
+
+StatusOr<std::string> SimStore::GetRow(uint32_t table, int64_t key) const {
+  std::lock_guard lock(mu_);
+  auto it = rows_.find({table, key});
+  if (it == rows_.end()) return Status::NotFound("row missing");
+  return it->second;
+}
+
+bool SimStore::RowExists(uint32_t table, int64_t key) const {
+  std::lock_guard lock(mu_);
+  return rows_.count({table, key}) != 0;
+}
+
+void SimStore::PutRow(uint32_t table, int64_t key, const std::string& value) {
+  std::lock_guard lock(mu_);
+  rows_[{table, key}] = value;
+}
+
+void SimStore::EraseRow(uint32_t table, int64_t key) {
+  std::lock_guard lock(mu_);
+  rows_.erase({table, key});
+}
+
+Status SimStore::ScanRows(
+    uint32_t table, int64_t lo, int64_t hi,
+    const std::function<bool(int64_t, const std::string&)>& fn) const {
+  // Snapshot first: callbacks re-enter the store (page touches, lock
+  // acquisition) and must not run under mu_.
+  std::vector<std::pair<int64_t, std::string>> snapshot;
+  {
+    std::lock_guard lock(mu_);
+    for (auto it = rows_.lower_bound({table, lo});
+         it != rows_.end() && it->first.first == table &&
+         it->first.second <= hi;
+         ++it) {
+      snapshot.emplace_back(it->first.second, it->second);
+    }
+  }
+  for (const auto& [key, value] : snapshot) {
+    if (!fn(key, value)) break;
+  }
+  return Status::OK();
+}
+
+uint64_t SimStore::PageVersion(SimPageKey page) const {
+  std::lock_guard lock(mu_);
+  auto it = page_versions_.find(page);
+  return it == page_versions_.end() ? 0 : it->second.version;
+}
+
+void SimStore::BumpPageVersion(SimPageKey page) {
+  std::lock_guard lock(mu_);
+  ++page_versions_[page].version;
+}
+
+bool SimStore::ValidateAndBump(
+    const std::map<SimPageKey, uint64_t>& observed, int node) {
+  std::lock_guard lock(mu_);
+  for (const auto& [page, version] : observed) {
+    auto it = page_versions_.find(page);
+    if (it == page_versions_.end()) continue;
+    if (it->second.version != version && it->second.last_writer != node) {
+      return false;
+    }
+  }
+  for (const auto& [page, version] : observed) {
+    PageState& state = page_versions_[page];
+    ++state.version;
+    state.last_writer = node;
+  }
+  return true;
+}
+
+bool SimLockTable::CanGrant(const Entry& e, uint64_t owner,
+                            LockMode mode) const {
+  for (const auto& [holder, held] : e.holders) {
+    if (holder == owner) continue;
+    if (LockModesConflict(held, mode)) return false;
+  }
+  return true;
+}
+
+Status SimLockTable::Acquire(uint64_t resource, uint64_t owner, LockMode mode,
+                             uint64_t timeout_ms, bool charge_rpc) {
+  if (charge_rpc) SimDelay(profile_.rpc_ns);
+  std::unique_lock lock(mu_);
+  ++acquires_;
+  Entry& e = locks_[resource];
+  auto held = e.holders.find(owner);
+  if (held != e.holders.end() &&
+      (held->second == LockMode::kExclusive || held->second == mode)) {
+    return Status::OK();
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  bool waited = false;
+  while (!CanGrant(e, owner, mode)) {
+    waited = true;
+    ++e.waiters;
+    const auto result = cv_.wait_until(lock, deadline);
+    --e.waiters;
+    if (result == std::cv_status::timeout && !CanGrant(e, owner, mode)) {
+      if (e.holders.empty() && e.waiters == 0) locks_.erase(resource);
+      return Status::Busy("baseline lock timeout");
+    }
+  }
+  if (waited) ++waits_;
+  auto& slot = e.holders[owner];
+  slot = std::max(slot, mode);
+  by_owner_[owner].insert(resource);
+  return Status::OK();
+}
+
+void SimLockTable::ReleaseAll(uint64_t owner, bool charge_rpc) {
+  if (charge_rpc) SimDelay(profile_.rpc_ns);
+  std::lock_guard lock(mu_);
+  auto it = by_owner_.find(owner);
+  if (it == by_owner_.end()) return;
+  for (uint64_t resource : it->second) {
+    auto lit = locks_.find(resource);
+    if (lit == locks_.end()) continue;
+    lit->second.holders.erase(owner);
+    if (lit->second.holders.empty() && lit->second.waiters == 0) {
+      locks_.erase(lit);
+    }
+  }
+  by_owner_.erase(it);
+  cv_.notify_all();
+}
+
+}  // namespace polarmp

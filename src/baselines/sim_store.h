@@ -1,0 +1,144 @@
+#ifndef POLARMP_BASELINES_SIM_STORE_H_
+#define POLARMP_BASELINES_SIM_STORE_H_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_latency.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace polarmp {
+
+// Substrate shared by the Aurora-MM / Taurus-MM / shared-nothing baselines.
+//
+// These baselines are *behavioral cost models*: they execute the workload's
+// transactions with correct local semantics (committed reads, write
+// buffering, 2PL or OCC validation) while charging the same latency profile
+// PolarDB-MP pays, so throughput comparisons isolate the architectural
+// difference the paper evaluates (abort-on-conflict vs page-store+replay
+// coherence vs 2PC vs RDMA shared memory). Rows live in one shared map;
+// the page abstraction — fixed-size key groups with a version counter —
+// exists to model page-granular conflicts and page-granular coherence,
+// which is where both Aurora-MM's aborts and Taurus-MM's replay costs come
+// from.
+inline constexpr int64_t kSimRowsPerPage = 160;  // ~16 KB page / ~100 B row
+// Aurora-MM's cross-node write conflicts are detected by the storage tier
+// at a granularity coarser than a row — pages plus the index/structural
+// pages every insert or delete drags in. The model validates writes at
+// segment granularity (a run of adjacent pages) to capture that false
+// sharing; intra-node concurrency uses ordinary local locking and never
+// OCC-aborts, as in the real system.
+inline constexpr int64_t kSimPagesPerSegment = 32;
+
+struct SimPageKey {
+  uint32_t table = 0;
+  int64_t page = 0;
+  bool operator==(const SimPageKey& o) const {
+    return table == o.table && page == o.page;
+  }
+  bool operator<(const SimPageKey& o) const {
+    return table != o.table ? table < o.table : page < o.page;
+  }
+};
+
+struct SimPageKeyHash {
+  size_t operator()(const SimPageKey& k) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(k.table) << 40) ^
+                                 static_cast<uint64_t>(k.page) *
+                                     0x9E3779B97F4A7C15ull);
+  }
+};
+
+// Shared row + page-version store.
+class SimStore {
+ public:
+  explicit SimStore(const LatencyProfile& profile) : profile_(profile) {}
+
+  const LatencyProfile& profile() const { return profile_; }
+
+  StatusOr<uint32_t> CreateTable(const std::string& name);
+  StatusOr<uint32_t> TableId(const std::string& name) const;
+
+  SimPageKey PageOf(uint32_t table, int64_t key) const {
+    return SimPageKey{table, key / kSimRowsPerPage};
+  }
+
+  // Committed-state row access (callers hold whatever locks their protocol
+  // requires; the map itself is internally consistent).
+  StatusOr<std::string> GetRow(uint32_t table, int64_t key) const;
+  bool RowExists(uint32_t table, int64_t key) const;
+  void PutRow(uint32_t table, int64_t key, const std::string& value);
+  void EraseRow(uint32_t table, int64_t key);
+  Status ScanRows(uint32_t table, int64_t lo, int64_t hi,
+                  const std::function<bool(int64_t, const std::string&)>& fn)
+      const;
+
+  // Page version counters (bumped by committed writes).
+  uint64_t PageVersion(SimPageKey page) const;
+  void BumpPageVersion(SimPageKey page);
+  // Atomic OCC validation for `node`: fails iff some observed page has
+  // since been modified BY A DIFFERENT NODE (intra-node interleavings are
+  // serialized by node-local locking in the real system). On success bumps
+  // all versions with `node` as the writer.
+  bool ValidateAndBump(const std::map<SimPageKey, uint64_t>& observed,
+                       int node);
+
+ private:
+  struct PageState {
+    uint64_t version = 0;
+    int last_writer = -1;
+  };
+
+  LatencyProfile profile_;
+  mutable std::mutex mu_;
+  std::map<std::string, uint32_t> table_ids_;
+  // (table, key) -> value
+  std::map<std::pair<uint32_t, int64_t>, std::string> rows_;
+  std::unordered_map<SimPageKey, PageState, SimPageKeyHash> page_versions_;
+};
+
+// Blocking FIFO lock table keyed by an opaque 64-bit resource id, used for
+// the baselines' page (Taurus) and row (shared-nothing) locks. Owners are
+// transaction ids. Timeout-based deadlock resolution (the conventional
+// fallback in both systems).
+class SimLockTable {
+ public:
+  explicit SimLockTable(const LatencyProfile& profile) : profile_(profile) {}
+
+  // Blocks until granted; charges one RPC per remote acquisition attempt
+  // (`charge_rpc`). Busy on timeout. Re-entrant for the same owner
+  // (upgrades S→X when possible).
+  Status Acquire(uint64_t resource, uint64_t owner, LockMode mode,
+                 uint64_t timeout_ms, bool charge_rpc);
+  // Releases all of `owner`'s locks (commit/abort); charges one RPC.
+  void ReleaseAll(uint64_t owner, bool charge_rpc);
+
+  uint64_t acquires() const { return acquires_; }
+  uint64_t waits() const { return waits_; }
+
+ private:
+  struct Entry {
+    std::map<uint64_t, LockMode> holders;
+    uint64_t waiters = 0;
+  };
+  bool CanGrant(const Entry& e, uint64_t owner, LockMode mode) const;
+
+  LatencyProfile profile_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<uint64_t, Entry> locks_;
+  std::unordered_map<uint64_t, std::set<uint64_t>> by_owner_;
+  uint64_t acquires_ = 0;
+  uint64_t waits_ = 0;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_BASELINES_SIM_STORE_H_

@@ -1,0 +1,13 @@
+#include "baselines/single_primary.h"
+
+namespace polarmp {
+
+StatusOr<std::unique_ptr<SinglePrimaryDatabase>> SinglePrimaryDatabase::Create(
+    const ClusterOptions& options) {
+  POLARMP_ASSIGN_OR_RETURN(std::unique_ptr<PolarMpDatabase> inner,
+                           PolarMpDatabase::Create(options, /*nodes=*/1));
+  return std::unique_ptr<SinglePrimaryDatabase>(
+      new SinglePrimaryDatabase(std::move(inner)));
+}
+
+}  // namespace polarmp

@@ -1,0 +1,41 @@
+#ifndef POLARMP_BASELINES_SINGLE_PRIMARY_H_
+#define POLARMP_BASELINES_SINGLE_PRIMARY_H_
+
+#include "baselines/database.h"
+
+namespace polarmp {
+
+// The classic primary-secondary deployment (§2.1): one primary node
+// processes everything; there is nothing to scale out to. Implemented as a
+// one-node PolarDB-MP cluster (the multi-primary machinery degenerates to
+// zero cross-node traffic), with every connection routed to the primary
+// and AddNode rejected — "scaling out to improve performance is not an
+// option in such architecture".
+class SinglePrimaryDatabase : public Database {
+ public:
+  static StatusOr<std::unique_ptr<SinglePrimaryDatabase>> Create(
+      const ClusterOptions& options);
+
+  const char* name() const override { return "Single-Primary"; }
+  int num_nodes() const override { return 1; }
+  Status AddNode() override {
+    return Status::NotSupported("single-primary cannot scale out writes");
+  }
+  Status CreateTable(const std::string& name, uint32_t num_indexes) override {
+    return inner_->CreateTable(name, num_indexes);
+  }
+  StatusOr<std::unique_ptr<Connection>> Connect(int node_index) override {
+    (void)node_index;
+    return inner_->Connect(0);  // everything lands on the primary
+  }
+
+ private:
+  explicit SinglePrimaryDatabase(std::unique_ptr<PolarMpDatabase> inner)
+      : inner_(std::move(inner)) {}
+
+  std::unique_ptr<PolarMpDatabase> inner_;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_BASELINES_SINGLE_PRIMARY_H_

@@ -1,0 +1,210 @@
+#include "baselines/taurus_mm.h"
+
+#include <optional>
+
+namespace polarmp {
+
+class TaurusConnection : public Connection {
+ public:
+  TaurusConnection(TaurusMmDatabase* db, SimStore* store, SimLockTable* locks,
+                   int node, uint64_t lock_timeout_ms)
+      : db_(db),
+        store_(store),
+        locks_(locks),
+        node_(node),
+        lock_timeout_ms_(lock_timeout_ms) {}
+
+  ~TaurusConnection() override {
+    if (active_) locks_->ReleaseAll(trx_, /*charge_rpc=*/false);
+  }
+
+  Status Begin() override {
+    POLARMP_CHECK(!active_);
+    active_ = true;
+    trx_ = db_->next_trx_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  Status Rollback() override {
+    locks_->ReleaseAll(trx_, /*charge_rpc=*/true);
+    Clear();
+    return Status::OK();
+  }
+
+  Status Commit() override {
+    POLARMP_CHECK(active_);
+    if (!writes_.empty()) {
+      // Ship this transaction's log (the vector-scalar clock rides along)
+      // plus the engine work every real write transaction performs.
+      SimDelay(store_->profile().baseline_commit_overhead_ns);
+      SimDelay(store_->profile().log_append_ns);
+      for (const auto& [row, value] : writes_) {
+        if (value.has_value()) {
+          store_->PutRow(row.first, row.second, *value);
+        } else {
+          store_->EraseRow(row.first, row.second);
+        }
+        store_->BumpPageVersion(store_->PageOf(row.first, row.second));
+      }
+      // Our cache stays current for the pages we hold locked.
+      auto& cache = *db_->node_caches_[node_];
+      std::lock_guard lock(cache.mu);
+      ++cache.scalar_clock;
+      for (const auto& [row, value] : writes_) {
+        const SimPageKey page = store_->PageOf(row.first, row.second);
+        cache.versions[page] = store_->PageVersion(page);
+      }
+    }
+    locks_->ReleaseAll(trx_, /*charge_rpc=*/true);
+    Clear();
+    return Status::OK();
+  }
+
+  Status Insert(const std::string& table, int64_t key, Slice value) override {
+    POLARMP_ASSIGN_OR_RETURN(uint32_t tid, store_->TableId(table));
+    POLARMP_RETURN_IF_ERROR(Access(tid, key, LockMode::kExclusive));
+    if (Exists(tid, key)) return Status::AlreadyExists("key exists");
+    writes_[{tid, key}] = value.ToString();
+    return Status::OK();
+  }
+
+  Status Update(const std::string& table, int64_t key, Slice value) override {
+    POLARMP_ASSIGN_OR_RETURN(uint32_t tid, store_->TableId(table));
+    POLARMP_RETURN_IF_ERROR(Access(tid, key, LockMode::kExclusive));
+    if (!Exists(tid, key)) return Status::NotFound("no row");
+    writes_[{tid, key}] = value.ToString();
+    return Status::OK();
+  }
+
+  Status Put(const std::string& table, int64_t key, Slice value) override {
+    POLARMP_ASSIGN_OR_RETURN(uint32_t tid, store_->TableId(table));
+    POLARMP_RETURN_IF_ERROR(Access(tid, key, LockMode::kExclusive));
+    writes_[{tid, key}] = value.ToString();
+    return Status::OK();
+  }
+
+  Status Delete(const std::string& table, int64_t key) override {
+    POLARMP_ASSIGN_OR_RETURN(uint32_t tid, store_->TableId(table));
+    POLARMP_RETURN_IF_ERROR(Access(tid, key, LockMode::kExclusive));
+    if (!Exists(tid, key)) return Status::NotFound("no row");
+    writes_[{tid, key}] = std::nullopt;
+    return Status::OK();
+  }
+
+  StatusOr<std::string> Get(const std::string& table, int64_t key) override {
+    // Taurus-MM reads are MVCC snapshot reads — no global lock, but a
+    // stale page still pays the page-store fetch + log replay.
+    POLARMP_ASSIGN_OR_RETURN(uint32_t tid, store_->TableId(table));
+    SimDelay(store_->profile().baseline_op_overhead_ns);
+    db_->RefreshPage(node_, store_->PageOf(tid, key));
+    auto it = writes_.find({tid, key});
+    if (it != writes_.end()) {
+      if (!it->second.has_value()) return Status::NotFound("deleted");
+      return *it->second;
+    }
+    return store_->GetRow(tid, key);
+  }
+
+  Status Scan(const std::string& table, int64_t lo, int64_t hi,
+              const std::function<bool(int64_t, const std::string&)>& fn)
+      override {
+    POLARMP_ASSIGN_OR_RETURN(uint32_t tid, store_->TableId(table));
+    SimPageKey last{UINT32_MAX, 0};
+    return store_->ScanRows(
+        tid, lo, hi, [&](int64_t key, const std::string& value) {
+          const SimPageKey page = store_->PageOf(tid, key);
+          if (!(page == last)) {
+            db_->RefreshPage(node_, page);
+            last = page;
+          }
+          return fn(key, value);
+        });
+  }
+
+ private:
+  // 2PL page access: global lock-manager RPC, then coherence refresh.
+  Status Access(uint32_t tid, int64_t key, LockMode mode) {
+    const SimPageKey page = store_->PageOf(tid, key);
+    const uint64_t resource = SimPageKeyHash()(page);
+    const Status s = locks_->Acquire(resource, trx_, mode, lock_timeout_ms_,
+                                     /*charge_rpc=*/true);
+    if (s.IsBusy()) {
+      // Timeout-based deadlock resolution: the transaction is the victim
+      // and has been rolled back per the Connection contract.
+      db_->lock_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      locks_->ReleaseAll(trx_, /*charge_rpc=*/true);
+      Clear();
+      return Status::Busy("lock timeout (Taurus-MM)");
+    }
+    POLARMP_RETURN_IF_ERROR(s);
+    SimDelay(store_->profile().baseline_op_overhead_ns);
+    db_->RefreshPage(node_, page);
+    return Status::OK();
+  }
+
+  bool Exists(uint32_t tid, int64_t key) {
+    auto it = writes_.find({tid, key});
+    if (it != writes_.end()) return it->second.has_value();
+    return store_->RowExists(tid, key);
+  }
+
+  void Clear() {
+    active_ = false;
+    writes_.clear();
+  }
+
+  TaurusMmDatabase* db_;
+  SimStore* store_;
+  SimLockTable* locks_;
+  const int node_;
+  const uint64_t lock_timeout_ms_;
+  bool active_ = false;
+  uint64_t trx_ = 0;
+  std::map<std::pair<uint32_t, int64_t>, std::optional<std::string>> writes_;
+};
+
+TaurusMmDatabase::TaurusMmDatabase(const Options& options)
+    : options_(options),
+      store_(options.profile),
+      locks_(options.profile),
+      nodes_(options.nodes) {
+  for (int i = 0; i < nodes_; ++i) node_caches_.emplace_back(new NodeCache());
+}
+
+Status TaurusMmDatabase::CreateTable(const std::string& name,
+                                     uint32_t num_indexes) {
+  if (num_indexes != 0) {
+    return Status::NotSupported(
+        "the Taurus-MM model does not simulate GSIs (not part of Fig. 13)");
+  }
+  return store_.CreateTable(name).status();
+}
+
+void TaurusMmDatabase::RefreshPage(int node, SimPageKey page) {
+  const uint64_t current = store_.PageVersion(page);
+  NodeCache& cache = *node_caches_[node];
+  uint64_t cached;
+  {
+    std::lock_guard lock(cache.mu);
+    auto it = cache.versions.find(page);
+    cached = it == cache.versions.end() ? 0 : it->second;
+    cache.versions[page] = current;
+  }
+  if (cached < current) {
+    // "Request both the page and corresponding logs from the page/log
+    // stores, and then apply the logs" — storage I/O plus replay CPU.
+    SimDelay(store_.profile().storage_read_ns);
+    const uint64_t behind = current - cached;
+    replayed_records_.fetch_add(behind, std::memory_order_relaxed);
+    SimDelay(behind * store_.profile().log_replay_per_record_ns);
+  }
+}
+
+StatusOr<std::unique_ptr<Connection>> TaurusMmDatabase::Connect(
+    int node_index) {
+  return std::unique_ptr<Connection>(
+      new TaurusConnection(this, &store_, &locks_, node_index % nodes_,
+                           options_.lock_timeout_ms));
+}
+
+}  // namespace polarmp

@@ -1,0 +1,66 @@
+#ifndef POLARMP_COMMON_CODING_H_
+#define POLARMP_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace polarmp {
+
+// Little-endian fixed-width encoding helpers used by the page/row/log
+// serialization code. All reads assume the caller validated the length.
+
+inline void EncodeFixed16(char* dst, uint16_t v) { std::memcpy(dst, &v, 2); }
+inline void EncodeFixed32(char* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+
+inline uint16_t DecodeFixed16(const char* src) {
+  uint16_t v;
+  std::memcpy(&v, src, 2);
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+inline void PutFixed16(std::string* dst, uint16_t v) {
+  char buf[2];
+  EncodeFixed16(buf, v);
+  dst->append(buf, 2);
+}
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(buf, 4);
+}
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, 8);
+}
+
+inline void PutLengthPrefixed(std::string* dst, const char* data, size_t n) {
+  PutFixed32(dst, static_cast<uint32_t>(n));
+  dst->append(data, n);
+}
+
+// FNV-1a, used for page checksums and hash partitioning in baselines.
+inline uint64_t Fnv1a64(const char* data, size_t n, uint64_t seed = 14695981039346656037ull) {
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace polarmp
+
+#endif  // POLARMP_COMMON_CODING_H_

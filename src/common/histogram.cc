@@ -1,0 +1,79 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace polarmp {
+
+Histogram::Histogram()
+    : count_(0), sum_(0), min_(UINT64_MAX), max_(0), buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t v) {
+  if (v < 8) return static_cast<int>(v);
+  const int log2 = 63 - std::countl_zero(v);
+  const int sub = static_cast<int>((v >> (log2 - 3)) & 7);  // top 3 bits below msb
+  const int b = log2 * 8 + sub;
+  return std::min(b, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(int b) {
+  if (b < 8) return static_cast<uint64_t>(b);
+  const int log2 = b / 8;
+  const int sub = b % 8;
+  return (uint64_t{1} << log2) + (static_cast<uint64_t>(sub + 1) << (log2 - 3)) - 1;
+}
+
+void Histogram::Add(uint64_t value_ns) {
+  ++count_;
+  sum_ += value_ns;
+  min_ = std::min(min_, value_ns);
+  max_ = std::max(max_, value_ns);
+  ++buckets_[BucketFor(value_ns)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Clear() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  const uint64_t target = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(BucketUpperBound(i), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean_us=" << Mean() / 1000.0
+     << " p50_us=" << static_cast<double>(Percentile(50)) / 1000.0
+     << " p95_us=" << static_cast<double>(Percentile(95)) / 1000.0
+     << " p99_us=" << static_cast<double>(Percentile(99)) / 1000.0
+     << " max_us=" << static_cast<double>(max()) / 1000.0;
+  return os.str();
+}
+
+}  // namespace polarmp

@@ -1,0 +1,43 @@
+#ifndef POLARMP_COMMON_HISTOGRAM_H_
+#define POLARMP_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace polarmp {
+
+// Log-bucketed latency histogram (nanosecond samples). Thread-compatible:
+// callers merge per-thread instances rather than sharing one.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value_ns);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  // p in [0, 100].
+  uint64_t Percentile(double p) const;
+
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 64 * 8;  // 8 sub-buckets per power of 2
+  static int BucketFor(uint64_t v);
+  static uint64_t BucketUpperBound(int b);
+
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_COMMON_HISTOGRAM_H_

@@ -1,0 +1,87 @@
+#ifndef POLARMP_COMMON_LOGGING_H_
+#define POLARMP_COMMON_LOGGING_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace polarmp {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// Accumulates a message and emits it (to stderr) on destruction.
+// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define POLARMP_LOG(level)                                        \
+  ::polarmp::internal_logging::LogMessage(                        \
+      ::polarmp::LogLevel::k##level, __FILE__, __LINE__)          \
+      .stream()
+
+// CHECK macros terminate on violated invariants; they are active in all
+// build types (database invariants are too important to strip in release).
+#define POLARMP_CHECK(cond)                                       \
+  (cond) ? (void)0                                                \
+         : ::polarmp::internal_logging::CheckFailVoidify() &      \
+               ::polarmp::internal_logging::LogMessage(           \
+                   ::polarmp::LogLevel::kFatal, __FILE__, __LINE__) \
+                   .stream()                                      \
+               << "Check failed: " #cond " "
+
+#define POLARMP_CHECK_EQ(a, b) POLARMP_CHECK((a) == (b))
+#define POLARMP_CHECK_NE(a, b) POLARMP_CHECK((a) != (b))
+#define POLARMP_CHECK_LT(a, b) POLARMP_CHECK((a) < (b))
+#define POLARMP_CHECK_LE(a, b) POLARMP_CHECK((a) <= (b))
+#define POLARMP_CHECK_GT(a, b) POLARMP_CHECK((a) > (b))
+#define POLARMP_CHECK_GE(a, b) POLARMP_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define POLARMP_DCHECK(cond) POLARMP_CHECK(cond)
+#else
+#define POLARMP_DCHECK(cond) \
+  while (false) ::polarmp::internal_logging::NullStream()
+#endif
+
+namespace internal_logging {
+// Enables the ternary in POLARMP_CHECK: operator& has lower precedence than
+// << so the streamed message binds to the LogMessage first, then the whole
+// expression is voidified to match the (void)0 arm.
+struct CheckFailVoidify {
+  void operator&(std::ostream&) {}
+};
+}  // namespace internal_logging
+
+}  // namespace polarmp
+
+#endif  // POLARMP_COMMON_LOGGING_H_

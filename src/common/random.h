@@ -1,0 +1,96 @@
+#ifndef POLARMP_COMMON_RANDOM_H_
+#define POLARMP_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace polarmp {
+
+// xoshiro256** — fast, high-quality PRNG for workload generation. Not
+// thread-safe; give each worker thread its own instance.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding so nearby seeds diverge.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // True with probability pct/100.
+  bool Percent(uint32_t pct) { return Uniform(100) < pct; }
+
+  double NextDouble() {  // [0, 1)
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+// Zipfian distribution over [0, n) with parameter theta, per the YCSB
+// implementation (Gray et al.). Precomputes zeta(n).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 1)
+      : n_(n), theta_(theta), rng_(seed) {
+    zeta_n_ = Zeta(n);
+    zeta2_ = Zeta(2);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zeta_n_);
+  }
+
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    const double uz = u * zeta_n_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  double Zeta(uint64_t n) const {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta_);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Random rng_;
+  double zeta_n_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_COMMON_RANDOM_H_

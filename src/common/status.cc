@@ -1,0 +1,32 @@
+#include "common/status.h"
+
+namespace polarmp {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kBusy: return "Busy";
+    case StatusCode::kNotSupported: return "NotSupported";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kUnavailable: return "Unavailable";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeToString(code_);
+  if (!msg_.empty()) {
+    s += ": ";
+    s += msg_;
+  }
+  return s;
+}
+
+}  // namespace polarmp

@@ -1,0 +1,164 @@
+#ifndef POLARMP_COMMON_STATUS_H_
+#define POLARMP_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace polarmp {
+
+// Error taxonomy for the whole library. The set is deliberately small;
+// database-specific outcomes that callers routinely branch on (NotFound,
+// Busy for lock waits that timed out, Aborted for OCC/deadlock victims)
+// get their own codes, everything else is an InvalidArgument/Internal/
+// IOError style bucket.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kAlreadyExists = 2,
+  kInvalidArgument = 3,
+  kIOError = 4,
+  kInternal = 5,
+  kAborted = 6,        // transaction aborted (deadlock victim, OCC conflict)
+  kBusy = 7,           // lock wait timed out
+  kNotSupported = 8,
+  kCorruption = 9,
+  kUnavailable = 10,   // node crashed / shutting down
+};
+
+const char* StatusCodeToString(StatusCode code);
+
+// Status carries an error code plus a human-readable message. Cheap to copy
+// in the OK case (no allocation), allocation only on error construction.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code();
+}
+
+// StatusOr<T>: either a value or an error status. value() asserts ok().
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    POLARMP_CHECK(!std::get<Status>(rep_).ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    POLARMP_CHECK(ok()) << "value() on error StatusOr: "
+                        << std::get<Status>(rep_).ToString();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    POLARMP_CHECK(ok()) << "value() on error StatusOr: "
+                        << std::get<Status>(rep_).ToString();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    POLARMP_CHECK(ok()) << "value() on error StatusOr: "
+                        << std::get<Status>(rep_).ToString();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+// Propagate errors upward without exceptions.
+#define POLARMP_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::polarmp::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                         \
+  } while (0)
+
+#define POLARMP_ASSIGN_OR_RETURN_IMPL(var, lhs, expr)  \
+  auto var = (expr);                                   \
+  if (!var.ok()) return var.status();                  \
+  lhs = std::move(var).value()
+
+#define POLARMP_CONCAT_INNER(a, b) a##b
+#define POLARMP_CONCAT(a, b) POLARMP_CONCAT_INNER(a, b)
+
+#define POLARMP_ASSIGN_OR_RETURN(lhs, expr) \
+  POLARMP_ASSIGN_OR_RETURN_IMPL(            \
+      POLARMP_CONCAT(_status_or_, __LINE__), lhs, expr)
+
+}  // namespace polarmp
+
+#endif  // POLARMP_COMMON_STATUS_H_

@@ -1,0 +1,133 @@
+#include "dsm/dsm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+namespace polarmp {
+
+Dsm::Dsm(Fabric* fabric, uint32_t num_servers, uint64_t bytes_per_server)
+    : fabric_(fabric),
+      num_servers_(num_servers),
+      bytes_per_server_(bytes_per_server),
+      next_free_(num_servers, 0) {
+  POLARMP_CHECK_GT(num_servers, 0u);
+  memory_.reserve(num_servers);
+  for (uint32_t i = 0; i < num_servers; ++i) {
+    memory_.push_back(std::make_unique<char[]>(bytes_per_server));
+    std::memset(memory_.back().get(), 0, bytes_per_server);
+    const Status s = fabric_->RegisterRegion(ServerEndpoint(i), /*region=*/0,
+                                             memory_.back().get(),
+                                             bytes_per_server);
+    POLARMP_CHECK(s.ok()) << s.ToString();
+  }
+}
+
+Dsm::~Dsm() {
+  for (uint32_t i = 0; i < num_servers_; ++i) {
+    fabric_->DeregisterEndpoint(ServerEndpoint(i));
+  }
+}
+
+StatusOr<DsmPtr> Dsm::Allocate(uint64_t size) {
+  const uint64_t aligned = (size + 7) & ~uint64_t{7};
+  std::lock_guard lock(alloc_mu_);
+  // Least-loaded server keeps the pool balanced like a real allocator would.
+  uint32_t best = 0;
+  for (uint32_t i = 1; i < num_servers_; ++i) {
+    if (next_free_[i] < next_free_[best]) best = i;
+  }
+  if (next_free_[best] + aligned > bytes_per_server_) {
+    return Status::Internal("DSM out of memory");
+  }
+  DsmPtr ptr{best, next_free_[best]};
+  next_free_[best] += aligned;
+  return ptr;
+}
+
+Status Dsm::Read(EndpointId from, DsmPtr ptr, void* dst, uint64_t len) const {
+  return fabric_->Read(from, ServerEndpoint(ptr.server), 0, ptr.offset, dst,
+                       len);
+}
+
+Status Dsm::Write(EndpointId from, DsmPtr ptr, const void* src,
+                  uint64_t len) const {
+  return fabric_->Write(from, ServerEndpoint(ptr.server), 0, ptr.offset, src,
+                        len);
+}
+
+StatusOr<uint64_t> Dsm::FetchAdd64(EndpointId from, DsmPtr ptr,
+                                   uint64_t delta) const {
+  return fabric_->FetchAdd64(from, ServerEndpoint(ptr.server), 0, ptr.offset,
+                             delta);
+}
+
+StatusOr<uint64_t> Dsm::Load64(EndpointId from, DsmPtr ptr) const {
+  return fabric_->Load64(from, ServerEndpoint(ptr.server), 0, ptr.offset);
+}
+
+Status Dsm::Store64(EndpointId from, DsmPtr ptr, uint64_t value) const {
+  return fabric_->Write(from, ServerEndpoint(ptr.server), 0, ptr.offset,
+                        &value, sizeof(value));
+}
+
+Status Dsm::WriteSeqlocked(EndpointId from, DsmPtr frame, const void* src,
+                           uint64_t len) const {
+  if (!fabric_->EndpointAlive(ServerEndpoint(frame.server))) {
+    return Status::Unavailable("memory server down");
+  }
+  if (from != ServerEndpoint(frame.server)) {
+    SimDelay(fabric_->profile().rdma_write_ns);
+  }
+  auto* seq = reinterpret_cast<std::atomic<uint64_t>*>(HostPtr(frame));
+  seq->fetch_add(1, std::memory_order_acq_rel);  // odd: write in progress
+  std::memcpy(HostPtr(DsmPtr{frame.server, frame.offset + 8}), src, len);
+  seq->fetch_add(1, std::memory_order_acq_rel);  // even: stable
+  return Status::OK();
+}
+
+Status Dsm::ReadSeqlocked(EndpointId from, DsmPtr frame, void* dst,
+                          uint64_t len) const {
+  if (!fabric_->EndpointAlive(ServerEndpoint(frame.server))) {
+    return Status::Unavailable("memory server down");
+  }
+  if (from != ServerEndpoint(frame.server)) {
+    SimDelay(fabric_->profile().rdma_read_ns);
+  }
+  auto* seq = reinterpret_cast<std::atomic<uint64_t>*>(HostPtr(frame));
+  const char* data = HostPtr(DsmPtr{frame.server, frame.offset + 8});
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    const uint64_t s1 = seq->load(std::memory_order_acquire);
+    if (s1 % 2 == 1) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::memcpy(dst, data, len);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq->load(std::memory_order_acquire) == s1) return Status::OK();
+  }
+  return Status::Internal("seqlocked read livelock");
+}
+
+char* Dsm::HostPtr(DsmPtr ptr) const {
+  POLARMP_CHECK_LT(ptr.server, num_servers_);
+  POLARMP_CHECK_LT(ptr.offset, bytes_per_server_);
+  return memory_[ptr.server].get() + ptr.offset;
+}
+
+void Dsm::Reset() {
+  std::lock_guard lock(alloc_mu_);
+  for (uint32_t i = 0; i < num_servers_; ++i) {
+    std::memset(memory_[i].get(), 0, bytes_per_server_);
+    next_free_[i] = 0;
+  }
+}
+
+uint64_t Dsm::allocated_bytes() const {
+  std::lock_guard lock(alloc_mu_);
+  uint64_t total = 0;
+  for (uint64_t v : next_free_) total += v;
+  return total;
+}
+
+}  // namespace polarmp

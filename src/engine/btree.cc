@@ -1,0 +1,301 @@
+#include "engine/btree.h"
+
+#include "common/coding.h"
+
+namespace polarmp {
+
+namespace {
+// Internal entries never grow, so a parent "has room" for a split if it can
+// take one more separator entry.
+constexpr size_t kInternalEntrySize = kRowHeaderSize + 4;
+}  // namespace
+
+std::string BTree::EncodeInternalEntry(int64_t key, PageNo child) {
+  char buf[4];
+  EncodeFixed32(buf, child);
+  return EncodeRow(key, kInvalidGTrxId, kCsnInit, kNullUndoPtr, 0,
+                   Slice(buf, 4));
+}
+
+PageNo BTree::RouteChild(const Page& page, int64_t key) {
+  int idx = page.LowerBound(key);
+  if (idx >= page.nslots() || page.KeyAt(idx) != key) --idx;
+  POLARMP_CHECK_GE(idx, 0) << "internal page missing sentinel entry";
+  const auto row = page.RowAt(idx);
+  POLARMP_CHECK(row.ok());
+  POLARMP_CHECK_EQ(row.value().value.size(), 4u);
+  return DecodeFixed32(row.value().value.data());
+}
+
+Status BTree::Create() {
+  POLARMP_ASSIGN_OR_RETURN(PageNo root_no, page_store_->AllocPageNo(space_));
+  POLARMP_CHECK_EQ(root_no, 0u) << "tree root must be the space's first page";
+  Mtr mtr(ctx_);
+  POLARMP_ASSIGN_OR_RETURN(size_t g, mtr.CreatePage(RootId()));
+  POLARMP_RETURN_IF_ERROR(
+      mtr.LogInitPage(g, /*level=*/0, kInvalidPageNo, kInvalidPageNo));
+  mtr.Commit();
+  return Status::OK();
+}
+
+StatusOr<BTree::LeafPos> BTree::SearchLeaf(Mtr* mtr, int64_t key,
+                                           LockMode mode) {
+  POLARMP_CHECK_GT(key, INT64_MIN);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    // Root level is unknown before reading it; start shared and upgrade by
+    // re-acquiring if the root itself turns out to be the target leaf.
+    POLARMP_ASSIGN_OR_RETURN(size_t g, mtr->GetPage(RootId(), LockMode::kShared));
+    {
+      Page root = mtr->PageAt(g);
+      if (root.is_leaf() && mode == LockMode::kExclusive) {
+        mtr->ReleasePage(g);
+        POLARMP_ASSIGN_OR_RETURN(g, mtr->GetPage(RootId(), mode));
+        Page reread = mtr->PageAt(g);
+        if (!reread.is_leaf()) {
+          // Root split under us; restart the descent.
+          mtr->ReleasePage(g);
+          continue;
+        }
+      }
+    }
+    size_t cur = g;
+    for (;;) {
+      Page page = mtr->PageAt(cur);
+      if (page.is_leaf()) {
+        LeafPos pos;
+        pos.guard = cur;
+        pos.slot = page.LowerBound(key);
+        pos.found = pos.slot < page.nslots() && page.KeyAt(pos.slot) == key;
+        return pos;
+      }
+      const PageNo child_no = RouteChild(page, key);
+      const LockMode child_mode =
+          page.level() == 1 ? mode : LockMode::kShared;
+      POLARMP_ASSIGN_OR_RETURN(
+          size_t child, mtr->GetPage(PageId{space_, child_no}, child_mode));
+      mtr->ReleasePage(cur);
+      cur = child;
+    }
+  }
+  return Status::Internal("btree descent did not converge");
+}
+
+StatusOr<BTree::LeafPos> BTree::SearchLeafForWrite(Mtr* mtr, int64_t key,
+                                                   size_t need_bytes) {
+  POLARMP_CHECK_LE(need_bytes, static_cast<size_t>(ctx_->lbp->page_size()) / 4)
+      << "row too large for page";
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    POLARMP_ASSIGN_OR_RETURN(LeafPos pos,
+                             SearchLeaf(mtr, key, LockMode::kExclusive));
+    Page leaf = mtr->PageAt(pos.guard);
+    bool fits;
+    if (pos.found) {
+      // Replacement: in-place if not growing, else needs free room.
+      const auto row = leaf.RowAt(pos.slot);
+      POLARMP_RETURN_IF_ERROR(row.status());
+      const size_t old_size = kRowHeaderSize + row.value().value.size();
+      fits = old_size >= need_bytes || leaf.HasRoomFor(need_bytes);
+    } else {
+      fits = leaf.HasRoomFor(need_bytes);
+    }
+    if (fits) return pos;
+    mtr->ReleasePage(pos.guard);
+    POLARMP_RETURN_IF_ERROR(SplitOnce(key, need_bytes));
+  }
+  return Status::Internal("btree split loop did not converge");
+}
+
+Status BTree::SplitOnce(int64_t key, size_t need_bytes) {
+  Mtr smo(ctx_);
+  // The index-wide virtual X lock serializes structure modifications
+  // cluster-wide (§4.3.1), so a cheap SHARED discovery descent is safe:
+  // no other SMO can change the structure underneath us, and concurrent
+  // leaf writes can only change fullness, which the X phase re-verifies.
+  POLARMP_RETURN_IF_ERROR(smo.LockVirtual(IndexLockId()).status());
+
+  // Phase 1 — discovery: record each level's page number and fullness.
+  struct PathEntry {
+    PageNo page_no;
+    bool has_room;
+  };
+  std::vector<PathEntry> path;
+  {
+    POLARMP_ASSIGN_OR_RETURN(size_t g,
+                             smo.GetPage(RootId(), LockMode::kShared));
+    for (;;) {
+      Page page = smo.PageAt(g);
+      const bool leaf_level = page.is_leaf();
+      path.push_back(PathEntry{
+          page.id().page_no,
+          leaf_level ? page.HasRoomFor(need_bytes)
+                     : page.HasRoomFor(kInternalEntrySize)});
+      if (leaf_level) {
+        smo.ReleasePage(g);
+        break;
+      }
+      const PageNo child_no = RouteChild(page, key);
+      POLARMP_ASSIGN_OR_RETURN(
+          size_t child, smo.GetPage(PageId{space_, child_no}, LockMode::kShared));
+      smo.ReleasePage(g);
+      g = child;
+    }
+  }
+  if (path.back().has_room) {
+    smo.Commit();  // someone already made room
+    return Status::OK();
+  }
+  // Deepest node that must split this round: the leaf, unless an ancestor
+  // cannot take one more separator entry.
+  size_t split_idx = path.size() - 1;
+  while (split_idx > 0 && !path[split_idx - 1].has_room) --split_idx;
+
+  // Phase 2 — exclusive guards only where the modification lands (real
+  // engines never root-fence a leaf split: X on the whole path would
+  // invalidate every node's cached upper levels on every split).
+  Status st;
+  if (split_idx == 0) {
+    POLARMP_ASSIGN_OR_RETURN(size_t root_guard,
+                             smo.GetPage(RootId(), LockMode::kExclusive));
+    if (smo.PageAt(root_guard).HasRoomFor(
+            path.size() == 1 ? need_bytes : kInternalEntrySize)) {
+      smo.Commit();  // raced with a concurrent writer freeing space
+      return Status::OK();
+    }
+    st = SplitRoot(&smo, root_guard);
+  } else {
+    POLARMP_ASSIGN_OR_RETURN(
+        size_t parent_guard,
+        smo.GetPage(PageId{space_, path[split_idx - 1].page_no},
+                    LockMode::kExclusive));
+    POLARMP_ASSIGN_OR_RETURN(
+        size_t node_guard,
+        smo.GetPage(PageId{space_, path[split_idx].page_no},
+                    LockMode::kExclusive));
+    Page parent = smo.PageAt(parent_guard);
+    Page node = smo.PageAt(node_guard);
+    const bool node_full =
+        split_idx == path.size() - 1
+            ? !node.HasRoomFor(need_bytes)
+            : !node.HasRoomFor(kInternalEntrySize);
+    if (!node_full || !parent.HasRoomFor(kInternalEntrySize)) {
+      smo.Commit();  // fullness changed under us; the caller re-descends
+      return Status::OK();
+    }
+    st = SplitNonRoot(&smo, node_guard, parent_guard);
+  }
+  if (!st.ok()) return st;
+  smo.Commit();
+  return Status::OK();
+}
+
+Status BTree::SplitNonRoot(Mtr* smo, size_t node_guard, size_t parent_guard) {
+  Page node = smo->PageAt(node_guard);
+  const int n = node.nslots();
+  POLARMP_CHECK_GE(n, 2);
+  const int split_slot = n / 2;
+  const int64_t separator = node.KeyAt(split_slot);
+  std::string upper = node.CopyRowsInRange(split_slot, n);
+  const uint8_t level = node.level();
+  const PageNo old_next = node.next();
+  const PageNo node_no = node.id().page_no;
+  const PageNo node_prev = node.prev();
+
+  POLARMP_ASSIGN_OR_RETURN(PageNo right_no, page_store_->AllocPageNo(space_));
+
+  // Acquire everything before the first logged mutation.
+  POLARMP_ASSIGN_OR_RETURN(size_t right_guard,
+                           smo->CreatePage(PageId{space_, right_no}));
+  int next_guard = -1;
+  if (level == 0 && old_next != kInvalidPageNo) {
+    // Left-to-right acquisition matches the scan order (deadlock-free).
+    POLARMP_ASSIGN_OR_RETURN(
+        size_t ng, smo->GetPage(PageId{space_, old_next}, LockMode::kExclusive));
+    next_guard = static_cast<int>(ng);
+  }
+
+  const PageNo right_prev = level == 0 ? node_no : kInvalidPageNo;
+  const PageNo right_next = level == 0 ? old_next : kInvalidPageNo;
+  POLARMP_RETURN_IF_ERROR(
+      smo->LogInitPage(right_guard, level, right_prev, right_next));
+  POLARMP_RETURN_IF_ERROR(smo->LogLoadRows(right_guard, std::move(upper)));
+  POLARMP_RETURN_IF_ERROR(smo->LogTruncateRows(node_guard, separator));
+  if (level == 0) {
+    POLARMP_RETURN_IF_ERROR(smo->LogSetLinks(node_guard, node_prev, right_no));
+    if (next_guard >= 0) {
+      Page next_page = smo->PageAt(next_guard);
+      POLARMP_RETURN_IF_ERROR(smo->LogSetLinks(
+          static_cast<size_t>(next_guard), right_no, next_page.next()));
+    }
+  }
+  return smo->LogWriteRow(parent_guard,
+                          EncodeInternalEntry(separator, right_no));
+}
+
+Status BTree::SplitRoot(Mtr* smo, size_t root_guard) {
+  Page root = smo->PageAt(root_guard);
+  const int n = root.nslots();
+  POLARMP_CHECK_GE(n, 2);
+  const int split_slot = n / 2;
+  const int64_t separator = root.KeyAt(split_slot);
+  std::string lower = root.CopyRowsInRange(0, split_slot);
+  std::string upper = root.CopyRowsInRange(split_slot, n);
+  const uint8_t level = root.level();
+
+  POLARMP_ASSIGN_OR_RETURN(PageNo left_no, page_store_->AllocPageNo(space_));
+  POLARMP_ASSIGN_OR_RETURN(PageNo right_no, page_store_->AllocPageNo(space_));
+  POLARMP_ASSIGN_OR_RETURN(size_t left_guard,
+                           smo->CreatePage(PageId{space_, left_no}));
+  POLARMP_ASSIGN_OR_RETURN(size_t right_guard,
+                           smo->CreatePage(PageId{space_, right_no}));
+
+  const bool leaf_level = level == 0;
+  POLARMP_RETURN_IF_ERROR(smo->LogInitPage(
+      left_guard, level, kInvalidPageNo, leaf_level ? right_no : kInvalidPageNo));
+  POLARMP_RETURN_IF_ERROR(smo->LogLoadRows(left_guard, std::move(lower)));
+  POLARMP_RETURN_IF_ERROR(smo->LogInitPage(
+      right_guard, level, leaf_level ? left_no : kInvalidPageNo, kInvalidPageNo));
+  POLARMP_RETURN_IF_ERROR(smo->LogLoadRows(right_guard, std::move(upper)));
+
+  POLARMP_RETURN_IF_ERROR(smo->LogInitPage(
+      root_guard, static_cast<uint8_t>(level + 1), kInvalidPageNo,
+      kInvalidPageNo));
+  POLARMP_RETURN_IF_ERROR(smo->LogWriteRow(
+      root_guard, EncodeInternalEntry(INT64_MIN, left_no)));
+  return smo->LogWriteRow(root_guard,
+                          EncodeInternalEntry(separator, right_no));
+}
+
+Status BTree::ScanRange(int64_t lo, int64_t hi,
+                        const std::function<bool(const RowView&)>& fn) {
+  POLARMP_CHECK_GT(lo, INT64_MIN);
+  Mtr mtr(ctx_);
+  POLARMP_ASSIGN_OR_RETURN(LeafPos pos,
+                           SearchLeaf(&mtr, lo, LockMode::kShared));
+  size_t cur = pos.guard;
+  int slot = pos.slot;
+  for (;;) {
+    Page page = mtr.PageAt(cur);
+    for (; slot < page.nslots(); ++slot) {
+      if (page.KeyAt(slot) > hi) {
+        mtr.Commit();
+        return Status::OK();
+      }
+      POLARMP_ASSIGN_OR_RETURN(RowView row, page.RowAt(slot));
+      if (!fn(row)) {
+        mtr.Commit();
+        return Status::OK();
+      }
+    }
+    const PageNo next = page.next();
+    if (next == kInvalidPageNo) break;
+    POLARMP_ASSIGN_OR_RETURN(
+        size_t next_guard, mtr.GetPage(PageId{space_, next}, LockMode::kShared));
+    mtr.ReleasePage(cur);
+    cur = next_guard;
+    slot = 0;
+  }
+  mtr.Commit();
+  return Status::OK();
+}
+
+}  // namespace polarmp

@@ -1,0 +1,79 @@
+#ifndef POLARMP_ENGINE_BTREE_H_
+#define POLARMP_ENGINE_BTREE_H_
+
+#include <functional>
+
+#include "engine/mtr.h"
+#include "storage/page_store.h"
+
+namespace polarmp {
+
+// Clustered B-tree over int64 keys. The root is pinned at page 0 of the
+// tree's tablespace; root splits reinitialize it in place one level up.
+//
+// Cross-node physical consistency follows the paper (§4.3.1): every page
+// access holds the page's PLock at the right mode through the mtr, and
+// structure modifications (splits) run in their own mini-transaction that
+// additionally holds an index-wide virtual X PLock, so "no transaction,
+// whether within the same node or on other nodes, encounters an
+// inconsistent B-tree structure".
+//
+// Deadlock avoidance is by ordering: descents acquire top-down, leaf-chain
+// walks acquire left-to-right, SMOs take the index lock first. Page merges
+// are not implemented (deletes tombstone rows and purge removes them;
+// empty pages persist) — a common engine simplification.
+//
+// Keys must be > INT64_MIN (reserved as the internal-node sentinel).
+class BTree {
+ public:
+  BTree(EngineContext* ctx, PageStore* page_store, SpaceId space)
+      : ctx_(ctx), page_store_(page_store), space_(space) {}
+
+  SpaceId space() const { return space_; }
+
+  // Formats the root leaf. Must be called exactly once per tree, by the
+  // node that creates the table (the catalog serializes this).
+  Status Create();
+
+  struct LeafPos {
+    size_t guard = 0;  // mtr guard index of the leaf
+    int slot = 0;      // lower-bound slot for the key
+    bool found = false;  // slot holds exactly `key`
+  };
+
+  // Descends to the leaf owning `key`; the leaf guard (at `mode`) joins
+  // `mtr`. Internal pages are acquired shared and released while crabbing.
+  StatusOr<LeafPos> SearchLeaf(Mtr* mtr, int64_t key, LockMode mode);
+
+  // SearchLeaf with an exclusive leaf guard guaranteed to have room for a
+  // `need_bytes` row (splitting in separate mini-transactions as needed).
+  StatusOr<LeafPos> SearchLeafForWrite(Mtr* mtr, int64_t key,
+                                       size_t need_bytes);
+
+  // Streams rows with lo <= key <= hi in key order under shared guards.
+  // `fn` returns false to stop early. Visibility is the caller's job.
+  Status ScanRange(int64_t lo, int64_t hi,
+                   const std::function<bool(const RowView&)>& fn);
+
+  // Internal-entry helpers (exposed for recovery and tests).
+  static std::string EncodeInternalEntry(int64_t key, PageNo child);
+  static PageNo RouteChild(const Page& page, int64_t key);
+
+ private:
+  PageId RootId() const { return PageId{space_, 0}; }
+  PageId IndexLockId() const { return PageId{space_, kIndexLockPageNo}; }
+
+  // One SMO round: splits the deepest ancestor (or the leaf) whose fullness
+  // blocks inserting `need_bytes` at `key`. Own mini-transaction.
+  Status SplitOnce(int64_t key, size_t need_bytes);
+  Status SplitRoot(Mtr* smo, size_t root_guard);
+  Status SplitNonRoot(Mtr* smo, size_t node_guard, size_t parent_guard);
+
+  EngineContext* ctx_;
+  PageStore* page_store_;
+  const SpaceId space_;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_ENGINE_BTREE_H_

@@ -1,0 +1,172 @@
+#ifndef POLARMP_ENGINE_BUFFER_POOL_H_
+#define POLARMP_ENGINE_BUFFER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/page.h"
+#include "pmfs/buffer_fusion.h"
+#include "wal/llsn.h"
+
+namespace polarmp {
+
+// Local buffer pool (LBP, §4.2 Fig. 4): each frame carries the paper's two
+// extra metadata fields — a `valid` flag (here an invalid flag so Buffer
+// Fusion can set it with a one-sided write; the flags array is the node's
+// kLbpFlagsRegion) and `r_addr`, the page's DBP frame address.
+//
+// Callers must hold the page's PLock before touching a page here; that is
+// what makes the invalid flag stable during access (a remote push — the
+// only writer of the flag — requires the X PLock this node would have to
+// give up first).
+//
+// Invariant maintained with the PLock manager: a dirty frame implies this
+// node holds the page's X PLock, so pushes to the DBP are always performed
+// by the lock holder.
+class BufferPool {
+ public:
+  struct Options {
+    uint32_t frames = 1024;
+    uint32_t page_size = 8192;
+  };
+
+  // Handle to a pinned frame. Valid until Unpin.
+  struct Handle {
+    uint32_t frame = UINT32_MAX;
+    char* data = nullptr;
+    bool valid() const { return data != nullptr; }
+  };
+
+  BufferPool(NodeId node, Fabric* fabric, BufferFusion* buffer_fusion,
+             PageStore* page_store, LlsnClock* llsn_clock,
+             const Options& options);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // WAL rule hook: forces the node's redo log up to the given LSN before a
+  // dirty page leaves the node.
+  void SetForceLog(std::function<Status(Lsn)> force_log) {
+    force_log_ = std::move(force_log);
+  }
+  // Eviction hook: fully releases this node's PLock on the page (returns
+  // Busy if the PLock is in use and the eviction should pick another
+  // victim).
+  void SetReleasePLock(std::function<Status(PageId)> release_plock) {
+    release_plock_ = std::move(release_plock);
+  }
+
+  // Pins the page's frame, loading/refreshing content as needed:
+  //   * cached + valid        → return it
+  //   * cached + invalidated  → one-sided fetch from r_addr
+  //   * absent                → RegisterCopy; fetch from DBP if present,
+  //                             else storage read + push (clean load)
+  // Caller must hold the PLock. `create` skips the load for brand-new pages
+  // (B-tree page allocation); the caller formats and logs kInitPage.
+  StatusOr<Handle> GetPage(PageId page_id, bool create);
+
+  // Pins the frame only if the page is cached and valid; no loads, no RPCs.
+  // Used by commit-time CTS backfill ("provided these rows are still in the
+  // buffer", §4.1). Returns an invalid handle otherwise.
+  Handle TryGetCached(PageId page_id);
+
+  void Unpin(const Handle& handle);
+
+  // Thread-level page latch (intra-node concurrency, §4.3.1: "internal page
+  // concurrency control within a single node is still the same as before").
+  void Latch(const Handle& handle, LockMode mode);
+  void Unlatch(const Handle& handle, LockMode mode);
+
+  // Marks the frame dirty with the LSN its redo is buffered at.
+  void MarkDirty(const Handle& handle, Lsn newest_lsn);
+
+  // Pushes the page to the DBP if dirty (forcing the log first) and marks
+  // it clean. Used on negotiated PLock release and by checkpoints. No-op if
+  // the page is not cached or not dirty.
+  Status FlushPageForRelease(PageId page_id);
+
+  // Drops the page's frame without flushing (crash simulation helper).
+  void DropAll();
+
+  // Checkpoint support: every dirty page currently cached.
+  std::vector<PageId> DirtyPages() const;
+
+  NodeId node() const { return node_; }
+  uint32_t page_size() const { return options_.page_size; }
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t dbp_fetches() const {
+    return dbp_fetches_.load(std::memory_order_relaxed);
+  }
+  uint64_t storage_loads() const {
+    return storage_loads_.load(std::memory_order_relaxed);
+  }
+  uint64_t invalid_refetches() const {
+    return invalid_refetches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Frame {
+    std::unique_ptr<char[]> data;
+    PageId page_id;
+    bool used = false;
+    bool installing = false;  // load in progress; waiters block
+    DsmPtr r_addr;
+    bool dirty = false;
+    Lsn newest_lsn = 0;
+    uint32_t pins = 0;
+    uint64_t last_used = 0;
+    std::shared_mutex latch;
+  };
+
+  // Finds a victim frame (unpinned), evicting its current page. Caller
+  // holds mu_ via `lock`; may release and reacquire it. Returns frame index.
+  StatusOr<uint32_t> AllocFrameLocked(std::unique_lock<std::mutex>& lock);
+
+  // Evicts frame `idx` (pins==0): flush if dirty, release PLock, unregister
+  // the DBP copy. Caller holds mu_ via `lock`; releases it around RPCs.
+  Status EvictLocked(std::unique_lock<std::mutex>& lock, uint32_t idx);
+
+  // Loads content into an installing frame. Called without mu_.
+  Status LoadFrame(uint32_t idx, PageId page_id, bool create);
+
+  // Pushes frame `idx`'s page to DBP (log force + seqlock write + notify).
+  // Called without mu_; frame must be protected from concurrent writers
+  // (pins drained or caller holds the only write path).
+  Status PushFrame(uint32_t idx, bool clean_load);
+
+  uint64_t FlagOffset(uint32_t idx) const { return idx * sizeof(uint64_t); }
+
+  const NodeId node_;
+  Fabric* fabric_;
+  BufferFusion* buffer_fusion_;
+  PageStore* page_store_;
+  LlsnClock* llsn_clock_;
+  const Options options_;
+
+  std::function<Status(Lsn)> force_log_;
+  std::function<Status(PageId)> release_plock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::unique_ptr<std::atomic<uint64_t>[]> invalid_flags_;
+  std::unordered_map<uint64_t, uint32_t> page_to_frame_;
+  uint64_t tick_ = 0;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> dbp_fetches_{0};
+  std::atomic<uint64_t> storage_loads_{0};
+  std::atomic<uint64_t> invalid_refetches_{0};
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_ENGINE_BUFFER_POOL_H_

@@ -1,0 +1,121 @@
+#ifndef POLARMP_ENGINE_MTR_H_
+#define POLARMP_ENGINE_MTR_H_
+
+#include <shared_mutex>
+#include <vector>
+
+#include "engine/buffer_pool.h"
+#include "engine/plock_manager.h"
+#include "wal/log_writer.h"
+
+namespace polarmp {
+
+// Everything a mini-transaction needs from its node. Owned by DbNode.
+struct EngineContext {
+  NodeId node = 0;
+  PLockManager* plock = nullptr;
+  BufferPool* lbp = nullptr;
+  LogWriter* log = nullptr;
+  LlsnClock* llsn = nullptr;
+  // Serializes mtr commits against checkpoint snapshots (shared for mtr
+  // commit, exclusive for the checkpoint's dirty-set capture).
+  std::shared_mutex* commit_mu = nullptr;
+  // Makes (LLSN assignment, log-buffer append) one atomic step per node, so
+  // LLSNs are monotone WITHIN the node's log stream — the property §4.4
+  // states ("LLSNs within a single log file are always incremental") and
+  // every LLSN_bound merge (recovery, standby) depends on. Heartbeat marks
+  // take it too.
+  std::mutex* llsn_order_mu = nullptr;
+  uint64_t plock_timeout_ms = 10'000;
+};
+
+// Mini-transaction (§4.3.1): the unit of physical atomicity. Holds page
+// guards (PLock reference + frame pin + frame latch), applies mutations to
+// the in-memory pages through Log* methods that simultaneously record the
+// page-scoped redo, and at Commit() publishes the records to the node's log
+// buffer, marks the frames dirty and releases every guard. PLocks are held
+// until commit, which is what keeps cross-node readers from observing a
+// half-done structure change.
+//
+// Discipline (enforced by the B-tree code): acquire all guards BEFORE the
+// first Log* call, so acquisition failures never strand half-applied
+// mutations; never acquire the same page twice in one mtr (use FindGuard).
+class Mtr {
+ public:
+  explicit Mtr(EngineContext* ctx) : ctx_(ctx) {}
+  ~Mtr();
+
+  Mtr(const Mtr&) = delete;
+  Mtr& operator=(const Mtr&) = delete;
+
+  // Acquires PLock + frame + latch at `mode`; returns a guard index.
+  StatusOr<size_t> GetPage(PageId page, LockMode mode);
+  // Acquires a brand-new page exclusively without loading content; the
+  // caller must LogInitPage before any other use.
+  StatusOr<size_t> CreatePage(PageId page);
+  // PLock-only exclusive guard on a virtual page (the per-tree index lock).
+  StatusOr<size_t> LockVirtual(PageId page);
+
+  // Index of an existing guard for `page`, or -1.
+  int FindGuard(PageId page) const;
+
+  // Page wrapper over guard `g`'s frame (valid while the mtr holds it).
+  Page PageAt(size_t g);
+  PageId PageIdAt(size_t g) const;
+
+  // Early release of an *unmodified* guard (descent crabbing).
+  void ReleasePage(size_t g);
+
+  // Logged mutations: apply to the page and record the redo. The mutation
+  // and the replay path share the same Page methods.
+  Status LogInitPage(size_t g, uint8_t level, PageNo prev, PageNo next);
+  Status LogWriteRow(size_t g, Slice row_image);
+  Status LogRemoveRow(size_t g, int64_t key);
+  Status LogSetLinks(size_t g, PageNo prev, PageNo next);
+  Status LogLoadRows(size_t g, std::string images);
+  Status LogTruncateRows(size_t g, int64_t from_key);
+  // Non-page record riding in this mtr (undo-store appends).
+  void LogUndoAppend(uint64_t offset, std::string bytes);
+
+  bool modified() const { return !records_.empty(); }
+
+  // Publishes records to the log buffer, marks pages dirty, releases all
+  // guards. Returns the end LSN of this mtr's records (0 if read-only).
+  Lsn Commit();
+
+  // LSN of this mtr's first byte in the log (valid after Commit; 0 if
+  // read-only). Transactions track it for checkpoint gating.
+  Lsn commit_start_lsn() const { return commit_start_lsn_; }
+
+ private:
+  struct Guard {
+    PageId page;
+    LockMode mode = LockMode::kShared;
+    BufferPool::Handle handle;  // invalid for virtual locks
+    bool latched = false;
+    bool modified = false;
+    bool released = false;
+    bool virtual_lock = false;
+  };
+
+  StatusOr<size_t> Acquire(PageId page, LockMode mode, bool create,
+                           bool virtual_lock);
+  void ReleaseGuard(Guard* guard);
+  // Queues a record (llsn assigned at Commit); g = SIZE_MAX for non-page
+  // records.
+  void RecordFor(size_t g, LogRecord rec);
+
+  EngineContext* ctx_;
+  std::vector<Guard> guards_;
+  // Records carry llsn 0 until Commit assigns the real values (txn-control
+  // records keep 0). record_guard_[i] is the guard whose page record i
+  // stamps, or SIZE_MAX for non-page records.
+  std::vector<LogRecord> records_;
+  std::vector<size_t> record_guard_;
+  bool committed_ = false;
+  Lsn commit_start_lsn_ = 0;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_ENGINE_MTR_H_

@@ -1,0 +1,220 @@
+#include "engine/plock_manager.h"
+
+namespace polarmp {
+
+Status PLockManager::Pin(PageId page, LockMode mode, uint64_t timeout_ms) {
+  const uint64_t key = page.Pack();
+  std::unique_lock lock(mu_);
+  for (;;) {
+    Entry& e = entries_[key];
+    if (e.releasing) {
+      cv_.wait(lock);
+      continue;
+    }
+    if (e.held && Sufficient(e.mode, mode)) {
+      if (e.release_requested) {
+        // Fusion fairness: a negotiated hold cannot grant locally; wait for
+        // the release to complete, then acquire fresh behind the FIFO queue.
+        if (e.refs == 0 && !e.acquiring) {
+          // Nothing will trigger the release (the last Unpin predated the
+          // negotiation); run it from here.
+          e.releasing = true;
+          ReleaseLocked(lock, page, /*run_hook=*/true);
+        } else {
+          cv_.wait(lock);
+        }
+        continue;
+      }
+      ++e.refs;
+      local_grants_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    if (e.acquiring) {
+      cv_.wait(lock);
+      continue;
+    }
+    if (e.held && !Sufficient(e.mode, mode) && e.refs == 0) {
+      // Upgrade of an idle retained hold: give the weak mode back first.
+      // Queuing an in-place upgrade while keeping the S hold deadlocks when
+      // two nodes do it symmetrically (each X waits on the other's S); a
+      // release-then-reacquire serializes cleanly through the FIFO queue.
+      e.releasing = true;
+      ReleaseLocked(lock, page, /*run_hook=*/true);
+      continue;
+    }
+    // Fresh acquire or upgrade (refs held by peers) through Lock Fusion.
+    e.acquiring = true;
+    lock.unlock();
+    const Status st = fusion_->AcquirePLock(node_, page, mode, timeout_ms);
+    fusion_acquires_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+    Entry& e2 = entries_[key];  // may have rehashed
+    e2.acquiring = false;
+    cv_.notify_all();
+    if (!st.ok()) {
+      if (!e2.held && e2.refs == 0 && !e2.releasing &&
+          !e2.release_requested) {
+        entries_.erase(key);
+      }
+      return st;
+    }
+    e2.held = true;
+    e2.mode = std::max(e2.mode, mode);
+    ++e2.refs;
+    return Status::OK();
+  }
+}
+
+bool PLockManager::TryPinLocal(PageId page, LockMode mode) {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(page.Pack());
+  if (it == entries_.end()) return false;
+  Entry& e = it->second;
+  if (!e.held || e.releasing || e.release_requested ||
+      !Sufficient(e.mode, mode)) {
+    return false;
+  }
+  ++e.refs;
+  local_grants_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void PLockManager::Unpin(PageId page) {
+  const uint64_t key = page.Pack();
+  std::unique_lock lock(mu_);
+  auto it = entries_.find(key);
+  POLARMP_CHECK(it != entries_.end());
+  Entry& e = it->second;
+  POLARMP_CHECK_GT(e.refs, 0u);
+  --e.refs;
+  if (e.refs == 0 && (e.release_requested || !lazy_release_) &&
+      !e.releasing) {
+    if (!e.acquiring) {
+      e.releasing = true;
+      ReleaseLocked(lock, page, /*run_hook=*/true);
+    } else if (e.held) {
+      PartialReleaseLocked(lock, page);
+    }
+  }
+  cv_.notify_all();
+}
+
+void PLockManager::OnNegotiate(PageId page) {
+  const uint64_t key = page.Pack();
+  std::unique_lock lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;  // already released
+  Entry& e = it->second;
+  e.release_requested = true;
+  if (e.held && e.refs == 0 && !e.releasing) {
+    if (!e.acquiring) {
+      e.releasing = true;
+      ReleaseLocked(lock, page, /*run_hook=*/true);
+    } else {
+      PartialReleaseLocked(lock, page);
+    }
+  }
+}
+
+Status PLockManager::ForceRelease(PageId page) {
+  const uint64_t key = page.Pack();
+  std::unique_lock lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return Status::OK();
+  Entry& e = it->second;
+  if (!e.held) {
+    if (e.acquiring || e.releasing) {
+      return Status::Busy("PLock entry busy");
+    }
+    entries_.erase(it);
+    return Status::OK();
+  }
+  if (e.refs > 0 || e.acquiring || e.releasing) {
+    return Status::Busy("PLock in use");
+  }
+  e.releasing = true;
+  // The evicting caller already flushed the frame; running the hook here
+  // would deadlock on the frame's mid-eviction state.
+  ReleaseLocked(lock, page, /*run_hook=*/false);
+  return Status::OK();
+}
+
+void PLockManager::ReleaseLocked(std::unique_lock<std::mutex>& lock,
+                                 PageId page, bool run_hook) {
+  negotiated_releases_.fetch_add(1, std::memory_order_relaxed);
+  lock.unlock();
+  if (run_hook && before_release_) {
+    const Status s = before_release_(page);
+    if (!s.ok()) {
+      POLARMP_LOG(Warn) << "before-release hook failed for page "
+                        << page.ToString() << ": " << s.ToString();
+    }
+  }
+  const Status s = fusion_->ReleasePLock(node_, page);
+  if (!s.ok() && !s.IsNotFound()) {
+    POLARMP_LOG(Warn) << "PLock release failed: " << s.ToString();
+  }
+  lock.lock();
+  entries_.erase(page.Pack());
+  cv_.notify_all();
+}
+
+void PLockManager::PartialReleaseLocked(std::unique_lock<std::mutex>& lock,
+                                        PageId page) {
+  Entry& e = entries_[page.Pack()];
+  e.releasing = true;
+  lock.unlock();
+  if (before_release_) {
+    const Status s = before_release_(page);
+    if (!s.ok()) {
+      POLARMP_LOG(Warn) << "before-release hook failed for page "
+                        << page.ToString() << ": " << s.ToString();
+    }
+  }
+  const Status s = fusion_->ReleasePLock(node_, page);
+  if (!s.ok() && !s.IsNotFound()) {
+    POLARMP_LOG(Warn) << "partial PLock release failed: " << s.ToString();
+  }
+  lock.lock();
+  Entry& e2 = entries_[page.Pack()];
+  e2.releasing = false;
+  e2.release_requested = false;
+  if (e2.acquiring) {
+    // The queued acquire has not landed yet; we no longer hold anything.
+    e2.held = false;
+    e2.mode = LockMode::kShared;
+  }
+  // else: the queued acquire was granted while we released — its fresh
+  // hold stands; leave it untouched.
+  cv_.notify_all();
+}
+
+bool PLockManager::HeldLocally(PageId page, LockMode mode) const {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(page.Pack());
+  if (it == entries_.end()) return false;
+  return it->second.held && Sufficient(it->second.mode, mode);
+}
+
+std::string PLockManager::DebugDump() const {
+  std::lock_guard lock(mu_);
+  std::string out = "PLockManager node " + std::to_string(node_) + ":\n";
+  for (const auto& [key, e] : entries_) {
+    out += "  page " + PageId::Unpack(key).ToString() +
+           " held=" + std::to_string(e.held) +
+           " mode=" + (e.mode == LockMode::kExclusive ? "X" : "S") +
+           " refs=" + std::to_string(e.refs) +
+           " rel_req=" + std::to_string(e.release_requested) +
+           " acq=" + std::to_string(e.acquiring) +
+           " rel=" + std::to_string(e.releasing) + "\n";
+  }
+  return out;
+}
+
+void PLockManager::DropAll() {
+  std::lock_guard lock(mu_);
+  entries_.clear();
+  cv_.notify_all();
+}
+
+}  // namespace polarmp

@@ -1,0 +1,128 @@
+#ifndef POLARMP_ENGINE_PLOCK_MANAGER_H_
+#define POLARMP_ENGINE_PLOCK_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "pmfs/lock_fusion.h"
+
+namespace polarmp {
+
+// Node-side PLock cache implementing the paper's lazy releasing (§4.3.1,
+// Fig. 5): "Instead of releasing its PLock back to Lock Fusion immediately
+// after use, a node decreases the reference count ... If the same node
+// needs to acquire the PLock again, and the requested lock type is not
+// stronger than the currently held type, the PLock can be granted locally."
+//
+// When Lock Fusion sends a negotiation message (another node wants a
+// conflicting mode), new local grants are refused — "it must communicate
+// with Lock Fusion, which manages the granting of locks in FIFO order" —
+// and the hold is released once the reference count drains, after the
+// dirty page (if any) has been pushed to the DBP by the before-release
+// hook.
+class PLockManager {
+ public:
+  // `lazy_release` enables the paper's lazy releasing (§4.3.1); disabling
+  // it releases every PLock back to Lock Fusion as soon as its reference
+  // count drains (the ablation baseline).
+  PLockManager(NodeId node, LockFusion* fusion, bool lazy_release = true)
+      : node_(node), fusion_(fusion), lazy_release_(lazy_release) {}
+
+  PLockManager(const PLockManager&) = delete;
+  PLockManager& operator=(const PLockManager&) = delete;
+
+  // Pushes the page to the DBP if dirty; runs before the PLock goes back to
+  // Lock Fusion.
+  void SetBeforeRelease(std::function<Status(PageId)> hook) {
+    before_release_ = std::move(hook);
+  }
+
+  // Acquires (or locally re-grants) the PLock and takes a reference.
+  // CALLER RULE: do not hold a reference on `page` while requesting a
+  // stronger mode for it (pick the final mode before pinning).
+  Status Pin(PageId page, LockMode mode, uint64_t timeout_ms);
+
+  // Takes a reference only if the lock is already held locally at a
+  // sufficient mode with no pending negotiation; never contacts Lock
+  // Fusion. Used by best-effort paths like commit-time CTS backfill.
+  bool TryPinLocal(PageId page, LockMode mode);
+
+  // Drops a reference; triggers the negotiated release when it drains.
+  void Unpin(PageId page);
+
+  // Lock Fusion negotiation callback (registered via LockFusion::AddNode).
+  void OnNegotiate(PageId page);
+
+  // Eviction support: releases the node's hold entirely. Returns Busy if
+  // the page has references or an acquire in flight (pick another victim).
+  Status ForceRelease(PageId page);
+
+  bool HeldLocally(PageId page, LockMode mode) const;
+
+  // Crash simulation: forget all local state (Lock Fusion's RemoveNode
+  // drops the server side).
+  void DropAll();
+
+  // Human-readable dump of all local entries (deadlock forensics).
+  std::string DebugDump() const;
+
+  uint64_t local_grants() const {
+    return local_grants_.load(std::memory_order_relaxed);
+  }
+  uint64_t fusion_acquires() const {
+    return fusion_acquires_.load(std::memory_order_relaxed);
+  }
+  uint64_t negotiated_releases() const {
+    return negotiated_releases_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    bool held = false;
+    LockMode mode = LockMode::kShared;
+    uint32_t refs = 0;
+    bool release_requested = false;
+    bool acquiring = false;
+    bool releasing = false;
+  };
+
+  static bool Sufficient(LockMode held, LockMode wanted) {
+    return held == LockMode::kExclusive || held == wanted;
+  }
+
+  // Runs the release protocol for `page`. Caller holds `lock`; the entry
+  // must be held with refs==0 and releasing already set to true. With
+  // `run_hook` the dirty page is pushed first (negotiated releases);
+  // eviction already flushed and must skip it (the frame is mid-eviction
+  // and the hook would deadlock waiting on it).
+  void ReleaseLocked(std::unique_lock<std::mutex>& lock, PageId page,
+                     bool run_hook);
+
+  // Gives the held mode back to Lock Fusion while an acquire for a
+  // stronger mode is still queued there: the entry survives (held=false)
+  // so the acquiring thread keeps its bookkeeping. Without this, a
+  // negotiated release requested while refs==0 and acquiring==true would
+  // never run — the lazily-retained weak hold then deadlocks the fusion
+  // FIFO (our own queued upgrade waits behind the waiter our hold blocks).
+  void PartialReleaseLocked(std::unique_lock<std::mutex>& lock, PageId page);
+
+  const NodeId node_;
+  LockFusion* const fusion_;
+  const bool lazy_release_;
+  std::function<Status(PageId)> before_release_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<uint64_t, Entry> entries_;
+
+  std::atomic<uint64_t> local_grants_{0};
+  std::atomic<uint64_t> fusion_acquires_{0};
+  std::atomic<uint64_t> negotiated_releases_{0};
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_ENGINE_PLOCK_MANAGER_H_

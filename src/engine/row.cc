@@ -1,0 +1,43 @@
+#include "engine/row.h"
+
+#include "common/coding.h"
+
+namespace polarmp {
+
+std::string EncodeRow(int64_t key, GTrxId g_trx_id, Csn cts, UndoPtr undo_ptr,
+                      uint8_t flags, Slice value) {
+  std::string out;
+  out.reserve(kRowHeaderSize + value.size());
+  PutFixed64(&out, static_cast<uint64_t>(key));
+  PutFixed64(&out, g_trx_id);
+  PutFixed64(&out, cts);
+  PutFixed64(&out, undo_ptr);
+  out.push_back(static_cast<char>(flags));
+  PutFixed32(&out, static_cast<uint32_t>(value.size()));
+  out.append(value.data(), value.size());
+  return out;
+}
+
+StatusOr<RowView> DecodeRow(const char* data, size_t max_len) {
+  if (max_len < kRowHeaderSize) {
+    return Status::Corruption("row header out of range");
+  }
+  RowView v;
+  v.key = static_cast<int64_t>(DecodeFixed64(data + kRowKeyOffset));
+  v.g_trx_id = DecodeFixed64(data + kRowTrxOffset);
+  v.cts = DecodeFixed64(data + kRowCtsOffset);
+  v.undo_ptr = DecodeFixed64(data + kRowUndoOffset);
+  v.flags = static_cast<uint8_t>(data[kRowFlagsOffset]);
+  const uint32_t vlen = DecodeFixed32(data + kRowVlenOffset);
+  if (max_len < kRowHeaderSize + vlen) {
+    return Status::Corruption("row value out of range");
+  }
+  v.value = Slice(data + kRowHeaderSize, vlen);
+  return v;
+}
+
+size_t RowSizeAt(const char* data) {
+  return kRowHeaderSize + DecodeFixed32(data + kRowVlenOffset);
+}
+
+}  // namespace polarmp

@@ -1,0 +1,94 @@
+#ifndef POLARMP_ENGINE_ROW_H_
+#define POLARMP_ENGINE_ROW_H_
+
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace polarmp {
+
+// Pointer to an undo record in the DSM undo store:
+// owner node (10 bits) | offset within the node's undo segment (54 bits).
+// kNullUndoPtr (0) = no previous version recorded; offset 0 is never used.
+using UndoPtr = uint64_t;
+inline constexpr UndoPtr kNullUndoPtr = 0;
+
+inline constexpr UndoPtr MakeUndoPtr(NodeId node, uint64_t offset) {
+  return (static_cast<uint64_t>(node) << 54) | offset;
+}
+inline constexpr NodeId UndoPtrNode(UndoPtr p) {
+  return static_cast<NodeId>(p >> 54);
+}
+inline constexpr uint64_t UndoPtrOffset(UndoPtr p) {
+  return p & ((uint64_t{1} << 54) - 1);
+}
+
+// Row flag bits.
+inline constexpr uint8_t kRowTombstone = 0x1;
+
+// On-page row format (§4.1: "PolarDB-MP adds two extra metadata fields for
+// each row to store the g_trx_id and CTS"; §4.3.2: the g_trx_id field
+// doubles as the embedded row lock — a row is locked iff its last writer is
+// still active):
+//
+//   key(8) | g_trx_id(8) | cts(8) | undo_ptr(8) | flags(1) | vlen(4) | value
+//
+// Internal B-tree pages reuse the same format with zeroed metadata and a
+// 4-byte child page number as the value.
+inline constexpr size_t kRowHeaderSize = 8 + 8 + 8 + 8 + 1 + 4;
+
+// Offsets of the in-place-mutable metadata fields within a row image.
+inline constexpr size_t kRowKeyOffset = 0;
+inline constexpr size_t kRowTrxOffset = 8;
+inline constexpr size_t kRowCtsOffset = 16;
+inline constexpr size_t kRowUndoOffset = 24;
+inline constexpr size_t kRowFlagsOffset = 32;
+inline constexpr size_t kRowVlenOffset = 33;
+
+// Decoded, non-owning view of a row inside a page (valid while the caller
+// holds the page latch).
+struct RowView {
+  int64_t key = 0;
+  GTrxId g_trx_id = kInvalidGTrxId;
+  Csn cts = kCsnInit;
+  UndoPtr undo_ptr = kNullUndoPtr;
+  uint8_t flags = 0;
+  Slice value;
+
+  bool tombstone() const { return (flags & kRowTombstone) != 0; }
+};
+
+// Builds a serialized row image.
+std::string EncodeRow(int64_t key, GTrxId g_trx_id, Csn cts, UndoPtr undo_ptr,
+                      uint8_t flags, Slice value);
+
+// Decodes a row image in place. `data` must start at the row and contain at
+// least the full row (header + value).
+StatusOr<RowView> DecodeRow(const char* data, size_t max_len);
+
+// Size of the row starting at `data` (header must be in range).
+size_t RowSizeAt(const char* data);
+
+// Owning copy of a row version, used by the MVCC layer when reconstructing
+// history from undo records.
+struct RowVersion {
+  int64_t key = 0;
+  GTrxId g_trx_id = kInvalidGTrxId;
+  Csn cts = kCsnInit;
+  UndoPtr undo_ptr = kNullUndoPtr;
+  uint8_t flags = 0;
+  std::string value;
+
+  bool tombstone() const { return (flags & kRowTombstone) != 0; }
+
+  static RowVersion FromView(const RowView& v) {
+    return RowVersion{v.key,      v.g_trx_id, v.cts,
+                      v.undo_ptr, v.flags,    v.value.ToString()};
+  }
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_ENGINE_ROW_H_

@@ -1,0 +1,183 @@
+#include "engine/undo.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace polarmp {
+
+std::string UndoRecord::Encode() const {
+  std::string out;
+  out.reserve(EncodedSize());
+  out.push_back(static_cast<char>(type));
+  PutFixed32(&out, space);
+  PutFixed64(&out, static_cast<uint64_t>(key));
+  PutFixed64(&out, trx);
+  PutFixed64(&out, trx_prev);
+  PutFixed64(&out, prev_trx);
+  PutFixed64(&out, prev_cts);
+  PutFixed64(&out, prev_undo);
+  out.push_back(static_cast<char>(prev_flags));
+  PutFixed32(&out, static_cast<uint32_t>(prev_value.size()));
+  out.append(prev_value);
+  return out;
+}
+
+size_t UndoRecord::EncodedSize() const {
+  return kHeaderSize + prev_value.size();
+}
+
+StatusOr<UndoRecord> UndoRecord::Decode(Slice data) {
+  if (data.size() < kHeaderSize) {
+    return Status::Corruption("short undo record");
+  }
+  const char* p = data.data();
+  UndoRecord rec;
+  rec.type = static_cast<UndoType>(static_cast<uint8_t>(p[0]));
+  rec.space = DecodeFixed32(p + 1);
+  rec.key = static_cast<int64_t>(DecodeFixed64(p + 5));
+  rec.trx = DecodeFixed64(p + 13);
+  rec.trx_prev = DecodeFixed64(p + 21);
+  rec.prev_trx = DecodeFixed64(p + 29);
+  rec.prev_cts = DecodeFixed64(p + 37);
+  rec.prev_undo = DecodeFixed64(p + 45);
+  rec.prev_flags = static_cast<uint8_t>(p[53]);
+  const uint32_t vlen = DecodeFixed32(p + 54);
+  if (data.size() < kHeaderSize + vlen) {
+    return Status::Corruption("short undo record value");
+  }
+  rec.prev_value.assign(p + kHeaderSize, vlen);
+  return rec;
+}
+
+UndoStore::UndoStore(Dsm* dsm, uint64_t segment_bytes)
+    : dsm_(dsm), capacity_(segment_bytes) {}
+
+Status UndoStore::AddNode(NodeId node) {
+  std::lock_guard lock(mu_);
+  if (segments_.count(node) != 0) {
+    return Status::OK();  // restart keeps the old segment (recovery rebuilds)
+  }
+  POLARMP_ASSIGN_OR_RETURN(DsmPtr base, dsm_->Allocate(capacity_));
+  auto seg = std::make_unique<Segment>();
+  seg->base = base;
+  segments_[node] = std::move(seg);
+  return Status::OK();
+}
+
+StatusOr<UndoStore::AppendResult> UndoStore::Append(NodeId node,
+                                                    const UndoRecord& rec) {
+  Segment* seg;
+  {
+    std::lock_guard lock(mu_);
+    auto it = segments_.find(node);
+    if (it == segments_.end()) {
+      return Status::NotFound("undo segment missing: node " +
+                              std::to_string(node));
+    }
+    seg = it->second.get();
+  }
+  std::string bytes = rec.Encode();
+  POLARMP_CHECK_LT(bytes.size(), capacity_ / 4) << "undo record too large";
+
+  std::lock_guard lock(seg->append_mu);
+  uint64_t off = seg->head.load(std::memory_order_relaxed);
+  const uint64_t phys = off % capacity_;
+  if (phys + bytes.size() > capacity_) {
+    off += capacity_ - phys;  // skip the tail pad; records never wrap
+  }
+  const uint64_t tail = seg->tail.load(std::memory_order_acquire);
+  if (off + bytes.size() - tail > capacity_) {
+    return Status::Internal("undo segment full (purge lagging)");
+  }
+  // The append is the node's one-sided write into DSM.
+  POLARMP_RETURN_IF_ERROR(dsm_->Write(
+      node, DsmPtr{seg->base.server, seg->base.offset + off % capacity_},
+      bytes.data(), bytes.size()));
+  seg->head.store(off + bytes.size(), std::memory_order_release);
+  return AppendResult{MakeUndoPtr(node, off), off, std::move(bytes)};
+}
+
+StatusOr<UndoRecord> UndoStore::Read(EndpointId from, UndoPtr ptr) const {
+  const NodeId owner = UndoPtrNode(ptr);
+  const uint64_t off = UndoPtrOffset(ptr);
+  Segment* seg;
+  {
+    std::lock_guard lock(mu_);
+    auto it = segments_.find(owner);
+    if (it == segments_.end()) {
+      return Status::NotFound("undo segment missing: node " +
+                              std::to_string(owner));
+    }
+    seg = it->second.get();
+  }
+  if (off < seg->tail.load(std::memory_order_acquire)) {
+    return Status::NotFound("undo record purged");
+  }
+  if (off + UndoRecord::kHeaderSize >
+      seg->head.load(std::memory_order_acquire)) {
+    return Status::Corruption("undo pointer beyond segment head");
+  }
+  // A node keeps a local image of its own undo log (as the paper's nodes
+  // keep undo pages in their buffer pool); only cross-node history walks
+  // pay RDMA latency. Data always lives host-side in the DSM segment.
+  const bool remote = from != static_cast<EndpointId>(owner);
+  const char* base = dsm_->HostPtr(seg->base);
+  const char* hdr = base + off % capacity_;
+  if (remote) SimDelay(dsm_->fabric_profile().rdma_read_ns);
+  const uint32_t vlen = DecodeFixed32(hdr + 54);
+  std::string bytes(hdr, UndoRecord::kHeaderSize + vlen);
+  if (remote && vlen > 0) SimDelay(dsm_->fabric_profile().rdma_read_ns);
+  return UndoRecord::Decode(bytes);
+}
+
+Status UndoStore::FreeUpTo(NodeId node, uint64_t offset) {
+  std::lock_guard lock(mu_);
+  auto it = segments_.find(node);
+  if (it == segments_.end()) {
+    return Status::NotFound("undo segment missing");
+  }
+  uint64_t cur = it->second->tail.load(std::memory_order_relaxed);
+  while (offset > cur && !it->second->tail.compare_exchange_weak(
+                             cur, offset, std::memory_order_acq_rel)) {
+  }
+  return Status::OK();
+}
+
+Status UndoStore::WriteRaw(NodeId node, uint64_t offset, Slice bytes) {
+  Segment* seg;
+  {
+    std::lock_guard lock(mu_);
+    auto it = segments_.find(node);
+    if (it == segments_.end()) {
+      return Status::NotFound("undo segment missing");
+    }
+    seg = it->second.get();
+  }
+  std::lock_guard lock(seg->append_mu);
+  POLARMP_CHECK_LE(offset % capacity_ + bytes.size(), capacity_);
+  std::memcpy(dsm_->HostPtr(seg->base) + offset % capacity_, bytes.data(),
+              bytes.size());
+  uint64_t head = seg->head.load(std::memory_order_relaxed);
+  const uint64_t end = offset + bytes.size();
+  while (end > head && !seg->head.compare_exchange_weak(
+                           head, end, std::memory_order_acq_rel)) {
+  }
+  return Status::OK();
+}
+
+uint64_t UndoStore::head(NodeId node) const {
+  std::lock_guard lock(mu_);
+  auto it = segments_.find(node);
+  return it == segments_.end() ? 0
+                               : it->second->head.load(std::memory_order_acquire);
+}
+
+uint64_t UndoStore::tail(NodeId node) const {
+  std::lock_guard lock(mu_);
+  auto it = segments_.find(node);
+  return it == segments_.end() ? 0
+                               : it->second->tail.load(std::memory_order_acquire);
+}
+
+}  // namespace polarmp

@@ -1,0 +1,55 @@
+#include "node/catalog.h"
+
+namespace polarmp {
+
+StatusOr<TableInfo> Catalog::CreateTable(const std::string& name,
+                                         uint32_t num_indexes) {
+  std::lock_guard lock(mu_);
+  if (by_name_.count(name) != 0) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  TableInfo info;
+  info.id = next_table_id_++;
+  info.name = name;
+  info.primary_space = next_space_id_++;
+  for (uint32_t i = 0; i < num_indexes; ++i) {
+    info.index_spaces.push_back(next_space_id_++);
+  }
+  by_name_[name] = info;
+  return info;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::lock_guard lock(mu_);
+  if (by_name_.erase(name) == 0) {
+    return Status::NotFound("table missing: " + name);
+  }
+  return Status::OK();
+}
+
+StatusOr<TableInfo> Catalog::GetByName(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("table missing: " + name);
+  }
+  return it->second;
+}
+
+StatusOr<TableInfo> Catalog::GetById(TableId id) const {
+  std::lock_guard lock(mu_);
+  for (const auto& [name, info] : by_name_) {
+    if (info.id == id) return info;
+  }
+  return Status::NotFound("table id missing: " + std::to_string(id));
+}
+
+std::vector<TableInfo> Catalog::AllTables() const {
+  std::lock_guard lock(mu_);
+  std::vector<TableInfo> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, info] : by_name_) out.push_back(info);
+  return out;
+}
+
+}  // namespace polarmp

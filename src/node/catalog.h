@@ -1,0 +1,51 @@
+#ifndef POLARMP_NODE_CATALOG_H_
+#define POLARMP_NODE_CATALOG_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace polarmp {
+
+// A table: one clustered tree plus zero or more global secondary indexes
+// (GSIs), each its own tree in its own tablespace. In PolarDB-MP a GSI is
+// just another tree every node can update directly — no partition-local
+// index, no distributed transaction (§5.4).
+struct TableInfo {
+  TableId id = 0;
+  std::string name;
+  SpaceId primary_space = 0;
+  std::vector<SpaceId> index_spaces;
+};
+
+// Cluster-wide table registry. In production this lives in shared storage;
+// here it is a shared in-process object. Creation is serialized; readers
+// get copies.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  StatusOr<TableInfo> CreateTable(const std::string& name,
+                                  uint32_t num_indexes);
+  Status DropTable(const std::string& name);
+  StatusOr<TableInfo> GetByName(const std::string& name) const;
+  StatusOr<TableInfo> GetById(TableId id) const;
+  std::vector<TableInfo> AllTables() const;
+
+ private:
+  mutable std::mutex mu_;
+  TableId next_table_id_ = 1;
+  SpaceId next_space_id_ = 1;
+  std::map<std::string, TableInfo> by_name_;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_NODE_CATALOG_H_

@@ -1,0 +1,138 @@
+#ifndef POLARMP_NODE_DB_NODE_H_
+#define POLARMP_NODE_DB_NODE_H_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "engine/btree.h"
+#include "node/catalog.h"
+#include "txn/transaction.h"
+#include "wal/recovery.h"
+
+namespace polarmp {
+
+// Shared cluster infrastructure every node plugs into (the disaggregated
+// services plus PMFS).
+struct ClusterServices {
+  Fabric* fabric = nullptr;
+  Dsm* dsm = nullptr;
+  PageStore* page_store = nullptr;
+  LogStore* log_store = nullptr;
+  TransactionFusion* txn_fusion = nullptr;
+  BufferFusion* buffer_fusion = nullptr;
+  LockFusion* lock_fusion = nullptr;
+  Tit* tit = nullptr;
+  UndoStore* undo = nullptr;
+  Catalog* catalog = nullptr;
+};
+
+struct NodeOptions {
+  BufferPool::Options lbp;
+  uint64_t plock_timeout_ms = 10'000;
+  TrxManager::Options trx;
+  bool linear_lamport = true;        // §4.1 timestamp-fetch optimization
+  bool lazy_plock_release = true;    // §4.3.1 lazy releasing
+  uint64_t background_interval_ms = 20;
+  uint64_t checkpoint_interval_ms = 500;
+  // §4.2: "the dirty pages are periodically flushed to the DBP in the
+  // background" — this cadence keeps the DBP warm so a crashed node's
+  // recovery reads from disaggregated memory, not storage (§5.5).
+  uint64_t lbp_flush_interval_ms = 200;
+};
+
+// A resolved table: clustered tree + GSI trees. For tables with GSIs the
+// row value must start with one fixed 8-byte column per index (see
+// EncodeIndexedValue); Session maintains the index trees transparently.
+struct TableHandle {
+  TableInfo info;
+  BTree* primary = nullptr;
+  std::vector<BTree*> indexes;
+};
+
+// Builds a value whose leading columns feed the table's GSIs.
+std::string EncodeIndexedValue(const std::vector<uint64_t>& index_cols,
+                               Slice payload);
+// Extracts GSI column `i` from such a value.
+uint64_t DecodeIndexColumn(Slice value, size_t i);
+// Packs (column value, primary key) into a GSI entry key:
+// 40 bits of column, 24 bits of pk (documented engine limit).
+int64_t MakeIndexEntryKey(uint64_t column, int64_t pk);
+
+// A complete PolarDB-MP primary node: engine (LBP + PLock manager + B-trees
+// + log writer + LLSN clock), transaction manager, PMFS clients and the
+// background threads (min-view reporting/recycling and checkpoints).
+class DbNode {
+ public:
+  DbNode(NodeId id, const ClusterServices& services,
+         const NodeOptions& options);
+  ~DbNode();
+
+  DbNode(const DbNode&) = delete;
+  DbNode& operator=(const DbNode&) = delete;
+
+  // Joins the cluster. With `run_recovery`, replays this node's log from
+  // its checkpoint first (restart after crash).
+  Status Start(bool run_recovery);
+  // Graceful shutdown: checkpoint, release every lock, leave the fabric.
+  Status Stop();
+  // Crash simulation: drops all volatile state without flushing; PMFS
+  // retains the node's exclusive PLocks as ghosts until recovery.
+  void Crash();
+
+  NodeId id() const { return id_; }
+  bool running() const { return running_; }
+
+  TrxManager* trx_manager() { return &trx_mgr_; }
+  EngineContext* engine() { return &engine_ctx_; }
+  TsoClient* tso_client() { return &tso_client_; }
+  BufferPool* buffer_pool() { return &lbp_; }
+  PLockManager* plock_manager() { return &plock_; }
+  LogWriter* log_writer() { return &log_writer_; }
+
+  // The tree for a tablespace (wrapper created lazily; the tree itself must
+  // already exist via CreateTreesFor on some node).
+  BTree* TreeForSpace(SpaceId space);
+
+  // Formats the trees of a freshly catalogued table (creator node only).
+  Status CreateTreesFor(const TableInfo& info);
+
+  StatusOr<TableHandle> OpenTable(const std::string& name);
+
+  // Sharp checkpoint: force log, push dirty pages to the DBP, flush them to
+  // storage, advance the durable checkpoint LSN.
+  Status Checkpoint();
+
+ private:
+  void BackgroundLoop();
+  Status RunRecovery();
+
+  const NodeId id_;
+  ClusterServices services_;
+  const NodeOptions options_;
+
+  LlsnClock llsn_;
+  std::mutex llsn_order_mu_;
+  LogWriter log_writer_;
+  BufferPool lbp_;
+  PLockManager plock_;
+  std::shared_mutex commit_mu_;
+  EngineContext engine_ctx_;
+  TsoClient tso_client_;
+  TrxManager trx_mgr_;
+
+  std::mutex trees_mu_;
+  std::map<SpaceId, std::unique_ptr<BTree>> trees_;
+
+  std::thread background_;
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  bool bg_stop_ = false;
+  bool running_ = false;
+  bool crashed_ = false;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_NODE_DB_NODE_H_

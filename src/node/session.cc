@@ -1,0 +1,160 @@
+#include "node/session.h"
+
+#include "common/coding.h"
+
+namespace polarmp {
+
+Session::~Session() {
+  if (trx_ != nullptr) {
+    const Status s = Rollback();
+    if (!s.ok()) {
+      POLARMP_LOG(Warn) << "session rollback on destroy failed: "
+                        << s.ToString();
+    }
+  }
+}
+
+Session::Session(Session&& other) noexcept
+    : node_(other.node_), iso_(other.iso_), trx_(other.trx_) {
+  other.trx_ = nullptr;
+}
+
+Status Session::Begin() {
+  POLARMP_CHECK(trx_ == nullptr) << "transaction already open";
+  POLARMP_ASSIGN_OR_RETURN(trx_, node_->trx_manager()->Begin(iso_));
+  return Status::OK();
+}
+
+Status Session::Commit() {
+  POLARMP_CHECK(trx_ != nullptr);
+  const Status s = node_->trx_manager()->Commit(trx_);
+  if (!s.ok() && trx_->state() == TrxState::kActive) {
+    // Commit failed before the commit point (e.g. log force error): the
+    // transaction is still active and must be undone.
+    POLARMP_LOG(Warn) << "commit failed pre-commit-point, rolling back: "
+                      << s.ToString();
+    const Status rb = node_->trx_manager()->Rollback(trx_);
+    if (!rb.ok()) {
+      POLARMP_LOG(Warn) << "rollback after failed commit failed: "
+                        << rb.ToString();
+    }
+  }
+  node_->trx_manager()->Release(trx_);
+  trx_ = nullptr;
+  return s;
+}
+
+Status Session::Rollback() {
+  POLARMP_CHECK(trx_ != nullptr);
+  const Status s = node_->trx_manager()->Rollback(trx_);
+  node_->trx_manager()->Release(trx_);
+  trx_ = nullptr;
+  return s;
+}
+
+Status Session::FailAndRollback(Status st) {
+  if (trx_ != nullptr) {
+    const Status rb = Rollback();
+    if (!rb.ok()) {
+      POLARMP_LOG(Warn) << "rollback after failure failed: " << rb.ToString();
+    }
+  }
+  return st;
+}
+
+Status Session::MaintainIndexes(const TableHandle& table, int64_t key,
+                                const std::optional<RowVersion>& prev,
+                                Slice value, bool tombstone) {
+  char pk_buf[8];
+  EncodeFixed64(pk_buf, static_cast<uint64_t>(key));
+  const Slice pk_value(pk_buf, 8);
+  for (size_t i = 0; i < table.indexes.size(); ++i) {
+    std::optional<uint64_t> old_col;
+    if (prev.has_value()) old_col = DecodeIndexColumn(prev->value, i);
+    std::optional<uint64_t> new_col;
+    if (!tombstone) new_col = DecodeIndexColumn(value, i);
+    if (old_col == new_col) continue;
+    if (old_col.has_value()) {
+      POLARMP_RETURN_IF_ERROR(node_->trx_manager()->WriteRow(
+          trx_, table.indexes[i], MakeIndexEntryKey(*old_col, key), Slice(),
+          /*tombstone=*/true, /*must_not_exist=*/false,
+          /*require_exists=*/false, nullptr));
+    }
+    if (new_col.has_value()) {
+      POLARMP_RETURN_IF_ERROR(node_->trx_manager()->WriteRow(
+          trx_, table.indexes[i], MakeIndexEntryKey(*new_col, key), pk_value,
+          /*tombstone=*/false, /*must_not_exist=*/false,
+          /*require_exists=*/false, nullptr));
+    }
+  }
+  return Status::OK();
+}
+
+Status Session::Write(const TableHandle& table, int64_t key, Slice value,
+                      bool tombstone, bool must_not_exist,
+                      bool require_exists) {
+  POLARMP_CHECK(trx_ != nullptr) << "no open transaction";
+  std::optional<RowVersion> prev;
+  Status st = node_->trx_manager()->WriteRow(trx_, table.primary, key, value,
+                                             tombstone, must_not_exist,
+                                             require_exists, &prev);
+  if (st.IsAborted() || st.IsBusy()) return FailAndRollback(st);
+  POLARMP_RETURN_IF_ERROR(st);
+  if (!table.indexes.empty()) {
+    st = MaintainIndexes(table, key, prev, value, tombstone);
+    if (!st.ok()) return FailAndRollback(st);
+  }
+  return Status::OK();
+}
+
+Status Session::Insert(const TableHandle& table, int64_t key, Slice value) {
+  return Write(table, key, value, /*tombstone=*/false, /*must_not_exist=*/true,
+               /*require_exists=*/false);
+}
+
+Status Session::Update(const TableHandle& table, int64_t key, Slice value) {
+  return Write(table, key, value, /*tombstone=*/false,
+               /*must_not_exist=*/false, /*require_exists=*/true);
+}
+
+Status Session::Put(const TableHandle& table, int64_t key, Slice value) {
+  return Write(table, key, value, /*tombstone=*/false,
+               /*must_not_exist=*/false, /*require_exists=*/false);
+}
+
+Status Session::Delete(const TableHandle& table, int64_t key) {
+  return Write(table, key, Slice(), /*tombstone=*/true,
+               /*must_not_exist=*/false, /*require_exists=*/true);
+}
+
+StatusOr<std::string> Session::Get(const TableHandle& table, int64_t key) {
+  POLARMP_CHECK(trx_ != nullptr) << "no open transaction";
+  return node_->trx_manager()->ReadRow(trx_, table.primary, key);
+}
+
+Status Session::Scan(
+    const TableHandle& table, int64_t lo, int64_t hi,
+    const std::function<bool(int64_t, const std::string&)>& fn) {
+  POLARMP_CHECK(trx_ != nullptr) << "no open transaction";
+  return node_->trx_manager()->ScanRows(trx_, table.primary, lo, hi, fn);
+}
+
+StatusOr<std::vector<int64_t>> Session::LookupByIndex(const TableHandle& table,
+                                                      size_t index,
+                                                      uint64_t column) {
+  POLARMP_CHECK(trx_ != nullptr) << "no open transaction";
+  POLARMP_CHECK_LT(index, table.indexes.size());
+  const int64_t lo = MakeIndexEntryKey(column, 0);
+  const int64_t hi = MakeIndexEntryKey(column, 0xFFFFFF);
+  std::vector<int64_t> pks;
+  POLARMP_RETURN_IF_ERROR(node_->trx_manager()->ScanRows(
+      trx_, table.indexes[index], lo, hi,
+      [&](int64_t entry_key, const std::string& pk_value) {
+        (void)entry_key;
+        pks.push_back(static_cast<int64_t>(DecodeFixed64(pk_value.data())));
+        return true;
+      }));
+  return pks;
+}
+
+}  // namespace polarmp

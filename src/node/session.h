@@ -1,0 +1,76 @@
+#ifndef POLARMP_NODE_SESSION_H_
+#define POLARMP_NODE_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "node/db_node.h"
+
+namespace polarmp {
+
+// A client session bound to one primary node. Wraps the transaction
+// lifecycle and performs GSI maintenance: every index entry update is just
+// another row write on this node — no distributed transaction, which is
+// exactly the §5.4 argument against partitioned GSIs.
+//
+// Usage:
+//   Session s(node, IsolationLevel::kReadCommitted);
+//   s.Begin();
+//   s.Insert(table, key, value);
+//   s.Commit();
+//
+// After Commit/Rollback the session can Begin() again. Errors with code
+// Aborted or Busy mean the transaction was/must be rolled back; the session
+// rolls it back automatically and the caller may retry from Begin().
+class Session {
+ public:
+  Session(DbNode* node, IsolationLevel iso) : node_(node), iso_(iso) {}
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  Session(Session&& other) noexcept;
+
+  Status Begin();
+  Status Commit();
+  Status Rollback();
+  bool in_transaction() const { return trx_ != nullptr; }
+  // Crash-test support: forget the open transaction WITHOUT rolling back
+  // (the node died and took it along; recovery owns it now).
+  void Disarm() { trx_ = nullptr; }
+
+  // INSERT: fails AlreadyExists if a live row exists.
+  Status Insert(const TableHandle& table, int64_t key, Slice value);
+  // UPDATE: fails NotFound if the row does not exist.
+  Status Update(const TableHandle& table, int64_t key, Slice value);
+  // UPSERT: insert-or-replace.
+  Status Put(const TableHandle& table, int64_t key, Slice value);
+  // DELETE: tombstones the row; NotFound if absent.
+  Status Delete(const TableHandle& table, int64_t key);
+  // Snapshot point read.
+  StatusOr<std::string> Get(const TableHandle& table, int64_t key);
+  // Snapshot range scan over [lo, hi]; fn returns false to stop.
+  Status Scan(const TableHandle& table, int64_t lo, int64_t hi,
+              const std::function<bool(int64_t, const std::string&)>& fn);
+  // Primary keys whose GSI column `index` equals `column`.
+  StatusOr<std::vector<int64_t>> LookupByIndex(const TableHandle& table,
+                                               size_t index, uint64_t column);
+
+ private:
+  // Shared write path: primary row + GSI deltas. On row-level failure the
+  // transaction is rolled back (2PL: a failed statement poisons it).
+  Status Write(const TableHandle& table, int64_t key, Slice value,
+               bool tombstone, bool must_not_exist, bool require_exists);
+  Status MaintainIndexes(const TableHandle& table, int64_t key,
+                         const std::optional<RowVersion>& prev, Slice value,
+                         bool tombstone);
+  Status FailAndRollback(Status st);
+
+  DbNode* node_;
+  IsolationLevel iso_;
+  Transaction* trx_ = nullptr;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_NODE_SESSION_H_

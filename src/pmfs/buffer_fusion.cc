@@ -1,0 +1,313 @@
+#include "pmfs/buffer_fusion.h"
+
+#include <chrono>
+
+#include <cstring>
+
+namespace polarmp {
+
+BufferFusion::BufferFusion(Fabric* fabric, Dsm* dsm, PageStore* page_store,
+                           const Options& options)
+    : fabric_(fabric), dsm_(dsm), page_store_(page_store), options_(options) {}
+
+BufferFusion::~BufferFusion() { Stop(); }
+
+void BufferFusion::Start() {
+  std::lock_guard lock(flusher_mu_);
+  if (started_) return;
+  started_ = true;
+  stop_ = false;
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+void BufferFusion::Stop() {
+  {
+    std::lock_guard lock(flusher_mu_);
+    if (!started_) return;
+    stop_ = true;
+    flusher_cv_.notify_all();
+  }
+  flusher_.join();
+  std::lock_guard lock(flusher_mu_);
+  started_ = false;
+}
+
+void BufferFusion::AddNode(NodeId node) { (void)node; }
+
+void BufferFusion::RemoveNode(NodeId node) {
+  std::lock_guard lock(mu_);
+  for (auto& [key, entry] : directory_) {
+    entry.copies.erase(node);
+  }
+}
+
+StatusOr<DsmPtr> BufferFusion::AllocFrameLocked() {
+  if (!free_frames_.empty()) {
+    DsmPtr frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  if (frames_allocated_ >= options_.capacity_pages) {
+    if (!EvictOneLocked()) {
+      return Status::Internal("DBP full: no evictable frame");
+    }
+    DsmPtr frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  POLARMP_ASSIGN_OR_RETURN(DsmPtr frame, dsm_->Allocate(FrameBytes()));
+  ++frames_allocated_;
+  return frame;
+}
+
+bool BufferFusion::EvictOneLocked() {
+  // A frame address (r_addr) must stay stable while any node caches the
+  // page, so only copy-free, clean entries are evictable.
+  for (auto it = directory_.begin(); it != directory_.end(); ++it) {
+    Entry& e = it->second;
+    if (e.present && e.copies.empty() && !e.dirty) {
+      free_frames_.push_back(e.frame);
+      directory_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+StatusOr<BufferFusion::RegisterResult> BufferFusion::RegisterCopy(
+    NodeId node, PageId page, uint64_t flag_offset) {
+  fabric_->ChargeRpc(node, kPmfsEndpoint);
+  std::lock_guard lock(mu_);
+  auto it = directory_.find(page.Pack());
+  if (it == directory_.end()) {
+    POLARMP_ASSIGN_OR_RETURN(DsmPtr frame, AllocFrameLocked());
+    // Fresh frame: zero the seqlock word so readers see "stable".
+    std::memset(dsm_->HostPtr(frame), 0, 8);
+    Entry entry;
+    entry.frame = frame;
+    it = directory_.emplace(page.Pack(), entry).first;
+  }
+  it->second.copies[node] = flag_offset;
+  return RegisterResult{it->second.frame, it->second.present};
+}
+
+Status BufferFusion::UnregisterCopy(NodeId node, PageId page) {
+  fabric_->ChargeRpc(node, kPmfsEndpoint);
+  std::lock_guard lock(mu_);
+  auto it = directory_.find(page.Pack());
+  if (it == directory_.end()) return Status::OK();
+  it->second.copies.erase(node);
+  return Status::OK();
+}
+
+Status BufferFusion::NotifyPush(NodeId node, PageId page, Llsn llsn,
+                                bool clean_load) {
+  fabric_->ChargeRpc(node, kPmfsEndpoint);
+  std::vector<std::pair<NodeId, uint64_t>> to_invalidate;
+  {
+    std::lock_guard lock(mu_);
+    auto it = directory_.find(page.Pack());
+    if (it == directory_.end()) {
+      return Status::NotFound("page not registered in DBP: " +
+                              page.ToString());
+    }
+    Entry& entry = it->second;
+    const bool already_current = entry.present && entry.pushed_llsn >= llsn;
+    entry.present = true;
+    if (llsn > entry.pushed_llsn) entry.pushed_llsn = llsn;
+    if (clean_load) {
+      // Content straight from storage: storage already has this version.
+      if (llsn > entry.flushed_llsn) entry.flushed_llsn = llsn;
+    } else if (llsn > entry.flushed_llsn) {
+      entry.dirty = true;
+    }
+    if (!clean_load && !already_current) {
+      for (const auto& [copy_node, offset] : entry.copies) {
+        if (copy_node == node) continue;
+        to_invalidate.emplace_back(copy_node, offset);
+      }
+    }
+  }
+  for (const auto& [copy_node, offset] : to_invalidate) {
+    // One-sided write of the copy's invalid flag (Fig. 4). A dead endpoint
+    // just means the copy died with its node.
+    const Status s = fabric_->Store64(kPmfsEndpoint, copy_node,
+                                      kLbpFlagsRegion, offset, 1);
+    if (s.ok()) invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status BufferFusion::FetchPage(EndpointId from, DsmPtr frame,
+                               char* dst) const {
+  fetches_.fetch_add(1, std::memory_order_relaxed);
+  return dsm_->ReadSeqlocked(from, frame, dst, options_.page_size);
+}
+
+Status BufferFusion::PushPage(EndpointId from, DsmPtr frame,
+                              const char* src) const {
+  pushes_.fetch_add(1, std::memory_order_relaxed);
+  return dsm_->WriteSeqlocked(from, frame, src, options_.page_size);
+}
+
+Status BufferFusion::FlushEntryLocked(std::unique_lock<std::mutex>& lock,
+                                      PageId page) {
+  auto it = directory_.find(page.Pack());
+  if (it == directory_.end() || !it->second.dirty || !it->second.present) {
+    return Status::OK();
+  }
+  const DsmPtr frame = it->second.frame;
+  const Llsn snapshot_llsn = it->second.pushed_llsn;
+  lock.unlock();
+
+  // Host-side stable read (the flusher is co-located with the DSM servers,
+  // so no fabric charge; the storage write below charges I/O latency).
+  std::string buf(options_.page_size, '\0');
+  auto* seq = reinterpret_cast<std::atomic<uint64_t>*>(dsm_->HostPtr(frame));
+  const char* data = dsm_->HostPtr(DsmPtr{frame.server, frame.offset + 8});
+  for (;;) {
+    const uint64_t s1 = seq->load(std::memory_order_acquire);
+    if (s1 % 2 == 1) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::memcpy(buf.data(), data, options_.page_size);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq->load(std::memory_order_acquire) == s1) break;
+  }
+  const Status write = page_store_->WritePage(page, buf.data());
+
+  lock.lock();
+  if (!write.ok()) return write;
+  storage_flushes_.fetch_add(1, std::memory_order_relaxed);
+  auto it2 = directory_.find(page.Pack());
+  if (it2 != directory_.end()) {
+    Entry& e = it2->second;
+    if (snapshot_llsn > e.flushed_llsn) e.flushed_llsn = snapshot_llsn;
+    if (e.flushed_llsn >= e.pushed_llsn) e.dirty = false;
+  }
+  return Status::OK();
+}
+
+Status BufferFusion::FlushPages(NodeId node,
+                                const std::vector<PageId>& pages) {
+  fabric_->ChargeRpc(node, kPmfsEndpoint);
+  std::unique_lock lock(mu_);
+  for (PageId page : pages) {
+    POLARMP_RETURN_IF_ERROR(FlushEntryLocked(lock, page));
+  }
+  return Status::OK();
+}
+
+Status BufferFusion::FlushAllDirty(NodeId node) {
+  fabric_->ChargeRpc(node, kPmfsEndpoint);
+  std::vector<PageId> dirty;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [key, entry] : directory_) {
+      if (entry.dirty && entry.present) dirty.push_back(PageId::Unpack(key));
+    }
+  }
+  std::unique_lock lock(mu_);
+  for (PageId page : dirty) {
+    POLARMP_RETURN_IF_ERROR(FlushEntryLocked(lock, page));
+  }
+  return Status::OK();
+}
+
+Llsn BufferFusion::LastFlushedLlsn(PageId page) const {
+  std::lock_guard lock(mu_);
+  auto it = directory_.find(page.Pack());
+  return it == directory_.end() ? 0 : it->second.flushed_llsn;
+}
+
+bool BufferFusion::HasValidPage(PageId page) const {
+  std::lock_guard lock(mu_);
+  auto it = directory_.find(page.Pack());
+  return it != directory_.end() && it->second.present;
+}
+
+Status BufferFusion::ReadPageForRecovery(EndpointId from, PageId page,
+                                         char* dst) const {
+  DsmPtr frame;
+  {
+    std::lock_guard lock(mu_);
+    auto it = directory_.find(page.Pack());
+    if (it == directory_.end() || !it->second.present) {
+      return Status::NotFound("page not valid in DBP: " + page.ToString());
+    }
+    frame = it->second.frame;
+  }
+  return FetchPage(from, frame, dst);
+}
+
+Status BufferFusion::HostWritePage(PageId page, const char* data, Llsn llsn,
+                                   bool flushed) {
+  std::vector<std::pair<NodeId, uint64_t>> to_invalidate;
+  DsmPtr frame;
+  {
+    std::lock_guard lock(mu_);
+    auto it = directory_.find(page.Pack());
+    if (it == directory_.end()) {
+      POLARMP_ASSIGN_OR_RETURN(DsmPtr f, AllocFrameLocked());
+      std::memset(dsm_->HostPtr(f), 0, 8);
+      Entry entry;
+      entry.frame = f;
+      it = directory_.emplace(page.Pack(), entry).first;
+    }
+    Entry& entry = it->second;
+    frame = entry.frame;
+    entry.present = true;
+    if (llsn > entry.pushed_llsn) entry.pushed_llsn = llsn;
+    if (flushed) {
+      if (llsn > entry.flushed_llsn) entry.flushed_llsn = llsn;
+      if (entry.flushed_llsn >= entry.pushed_llsn) entry.dirty = false;
+    } else if (llsn > entry.flushed_llsn) {
+      entry.dirty = true;
+    }
+    for (const auto& [copy_node, offset] : entry.copies) {
+      to_invalidate.emplace_back(copy_node, offset);
+    }
+  }
+  auto* seq = reinterpret_cast<std::atomic<uint64_t>*>(dsm_->HostPtr(frame));
+  seq->fetch_add(1, std::memory_order_acq_rel);
+  std::memcpy(dsm_->HostPtr(DsmPtr{frame.server, frame.offset + 8}), data,
+              options_.page_size);
+  seq->fetch_add(1, std::memory_order_acq_rel);
+  for (const auto& [copy_node, offset] : to_invalidate) {
+    const Status s = fabric_->Store64(kPmfsEndpoint, copy_node,
+                                      kLbpFlagsRegion, offset, 1);
+    if (s.ok()) invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void BufferFusion::FlusherLoop() {
+  for (;;) {
+    {
+      std::unique_lock lock(flusher_mu_);
+      flusher_cv_.wait_for(lock,
+                           std::chrono::milliseconds(options_.flush_interval_ms),
+                           [&] { return stop_; });
+      if (stop_) return;
+    }
+    // Collect dirty pages, then flush them one by one.
+    std::vector<PageId> dirty;
+    {
+      std::lock_guard lock(mu_);
+      for (const auto& [key, entry] : directory_) {
+        if (entry.dirty && entry.present) dirty.push_back(PageId::Unpack(key));
+      }
+    }
+    std::unique_lock lock(mu_);
+    for (PageId page : dirty) {
+      const Status s = FlushEntryLocked(lock, page);
+      if (!s.ok()) {
+        POLARMP_LOG(Warn) << "DBP flush failed for page " << page.ToString()
+                          << ": " << s.ToString();
+      }
+    }
+  }
+}
+
+}  // namespace polarmp

@@ -1,0 +1,172 @@
+#ifndef POLARMP_PMFS_BUFFER_FUSION_H_
+#define POLARMP_PMFS_BUFFER_FUSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dsm/dsm.h"
+#include "storage/page_store.h"
+
+namespace polarmp {
+
+// Fabric region at each node endpoint holding the LBP frames' invalid
+// flags, so Buffer Fusion can invalidate copies with one-sided writes.
+inline constexpr uint32_t kLbpFlagsRegion = 2;
+
+// Buffer Fusion (§4.2, Fig. 4): the distributed buffer pool (DBP) living in
+// disaggregated shared memory plus the directory that keeps all nodes'
+// local buffer pools coherent.
+//
+// Directory state per page: the DSM frame address (`r_addr` handed to the
+// nodes), which nodes hold copies and where each copy's invalid flag lives,
+// whether the DBP content is valid, and flush bookkeeping for the
+// background DBP→storage writer.
+//
+// Data-plane operations are one-sided:
+//   * PushPage — seqlock-guarded RDMA write of a page into its frame
+//     (performed by the holder of the page's exclusive PLock, so pushes of
+//     *different* versions never race; the seqlock protects readers and the
+//     flusher from torn reads).
+//   * FetchPage — seqlock-guarded RDMA read.
+// Control-plane operations (RegisterCopy / NotifyPush / UnregisterCopy /
+// FlushPages) are RPCs.
+class BufferFusion {
+ public:
+  struct Options {
+    uint64_t capacity_pages = 4096;
+    uint32_t page_size = 8192;
+    // Background flusher scan interval.
+    uint64_t flush_interval_ms = 50;
+  };
+
+  BufferFusion(Fabric* fabric, Dsm* dsm, PageStore* page_store,
+               const Options& options);
+  ~BufferFusion();
+
+  BufferFusion(const BufferFusion&) = delete;
+  BufferFusion& operator=(const BufferFusion&) = delete;
+
+  void Start();  // launches the background flusher
+  void Stop();
+
+  void AddNode(NodeId node);
+  void RemoveNode(NodeId node);  // crash: drop the node's copies
+
+  struct RegisterResult {
+    DsmPtr frame;       // the page's stable DBP address (r_addr)
+    bool present;       // DBP already holds valid content
+  };
+
+  // RPC — node `node` wants to cache `page`; `flag_offset` addresses the
+  // invalid flag of the LBP frame the node chose, inside its
+  // kLbpFlagsRegion. If !present the node must load the page from storage
+  // and push it ("once loaded by a node, the page is registered to the DBP
+  // and remotely written to it").
+  StatusOr<RegisterResult> RegisterCopy(NodeId node, PageId page,
+                                        uint64_t flag_offset);
+
+  // RPC — the node evicted its LBP copy of `page`.
+  Status UnregisterCopy(NodeId node, PageId page);
+
+  // RPC — the node finished a one-sided push of `page` at `llsn`. Marks the
+  // DBP content valid/dirty and remotely invalidates every other copy.
+  // `clean_load` pushes (content read unmodified from storage) skip both
+  // invalidation and dirty marking when the DBP already has that version.
+  Status NotifyPush(NodeId node, PageId page, Llsn llsn, bool clean_load);
+
+  // One-sided data plane. `dst`/`src` are page_size() bytes.
+  Status FetchPage(EndpointId from, DsmPtr frame, char* dst) const;
+  Status PushPage(EndpointId from, DsmPtr frame, const char* src) const;
+
+  // RPC — synchronously flush the given pages (if dirty) to storage.
+  Status FlushPages(NodeId node, const std::vector<PageId>& pages);
+
+  // RPC — synchronously flush every dirty DBP page to storage. Node
+  // checkpoints use this: a change the node logged may live only in the
+  // DBP (pushed on negotiation, not yet background-flushed), and the
+  // checkpoint must not advance past it while storage lacks it.
+  Status FlushAllDirty(NodeId node);
+
+  // Highest LLSN known durable in storage for `page` (kCsnInit/0 if never
+  // flushed). Host-side (used by checkpoint logic via FlushPages' reply in
+  // production; exposed directly here).
+  Llsn LastFlushedLlsn(PageId page) const;
+
+  // True if the DBP holds valid content for the page (recovery fast path).
+  bool HasValidPage(PageId page) const;
+
+  // Recovery fast path (§5.5): a restarting node fetches the latest page
+  // from disaggregated memory instead of storage. Priced as one one-sided
+  // read. NotFound if the DBP has no valid content for the page.
+  Status ReadPageForRecovery(EndpointId from, PageId page, char* dst) const;
+
+  // Host-side write used by recovery to publish a recovered page into the
+  // DBP: allocates the entry if needed, performs a seqlock-protected write
+  // and invalidates every cached copy. `flushed` marks the content as
+  // already durable in storage.
+  Status HostWritePage(PageId page, const char* data, Llsn llsn, bool flushed);
+
+  uint32_t page_size() const { return options_.page_size; }
+
+  // Telemetry.
+  uint64_t pushes() const { return pushes_.load(std::memory_order_relaxed); }
+  uint64_t fetches() const { return fetches_.load(std::memory_order_relaxed); }
+  uint64_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
+  uint64_t storage_flushes() const {
+    return storage_flushes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    DsmPtr frame;                         // seq(u64) + page bytes
+    bool present = false;                 // frame holds valid content
+    bool dirty = false;                   // newer than storage
+    Llsn pushed_llsn = 0;                 // latest version pushed
+    Llsn flushed_llsn = 0;                // latest version in storage
+    std::map<NodeId, uint64_t> copies;    // node -> invalid-flag offset
+  };
+
+  // Allocates or reuses a frame. Caller holds mu_.
+  StatusOr<DsmPtr> AllocFrameLocked();
+  // Evicts one clean, copy-free entry to the free list. Caller holds mu_.
+  bool EvictOneLocked();
+  // Flushes one entry to storage (releases/reacquires mu_ around I/O).
+  Status FlushEntryLocked(std::unique_lock<std::mutex>& lock, PageId page);
+
+  void FlusherLoop();
+
+  uint64_t FrameBytes() const { return 8 + options_.page_size; }
+
+  Fabric* fabric_;
+  Dsm* dsm_;
+  PageStore* page_store_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Entry> directory_;  // key: PageId::Pack()
+  std::vector<DsmPtr> free_frames_;
+  uint64_t frames_allocated_ = 0;
+
+  std::thread flusher_;
+  std::mutex flusher_mu_;
+  std::condition_variable flusher_cv_;
+  bool stop_ = false;
+  bool started_ = false;
+
+  mutable std::atomic<uint64_t> pushes_{0};
+  mutable std::atomic<uint64_t> fetches_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> storage_flushes_{0};
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_PMFS_BUFFER_FUSION_H_

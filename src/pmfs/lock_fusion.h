@@ -1,0 +1,150 @@
+#ifndef POLARMP_PMFS_LOCK_FUSION_H_
+#define POLARMP_PMFS_LOCK_FUSION_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "rdma/fabric.h"
+
+namespace polarmp {
+
+// Lock Fusion (§4.3): the PMFS service implementing the two cross-node
+// locking protocols.
+//
+//  * PLock (§4.3.1, Fig. 5) — node-granularity page locks guaranteeing
+//    physical consistency. Lock Fusion tracks each lock's holders and a
+//    FIFO waiter queue. Nodes retain released locks locally ("lazy
+//    releasing"); when another node's request conflicts, Lock Fusion sends
+//    the holder a *negotiation message* asking it to hand the lock back
+//    once its local reference count drains.
+//
+//  * RLock (§4.3.2, Fig. 6) — row-lock metadata is embedded in the rows
+//    themselves; Lock Fusion only keeps the wait-for relation. A blocked
+//    transaction registers (waiter → holder), the holder's commit sends a
+//    notification, and Lock Fusion wakes the waiters. The wait-for graph
+//    also gives cross-node deadlock detection for free.
+//
+// All entry points charge one RPC on the fabric (callers are remote nodes).
+class LockFusion {
+ public:
+  // Delivered to the holding node when another node wants a conflicting
+  // PLock; the node must release once its reference count reaches zero.
+  // Invoked WITHOUT LockFusion's internal mutex held; the handler may call
+  // back into ReleasePLock.
+  using NegotiateHandler = std::function<void(PageId page)>;
+
+  explicit LockFusion(Fabric* fabric) : fabric_(fabric) {}
+
+  LockFusion(const LockFusion&) = delete;
+  LockFusion& operator=(const LockFusion&) = delete;
+
+  // ---- node lifecycle -----------------------------------------------------
+  void AddNode(NodeId node, NegotiateHandler handler);
+  // Crash path: fails the node's waiters, clears its row-lock waits and
+  // releases its SHARED holds. Exclusive holds are retained as "ghost"
+  // holds: the crashed node may have logged changes to those pages that are
+  // not yet in the DBP/storage, so other nodes must not touch them until
+  // recovery has replayed the node's log and called ReleaseAllHolds.
+  void RemoveNode(NodeId node);
+  // Recovery-complete path: drops every remaining hold of `node` and grants
+  // waiters.
+  void ReleaseAllHolds(NodeId node);
+
+  // ---- PLock ---------------------------------------------------------------
+  // Blocks until granted. If the node already holds the page, the call is an
+  // upgrade request (granted when no other node holds the page). Returns
+  // Busy on timeout, Unavailable if the node was removed while waiting.
+  Status AcquirePLock(NodeId node, PageId page, LockMode mode,
+                      uint64_t timeout_ms);
+  // Gives the node's hold back entirely (called when the local reference
+  // count is zero and a negotiation asked for the page, or on eviction).
+  Status ReleasePLock(NodeId node, PageId page);
+
+  // True if fusion records `node` as holding `page` at ≥ `mode`.
+  bool HoldsPLock(NodeId node, PageId page, LockMode mode) const;
+
+  // ---- RLock wait-for table -------------------------------------------------
+  // Registers waiter→holder. Returns Aborted if the edge closes a cycle in
+  // the wait-for graph (the requester is chosen as the deadlock victim).
+  Status RegisterWait(GTrxId waiter, GTrxId holder);
+  // Blocks until the holder finishes or timeout (Busy). Deregisters the
+  // wait before returning. Must follow a successful RegisterWait.
+  Status AwaitHolder(GTrxId waiter, uint64_t timeout_ms);
+  // Deregisters without waiting (the waiter noticed the holder finished).
+  void CancelWait(GTrxId waiter);
+  // From a committing/rolling-back transaction whose TIT ref flag was set.
+  void NotifyTrxFinished(GTrxId holder);
+
+  // Human-readable dump of every held/contended PLock and wait edge
+  // (deadlock forensics).
+  std::string DebugDump() const;
+
+  // ---- telemetry -------------------------------------------------------------
+  uint64_t plock_acquire_rpcs() const { return plock_acquire_rpcs_; }
+  uint64_t plock_release_rpcs() const { return plock_release_rpcs_; }
+  uint64_t negotiations_sent() const { return negotiations_sent_; }
+  uint64_t rlock_waits() const { return rlock_waits_; }
+  uint64_t deadlocks_detected() const { return deadlocks_detected_; }
+  void ResetCounters();
+
+ private:
+  struct PLockWaiter {
+    NodeId node;
+    LockMode mode;
+    bool granted = false;
+    bool failed = false;  // node removed while waiting
+  };
+
+  struct PLockEntry {
+    std::map<NodeId, LockMode> holders;
+    std::deque<std::shared_ptr<PLockWaiter>> queue;
+    // Holders already sent a negotiation for the current conflict.
+    std::map<NodeId, bool> negotiated;
+  };
+
+  struct TrxWait {
+    GTrxId waiter;
+    GTrxId holder;
+    bool done = false;
+  };
+
+  // Grants as many FIFO waiters as compatibility allows. Returns the pages'
+  // holders that need (new) negotiation messages. Caller holds mu_.
+  void TryGrant(PageId page, PLockEntry* entry,
+                std::vector<NodeId>* negotiate_targets);
+  static bool CanGrant(const PLockEntry& entry, const PLockWaiter& w);
+
+  // True if starting from `from` the wait-for chain reaches `target`.
+  bool WaitChainReaches(GTrxId from, GTrxId target) const;  // holds mu_
+  // Removes the waiter's edge from both indexes. Caller holds mu_.
+  void RemoveWaitLocked(GTrxId waiter);
+
+  Fabric* fabric_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<uint64_t, PLockEntry> plocks_;  // key: PageId::Pack()
+  std::map<NodeId, NegotiateHandler> nodes_;
+
+  std::unordered_map<GTrxId, std::shared_ptr<TrxWait>> waits_by_waiter_;
+  std::unordered_map<GTrxId, std::vector<std::shared_ptr<TrxWait>>>
+      waits_by_holder_;
+
+  uint64_t plock_acquire_rpcs_ = 0;
+  uint64_t plock_release_rpcs_ = 0;
+  uint64_t negotiations_sent_ = 0;
+  uint64_t rlock_waits_ = 0;
+  uint64_t deadlocks_detected_ = 0;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_PMFS_LOCK_FUSION_H_

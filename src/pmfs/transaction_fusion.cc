@@ -1,0 +1,84 @@
+#include "pmfs/transaction_fusion.h"
+
+namespace polarmp {
+
+TransactionFusion::TransactionFusion(Fabric* fabric)
+    : fabric_(fabric), tso_(fabric), global_min_(kCsnFirst) {
+  const Status s =
+      fabric_->RegisterRegion(kPmfsEndpoint, kGlobalMinViewRegion,
+                              &global_min_, sizeof(global_min_));
+  POLARMP_CHECK(s.ok()) << s.ToString();
+  const Status s2 = fabric_->RegisterRegion(
+      kPmfsEndpoint, kGlobalLlsnRegion, &global_llsn_, sizeof(global_llsn_));
+  POLARMP_CHECK(s2.ok()) << s2.ToString();
+}
+
+TransactionFusion::~TransactionFusion() {
+  (void)fabric_->DeregisterRegion(kPmfsEndpoint, kGlobalMinViewRegion);
+  (void)fabric_->DeregisterRegion(kPmfsEndpoint, kGlobalLlsnRegion);
+}
+
+StatusOr<Llsn> TransactionFusion::MergeLlsnWatermark(EndpointId from,
+                                                     Llsn local) {
+  // One one-sided fetch-style op: charge once, merge host-side.
+  if (from != kPmfsEndpoint) SimDelay(fabric_->profile().rdma_cas_ns);
+  uint64_t cur = global_llsn_.load(std::memory_order_acquire);
+  while (local > cur && !global_llsn_.compare_exchange_weak(
+                            cur, local, std::memory_order_acq_rel)) {
+  }
+  return std::max<Llsn>(cur, local);
+}
+
+void TransactionFusion::AddNode(NodeId node) {
+  std::lock_guard lock(mu_);
+  reported_.emplace(node, kCsnInit);
+  Recompute();
+}
+
+void TransactionFusion::RemoveNode(NodeId node) {
+  std::lock_guard lock(mu_);
+  reported_.erase(node);
+  Recompute();
+}
+
+Status TransactionFusion::ReportMinView(NodeId node, Csn min_view) {
+  fabric_->ChargeRpc(node, kPmfsEndpoint);
+  std::lock_guard lock(mu_);
+  auto it = reported_.find(node);
+  if (it == reported_.end()) {
+    return Status::NotFound("node not registered with transaction fusion");
+  }
+  // Views only move forward; a late report must not regress the minimum.
+  if (min_view > it->second) it->second = min_view;
+  Recompute();
+  return Status::OK();
+}
+
+void TransactionFusion::Recompute() {
+  Csn min = kCsnMax;
+  bool any_unreported = false;
+  for (const auto& [node, view] : reported_) {
+    if (view == kCsnInit) {
+      any_unreported = true;
+      break;
+    }
+    if (view < min) min = view;
+  }
+  if (any_unreported || reported_.empty()) {
+    // A freshly added node constrains recycling completely until it reports
+    // (it may open a view at any CTS ≥ the current global minimum).
+    return;
+  }
+  // Monotone publish.
+  uint64_t cur = global_min_.load(std::memory_order_relaxed);
+  while (min > cur && !global_min_.compare_exchange_weak(
+                          cur, min, std::memory_order_acq_rel)) {
+  }
+}
+
+StatusOr<Csn> TransactionFusion::GlobalMinView(EndpointId from) const {
+  return fabric_->Load64(from, kPmfsEndpoint, kGlobalMinViewRegion,
+                         /*offset=*/0);
+}
+
+}  // namespace polarmp

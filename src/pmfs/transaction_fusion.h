@@ -1,0 +1,74 @@
+#ifndef POLARMP_PMFS_TRANSACTION_FUSION_H_
+#define POLARMP_PMFS_TRANSACTION_FUSION_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "pmfs/tso.h"
+
+namespace polarmp {
+
+// Transaction Fusion (§4.1): hosts the TSO and aggregates the per-node
+// minimum active views into a global minimum view, which drives TIT slot
+// recycling and undo purge ("each node runs a background thread that sends
+// its minimal view to Transaction Fusion. Transaction Fusion consolidates
+// these views to form a global minimum view, which is then broadcast to
+// all nodes").
+//
+// The "broadcast" is implemented the RDMA-friendly way: the global minimum
+// lives in fabric-registered memory and nodes read it with a one-sided
+// RDMA read whenever they need it.
+class TransactionFusion {
+ public:
+  explicit TransactionFusion(Fabric* fabric);
+  ~TransactionFusion();
+
+  TransactionFusion(const TransactionFusion&) = delete;
+  TransactionFusion& operator=(const TransactionFusion&) = delete;
+
+  Tso* tso() { return &tso_; }
+
+  // Registers a node so its (yet unreported) view constrains the global
+  // minimum; must be called before the node serves transactions.
+  void AddNode(NodeId node);
+  void RemoveNode(NodeId node);
+
+  // RPC from a node's background thread: `min_view` is the smallest CTS any
+  // of its active transactions / read views can still observe.
+  Status ReportMinView(NodeId node, Csn min_view);
+
+  // One-sided read of the consolidated minimum (from a node).
+  StatusOr<Csn> GlobalMinView(EndpointId from) const;
+
+  // Server-local read (no fabric charge), for tests and co-located logic.
+  Csn GlobalMinViewLocal() const {
+    return global_min_.load(std::memory_order_acquire);
+  }
+
+  // Max-merges `local` into the cluster-wide LLSN watermark and returns the
+  // merged value (one one-sided RDMA op). Nodes fold the result into their
+  // LLSN clocks before emitting heartbeat marks, so an idle node's log
+  // horizon tracks the cluster instead of its own last write — which is
+  // what lets LLSN_bound consumers (standby, recovery) drain past it.
+  // Inflating a node's clock is always safe: only per-page monotonicity
+  // matters, and that is enforced by the page-stamp max-merge.
+  StatusOr<Llsn> MergeLlsnWatermark(EndpointId from, Llsn local);
+
+ private:
+  void Recompute();  // caller holds mu_
+
+  Fabric* fabric_;
+  Tso tso_;
+
+  mutable std::mutex mu_;
+  std::map<NodeId, Csn> reported_;  // kCsnInit = registered, not yet reported
+
+  // Fabric-registered broadcast cells.
+  std::atomic<uint64_t> global_min_;
+  std::atomic<uint64_t> global_llsn_{0};
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_PMFS_TRANSACTION_FUSION_H_

@@ -1,0 +1,73 @@
+#include "pmfs/tso.h"
+
+namespace polarmp {
+
+Tso::Tso(Fabric* fabric) : fabric_(fabric), counter_(kCsnFirst - 1) {
+  const Status s = fabric_->RegisterRegion(kPmfsEndpoint, kTsoRegion,
+                                           &counter_, sizeof(counter_));
+  POLARMP_CHECK(s.ok()) << s.ToString();
+}
+
+Tso::~Tso() { (void)fabric_->DeregisterRegion(kPmfsEndpoint, kTsoRegion); }
+
+StatusOr<Csn> Tso::NextCts(EndpointId from) {
+  POLARMP_ASSIGN_OR_RETURN(
+      uint64_t prev, fabric_->FetchAdd64(from, kPmfsEndpoint, kTsoRegion,
+                                         /*offset=*/0, /*delta=*/1));
+  return prev + 1;
+}
+
+StatusOr<Csn> Tso::CurrentCts(EndpointId from) {
+  return fabric_->Load64(from, kPmfsEndpoint, kTsoRegion, /*offset=*/0);
+}
+
+StatusOr<Csn> TsoClient::ReadTimestamp() {
+  if (!use_linear_lamport_) {
+    fetches_.fetch_add(1, std::memory_order_relaxed);
+    return tso_->CurrentCts(self_);
+  }
+  const uint64_t arrival = NowNanos();
+  for (;;) {
+    // Reuse a timestamp whose fetch *started* after our arrival: the TSO
+    // sample then reflects every commit that completed before we arrived,
+    // which is all read committed needs (PolarDB-SCC's Linear Lamport
+    // argument). The watermark is only published after the value, so a
+    // match always pairs with a fresh-enough cached value.
+    if (fetch_started_at_.load(std::memory_order_acquire) >= arrival) {
+      reuses_.fetch_add(1, std::memory_order_relaxed);
+      return cached_ts_.load(std::memory_order_acquire);
+    }
+    std::unique_lock lock(fetch_mu_);
+    if (fetch_in_flight_) {
+      // Piggyback: when the in-flight fetch lands, re-check the watermark
+      // (it serves us iff it started after our arrival).
+      fetch_cv_.wait(lock, [&] { return !fetch_in_flight_; });
+      continue;
+    }
+    if (fetch_started_at_.load(std::memory_order_acquire) >= arrival) {
+      continue;  // a fetch landed between our check and the lock
+    }
+    fetch_in_flight_ = true;
+    lock.unlock();
+
+    const uint64_t started = NowNanos();
+    auto ts = tso_->CurrentCts(self_);
+    fetches_.fetch_add(1, std::memory_order_relaxed);
+    if (ts.ok()) {
+      cached_ts_.store(ts.value(), std::memory_order_release);
+      fetch_started_at_.store(started, std::memory_order_release);
+    }
+
+    lock.lock();
+    fetch_in_flight_ = false;
+    fetch_cv_.notify_all();
+    return ts;
+  }
+}
+
+StatusOr<Csn> TsoClient::CommitTimestamp() {
+  fetches_.fetch_add(1, std::memory_order_relaxed);
+  return tso_->NextCts(self_);
+}
+
+}  // namespace polarmp

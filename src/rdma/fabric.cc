@@ -1,0 +1,153 @@
+#include "rdma/fabric.h"
+
+#include <mutex>
+
+#include <cstring>
+
+namespace polarmp {
+
+Status Fabric::RegisterRegion(EndpointId endpoint, uint32_t region, void* base,
+                              size_t size) {
+  std::unique_lock lock(mu_);
+  const uint64_t key = Key(endpoint, region);
+  if (regions_.count(key) != 0) {
+    return Status::AlreadyExists("region already registered: " +
+                                 std::to_string(endpoint) + "/" +
+                                 std::to_string(region));
+  }
+  regions_[key] = Region{static_cast<char*>(base), size};
+  endpoint_alive_[endpoint] = true;
+  return Status::OK();
+}
+
+Status Fabric::DeregisterRegion(EndpointId endpoint, uint32_t region) {
+  std::unique_lock lock(mu_);
+  if (regions_.erase(Key(endpoint, region)) == 0) {
+    return Status::NotFound("region not registered");
+  }
+  return Status::OK();
+}
+
+void Fabric::DeregisterEndpoint(EndpointId endpoint) {
+  std::unique_lock lock(mu_);
+  for (auto it = regions_.begin(); it != regions_.end();) {
+    if (static_cast<EndpointId>(it->first >> 32) == endpoint) {
+      it = regions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  endpoint_alive_[endpoint] = false;
+}
+
+bool Fabric::EndpointAlive(EndpointId endpoint) const {
+  std::shared_lock lock(mu_);
+  auto it = endpoint_alive_.find(endpoint);
+  return it != endpoint_alive_.end() && it->second;
+}
+
+StatusOr<char*> Fabric::Resolve(EndpointId to, uint32_t region,
+                                uint64_t offset, size_t len) const {
+  std::shared_lock lock(mu_);
+  auto alive = endpoint_alive_.find(to);
+  if (alive == endpoint_alive_.end() || !alive->second) {
+    return Status::Unavailable("endpoint down: " + std::to_string(to));
+  }
+  auto it = regions_.find(Key(to, region));
+  if (it == regions_.end()) {
+    return Status::NotFound("region not registered: " + std::to_string(to) +
+                            "/" + std::to_string(region));
+  }
+  if (offset + len > it->second.size) {
+    return Status::InvalidArgument("remote access out of bounds");
+  }
+  return it->second.base + offset;
+}
+
+Status Fabric::Read(EndpointId from, EndpointId to, uint32_t region,
+                    uint64_t offset, void* dst, size_t len) const {
+  POLARMP_ASSIGN_OR_RETURN(char* src, Resolve(to, region, offset, len));
+  if (from != to) {
+    remote_reads_.fetch_add(1, std::memory_order_relaxed);
+    SimDelay(profile_.rdma_read_ns);
+  }
+  std::memcpy(dst, src, len);
+  return Status::OK();
+}
+
+Status Fabric::Write(EndpointId from, EndpointId to, uint32_t region,
+                     uint64_t offset, const void* src, size_t len) const {
+  POLARMP_ASSIGN_OR_RETURN(char* dst, Resolve(to, region, offset, len));
+  if (from != to) {
+    remote_writes_.fetch_add(1, std::memory_order_relaxed);
+    SimDelay(profile_.rdma_write_ns);
+  }
+  std::memcpy(dst, src, len);
+  return Status::OK();
+}
+
+StatusOr<uint64_t> Fabric::FetchAdd64(EndpointId from, EndpointId to,
+                                      uint32_t region, uint64_t offset,
+                                      uint64_t delta) const {
+  POLARMP_ASSIGN_OR_RETURN(char* p, Resolve(to, region, offset, 8));
+  if (from != to) {
+    remote_atomics_.fetch_add(1, std::memory_order_relaxed);
+    SimDelay(profile_.rdma_cas_ns);
+  }
+  auto* a = reinterpret_cast<std::atomic<uint64_t>*>(p);
+  return a->fetch_add(delta, std::memory_order_acq_rel);
+}
+
+StatusOr<uint64_t> Fabric::CompareSwap64(EndpointId from, EndpointId to,
+                                         uint32_t region, uint64_t offset,
+                                         uint64_t expected,
+                                         uint64_t desired) const {
+  POLARMP_ASSIGN_OR_RETURN(char* p, Resolve(to, region, offset, 8));
+  if (from != to) {
+    remote_atomics_.fetch_add(1, std::memory_order_relaxed);
+    SimDelay(profile_.rdma_cas_ns);
+  }
+  auto* a = reinterpret_cast<std::atomic<uint64_t>*>(p);
+  uint64_t exp = expected;
+  a->compare_exchange_strong(exp, desired, std::memory_order_acq_rel);
+  return exp;  // value observed before the swap, as RDMA CAS returns
+}
+
+StatusOr<uint64_t> Fabric::Load64(EndpointId from, EndpointId to,
+                                  uint32_t region, uint64_t offset) const {
+  POLARMP_ASSIGN_OR_RETURN(char* p, Resolve(to, region, offset, 8));
+  if (from != to) {
+    remote_reads_.fetch_add(1, std::memory_order_relaxed);
+    SimDelay(profile_.rdma_read_ns);
+  }
+  auto* a = reinterpret_cast<std::atomic<uint64_t>*>(p);
+  return a->load(std::memory_order_acquire);
+}
+
+Status Fabric::Store64(EndpointId from, EndpointId to, uint32_t region,
+                       uint64_t offset, uint64_t value) const {
+  POLARMP_ASSIGN_OR_RETURN(char* p, Resolve(to, region, offset, 8));
+  if (from != to) {
+    remote_writes_.fetch_add(1, std::memory_order_relaxed);
+    SimDelay(profile_.rdma_write_ns);
+  }
+  auto* a = reinterpret_cast<std::atomic<uint64_t>*>(p);
+  a->store(value, std::memory_order_release);
+  return Status::OK();
+}
+
+void Fabric::ChargeRpc(EndpointId from, EndpointId to) const {
+  if (from != to) {
+    rpcs_.fetch_add(1, std::memory_order_relaxed);
+    SimDelay(profile_.rpc_ns);
+  }
+}
+
+void Fabric::ResetCounters() {
+  remote_reads_.store(0, std::memory_order_relaxed);
+  remote_writes_.store(0, std::memory_order_relaxed);
+  remote_atomics_.store(0, std::memory_order_relaxed);
+  rpcs_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace polarmp

@@ -1,0 +1,114 @@
+#ifndef POLARMP_RDMA_FABRIC_H_
+#define POLARMP_RDMA_FABRIC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "common/sim_latency.h"
+#include "common/status.h"
+
+namespace polarmp {
+
+// Endpoint ids on the fabric. Compute nodes use their NodeId directly;
+// infrastructure services live at fixed well-known endpoints.
+using EndpointId = uint32_t;
+
+inline constexpr EndpointId kPmfsEndpoint = 60'000;     // fusion server
+inline constexpr EndpointId kStorageEndpoint = 60'001;  // shared storage
+inline constexpr EndpointId kDsmEndpointBase = 61'000;  // memory servers
+
+// Simulated RDMA fabric.
+//
+// Real deployment: every PolarDB-MP node registers memory regions with the
+// NIC and peers access them with one-sided verbs (§4.1: remote TIT reads,
+// §4.2: DBP page push/fetch). Here a region is host memory registered under
+// an (endpoint, region) key; one-sided READ/WRITE are memcpys and atomic
+// ops are real atomics, each charging the configured latency when the
+// initiator is a different endpoint than the target.
+//
+// One-sided semantics are preserved: the target endpoint's "CPU" is never
+// involved, so data structures reachable via the fabric must be designed
+// for concurrent raw access (the TIT uses per-field atomics, DBP frames use
+// a seqlock) exactly as they would be on real RDMA hardware.
+//
+// Crash simulation: DeregisterEndpoint() makes all subsequent accesses to
+// that endpoint fail with Unavailable until it re-registers, modelling a
+// node crash taking its registered memory with it.
+class Fabric {
+ public:
+  explicit Fabric(const LatencyProfile& profile) : profile_(profile) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  const LatencyProfile& profile() const { return profile_; }
+
+  Status RegisterRegion(EndpointId endpoint, uint32_t region, void* base,
+                        size_t size);
+  Status DeregisterRegion(EndpointId endpoint, uint32_t region);
+  // Removes every region owned by `endpoint` (crash simulation).
+  void DeregisterEndpoint(EndpointId endpoint);
+  bool EndpointAlive(EndpointId endpoint) const;
+
+  // One-sided verbs. `from == to-endpoint` skips the latency charge (local
+  // access through the NIC loopback is effectively a memcpy).
+  Status Read(EndpointId from, EndpointId to, uint32_t region, uint64_t offset,
+              void* dst, size_t len) const;
+  Status Write(EndpointId from, EndpointId to, uint32_t region,
+               uint64_t offset, const void* src, size_t len) const;
+
+  // 64-bit remote atomics. The target location must be a std::atomic<uint64_t>
+  // (or have equivalent alignment/lifetime) inside the registered region.
+  StatusOr<uint64_t> FetchAdd64(EndpointId from, EndpointId to, uint32_t region,
+                                uint64_t offset, uint64_t delta) const;
+  StatusOr<uint64_t> CompareSwap64(EndpointId from, EndpointId to,
+                                   uint32_t region, uint64_t offset,
+                                   uint64_t expected, uint64_t desired) const;
+  StatusOr<uint64_t> Load64(EndpointId from, EndpointId to, uint32_t region,
+                            uint64_t offset) const;
+  // Atomic 8-byte remote store (release ordering); same target requirements
+  // as the other 64-bit atomics.
+  Status Store64(EndpointId from, EndpointId to, uint32_t region,
+                 uint64_t offset, uint64_t value) const;
+
+  // Charge one RPC round-trip worth of latency (used by service stubs whose
+  // control messages ride RDMA-based RPC).
+  void ChargeRpc(EndpointId from, EndpointId to) const;
+
+  // Telemetry: number of remote (cross-endpoint) operations by kind.
+  uint64_t remote_reads() const { return remote_reads_.load(std::memory_order_relaxed); }
+  uint64_t remote_writes() const { return remote_writes_.load(std::memory_order_relaxed); }
+  uint64_t remote_atomics() const { return remote_atomics_.load(std::memory_order_relaxed); }
+  uint64_t rpcs() const { return rpcs_.load(std::memory_order_relaxed); }
+  void ResetCounters();
+
+ private:
+  struct Region {
+    char* base = nullptr;
+    size_t size = 0;
+  };
+
+  // Resolves (endpoint, region, offset, len) to a host pointer or fails.
+  StatusOr<char*> Resolve(EndpointId to, uint32_t region, uint64_t offset,
+                          size_t len) const;
+
+  static uint64_t Key(EndpointId endpoint, uint32_t region) {
+    return (static_cast<uint64_t>(endpoint) << 32) | region;
+  }
+
+  LatencyProfile profile_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<uint64_t, Region> regions_;
+  std::unordered_map<EndpointId, bool> endpoint_alive_;
+
+  mutable std::atomic<uint64_t> remote_reads_{0};
+  mutable std::atomic<uint64_t> remote_writes_{0};
+  mutable std::atomic<uint64_t> remote_atomics_{0};
+  mutable std::atomic<uint64_t> rpcs_{0};
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_RDMA_FABRIC_H_

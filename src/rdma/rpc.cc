@@ -1,0 +1,51 @@
+#include "rdma/rpc.h"
+
+#include <mutex>
+
+namespace polarmp {
+
+Status Rpc::RegisterHandler(EndpointId endpoint, uint32_t method,
+                            Handler handler) {
+  std::unique_lock lock(mu_);
+  const uint64_t key = Key(endpoint, method);
+  if (handlers_.count(key) != 0) {
+    return Status::AlreadyExists("rpc handler exists: " +
+                                 std::to_string(endpoint) + "/" +
+                                 std::to_string(method));
+  }
+  handlers_[key] = std::move(handler);
+  return Status::OK();
+}
+
+Status Rpc::UnregisterEndpoint(EndpointId endpoint) {
+  std::unique_lock lock(mu_);
+  for (auto it = handlers_.begin(); it != handlers_.end();) {
+    if (static_cast<EndpointId>(it->first >> 32) == endpoint) {
+      it = handlers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+Status Rpc::Call(EndpointId from, EndpointId to, uint32_t method,
+                 const std::string& request, std::string* response) const {
+  Handler handler;
+  {
+    std::shared_lock lock(mu_);
+    if (!fabric_->EndpointAlive(to)) {
+      return Status::Unavailable("rpc target down: " + std::to_string(to));
+    }
+    auto it = handlers_.find(Key(to, method));
+    if (it == handlers_.end()) {
+      return Status::NotFound("no rpc handler: " + std::to_string(to) + "/" +
+                              std::to_string(method));
+    }
+    handler = it->second;  // copy so the handler can run without the lock
+  }
+  fabric_->ChargeRpc(from, to);
+  return handler(request, response);
+}
+
+}  // namespace polarmp

@@ -1,0 +1,50 @@
+#ifndef POLARMP_RDMA_RPC_H_
+#define POLARMP_RDMA_RPC_H_
+
+#include <cstdint>
+#include <functional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "rdma/fabric.h"
+
+namespace polarmp {
+
+// RDMA-based RPC (paper §3: "all communications between the primary nodes
+// and PMFS leverage one-sided RDMA or RDMA-based RPC").
+//
+// Handlers are registered per (endpoint, method) and execute synchronously
+// in the caller's thread after the fabric charges one RPC round trip — the
+// same cost model as a polling RPC server on the real fabric. Handlers may
+// block (e.g., a PLock grant that must wait for another node to release),
+// which models the server parking the request and replying later.
+class Rpc {
+ public:
+  using Handler =
+      std::function<Status(const std::string& request, std::string* response)>;
+
+  explicit Rpc(Fabric* fabric) : fabric_(fabric) {}
+
+  Rpc(const Rpc&) = delete;
+  Rpc& operator=(const Rpc&) = delete;
+
+  Status RegisterHandler(EndpointId endpoint, uint32_t method, Handler handler);
+  Status UnregisterEndpoint(EndpointId endpoint);
+
+  Status Call(EndpointId from, EndpointId to, uint32_t method,
+              const std::string& request, std::string* response) const;
+
+ private:
+  static uint64_t Key(EndpointId endpoint, uint32_t method) {
+    return (static_cast<uint64_t>(endpoint) << 32) | method;
+  }
+
+  Fabric* fabric_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<uint64_t, Handler> handlers_;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_RDMA_RPC_H_

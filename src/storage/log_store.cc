@@ -1,0 +1,119 @@
+#include "storage/log_store.h"
+
+#include <algorithm>
+
+namespace polarmp {
+
+Status LogStore::CreateLog(NodeId node) {
+  std::lock_guard lock(mu_);
+  if (streams_.count(node) != 0) {
+    return Status::AlreadyExists("log exists: node " + std::to_string(node));
+  }
+  streams_[node] = Stream{};
+  return Status::OK();
+}
+
+bool LogStore::LogExists(NodeId node) const {
+  std::lock_guard lock(mu_);
+  return streams_.count(node) != 0;
+}
+
+std::vector<NodeId> LogStore::AllLogs() const {
+  std::lock_guard lock(mu_);
+  std::vector<NodeId> out;
+  out.reserve(streams_.size());
+  for (const auto& [node, stream] : streams_) out.push_back(node);
+  return out;
+}
+
+StatusOr<Lsn> LogStore::Append(NodeId node, const std::string& data) {
+  SimDelay(profile_.log_append_ns);
+  std::lock_guard lock(mu_);
+  auto it = streams_.find(node);
+  if (it == streams_.end()) {
+    return Status::NotFound("log missing: node " + std::to_string(node));
+  }
+  const Lsn lsn = it->second.start + it->second.data.size();
+  it->second.data += data;
+  return lsn;
+}
+
+StatusOr<Lsn> LogStore::DurableLsn(NodeId node) const {
+  std::lock_guard lock(mu_);
+  auto it = streams_.find(node);
+  if (it == streams_.end()) {
+    return Status::NotFound("log missing: node " + std::to_string(node));
+  }
+  return it->second.start + it->second.data.size();
+}
+
+Status LogStore::ReadAt(NodeId node, Lsn offset, uint64_t max_len,
+                        std::string* out) const {
+  SimDelay(profile_.storage_read_ns);
+  std::lock_guard lock(mu_);
+  auto it = streams_.find(node);
+  if (it == streams_.end()) {
+    return Status::NotFound("log missing: node " + std::to_string(node));
+  }
+  const Stream& s = it->second;
+  if (offset < s.start) {
+    return Status::Corruption("read below log truncation point");
+  }
+  const uint64_t rel = offset - s.start;
+  if (rel >= s.data.size()) {
+    out->clear();
+    return Status::OK();
+  }
+  const uint64_t n = std::min<uint64_t>(max_len, s.data.size() - rel);
+  out->assign(s.data.data() + rel, n);
+  return Status::OK();
+}
+
+Status LogStore::Truncate(NodeId node, Lsn new_start) {
+  std::lock_guard lock(mu_);
+  auto it = streams_.find(node);
+  if (it == streams_.end()) {
+    return Status::NotFound("log missing: node " + std::to_string(node));
+  }
+  Stream& s = it->second;
+  if (new_start < s.start) return Status::OK();  // already truncated past it
+  const Lsn end = s.start + s.data.size();
+  if (new_start > end) {
+    return Status::InvalidArgument("truncate beyond end of log");
+  }
+  s.data.erase(0, new_start - s.start);
+  s.start = new_start;
+  return Status::OK();
+}
+
+Status LogStore::SetCheckpoint(NodeId node, Lsn lsn) {
+  std::lock_guard lock(mu_);
+  auto it = streams_.find(node);
+  if (it == streams_.end()) {
+    return Status::NotFound("log missing: node " + std::to_string(node));
+  }
+  it->second.checkpoint = std::max(it->second.checkpoint, lsn);
+  return Status::OK();
+}
+
+uint64_t LogStore::BumpNodeEpoch(NodeId node) {
+  std::lock_guard lock(mu_);
+  return ++streams_[node].epoch;
+}
+
+uint64_t LogStore::GetNodeEpoch(NodeId node) const {
+  std::lock_guard lock(mu_);
+  auto it = streams_.find(node);
+  return it == streams_.end() ? 0 : it->second.epoch;
+}
+
+StatusOr<Lsn> LogStore::GetCheckpoint(NodeId node) const {
+  std::lock_guard lock(mu_);
+  auto it = streams_.find(node);
+  if (it == streams_.end()) {
+    return Status::NotFound("log missing: node " + std::to_string(node));
+  }
+  return it->second.checkpoint;
+}
+
+}  // namespace polarmp

@@ -1,0 +1,76 @@
+#ifndef POLARMP_STORAGE_LOG_STORE_H_
+#define POLARMP_STORAGE_LOG_STORE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/sim_latency.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace polarmp {
+
+// Per-node append-only redo-log streams on shared storage (§4.4: "each node
+// maintains its own sets of redo log and undo log files. This design enables
+// different nodes to simultaneously synchronize these logs to the storage
+// without explicit concurrency control").
+//
+// An LSN is a byte offset in the node's stream, exactly as in the paper
+// ("this LSN also serves as the offset within the redo log file").
+// Appends charge the log-force latency; recovery reads charge storage-read
+// latency per chunk. Checkpoint LSNs are stored durably alongside the log.
+class LogStore {
+ public:
+  explicit LogStore(const LatencyProfile& profile) : profile_(profile) {}
+
+  LogStore(const LogStore&) = delete;
+  LogStore& operator=(const LogStore&) = delete;
+
+  Status CreateLog(NodeId node);
+  bool LogExists(NodeId node) const;
+  // Every log stream that exists (recovery iterates all of them).
+  std::vector<NodeId> AllLogs() const;
+
+  // Durably appends `data`; returns the LSN (stream offset) of its first
+  // byte. Thread-safe; each call is one forced write.
+  StatusOr<Lsn> Append(NodeId node, const std::string& data);
+
+  // End offset of the durable stream.
+  StatusOr<Lsn> DurableLsn(NodeId node) const;
+
+  // Reads up to `max_len` bytes at `offset` into `out` (may return fewer at
+  // end of stream). Reading below the truncation point is a Corruption.
+  Status ReadAt(NodeId node, Lsn offset, uint64_t max_len,
+                std::string* out) const;
+
+  // Logical truncation after a checkpoint: bytes below `new_start` may be
+  // discarded.
+  Status Truncate(NodeId node, Lsn new_start);
+
+  // Durable checkpoint bookkeeping (recovery starts replay here).
+  Status SetCheckpoint(NodeId node, Lsn lsn);
+  StatusOr<Lsn> GetCheckpoint(NodeId node) const;
+
+  // Durable restart-epoch counter, used to keep TIT slot versions unique
+  // across restarts (a fresh TIT seeds slot versions from the epoch).
+  uint64_t BumpNodeEpoch(NodeId node);
+  uint64_t GetNodeEpoch(NodeId node) const;
+
+ private:
+  struct Stream {
+    std::string data;      // bytes from `start` onward
+    Lsn start = 0;         // truncation point
+    Lsn checkpoint = 0;
+    uint64_t epoch = 0;
+  };
+
+  LatencyProfile profile_;
+  mutable std::mutex mu_;
+  std::map<NodeId, Stream> streams_;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_STORAGE_LOG_STORE_H_

@@ -1,0 +1,91 @@
+#include "storage/page_store.h"
+
+#include <mutex>
+
+#include <cstring>
+
+namespace polarmp {
+
+Status PageStore::CreateSpace(SpaceId space) {
+  std::unique_lock lock(mu_);
+  if (spaces_.count(space) != 0) {
+    return Status::AlreadyExists("space exists: " + std::to_string(space));
+  }
+  spaces_[space] = std::make_unique<Space>();
+  return Status::OK();
+}
+
+Status PageStore::DropSpace(SpaceId space) {
+  std::unique_lock lock(mu_);
+  if (spaces_.erase(space) == 0) {
+    return Status::NotFound("space missing: " + std::to_string(space));
+  }
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    if (static_cast<SpaceId>(it->first >> 32) == space) {
+      it = pages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+bool PageStore::SpaceExists(SpaceId space) const {
+  std::shared_lock lock(mu_);
+  return spaces_.count(space) != 0;
+}
+
+StatusOr<PageNo> PageStore::AllocPageNo(SpaceId space) {
+  std::shared_lock lock(mu_);
+  auto it = spaces_.find(space);
+  if (it == spaces_.end()) {
+    return Status::NotFound("space missing: " + std::to_string(space));
+  }
+  return it->second->next_page_no.fetch_add(1, std::memory_order_relaxed);
+}
+
+StatusOr<PageNo> PageStore::MaxPageNo(SpaceId space) const {
+  std::shared_lock lock(mu_);
+  auto it = spaces_.find(space);
+  if (it == spaces_.end()) {
+    return Status::NotFound("space missing: " + std::to_string(space));
+  }
+  return it->second->next_page_no.load(std::memory_order_relaxed);
+}
+
+Status PageStore::ReadPage(PageId page_id, char* dst) const {
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  SimDelay(profile_.storage_read_ns);
+  std::shared_lock lock(mu_);
+  auto it = pages_.find(page_id.Pack());
+  if (it == pages_.end()) {
+    return Status::NotFound("page not in store: " + page_id.ToString());
+  }
+  std::memcpy(dst, it->second.get(), page_size_);
+  return Status::OK();
+}
+
+Status PageStore::WritePage(PageId page_id, const char* src) {
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  SimDelay(profile_.storage_write_ns);
+  std::unique_lock lock(mu_);
+  if (spaces_.count(page_id.space) == 0) {
+    return Status::NotFound("space missing: " + std::to_string(page_id.space));
+  }
+  auto& slot = pages_[page_id.Pack()];
+  if (slot == nullptr) slot = std::make_unique<char[]>(page_size_);
+  std::memcpy(slot.get(), src, page_size_);
+  return Status::OK();
+}
+
+bool PageStore::PageExists(PageId page_id) const {
+  std::shared_lock lock(mu_);
+  return pages_.count(page_id.Pack()) != 0;
+}
+
+void PageStore::ResetCounters() {
+  reads_.store(0, std::memory_order_relaxed);
+  writes_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace polarmp

@@ -1,0 +1,74 @@
+#ifndef POLARMP_STORAGE_PAGE_STORE_H_
+#define POLARMP_STORAGE_PAGE_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "common/sim_latency.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace polarmp {
+
+// Disaggregated shared page store (the PolarStore/PolarFS substitute).
+//
+// Every node in the cluster has equal read/write access to every page —
+// the property that lets PolarDB-MP process any transaction on any node
+// without distributed transactions (§1, §3). Pages are stored by PageId;
+// each access charges the configured storage I/O latency, which is what
+// makes DBP hits (RDMA-priced) so much cheaper than storage reads and
+// drives the Buffer Fusion results.
+//
+// Durability model: contents survive compute-node crashes and DSM loss in
+// the simulation. "Durable" here means "held by this object", standing in
+// for PolarStore's replicated persistence.
+class PageStore {
+ public:
+  PageStore(const LatencyProfile& profile, uint32_t page_size)
+      : profile_(profile), page_size_(page_size) {}
+
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+
+  uint32_t page_size() const { return page_size_; }
+
+  Status CreateSpace(SpaceId space);
+  Status DropSpace(SpaceId space);
+  bool SpaceExists(SpaceId space) const;
+
+  // Hands out fresh page numbers for a space (file-extension equivalent).
+  StatusOr<PageNo> AllocPageNo(SpaceId space);
+  // Highest page number allocated so far (for recovery scans).
+  StatusOr<PageNo> MaxPageNo(SpaceId space) const;
+
+  // `dst`/`src` must be page_size() bytes. Reads of never-written pages
+  // return NotFound (the engine then formats a fresh page).
+  Status ReadPage(PageId page_id, char* dst) const;
+  Status WritePage(PageId page_id, const char* src);
+  bool PageExists(PageId page_id) const;
+
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+  void ResetCounters();
+
+ private:
+  struct Space {
+    std::atomic<PageNo> next_page_no{0};
+  };
+
+  LatencyProfile profile_;
+  uint32_t page_size_;
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<SpaceId, std::unique_ptr<Space>> spaces_;
+  std::unordered_map<uint64_t, std::unique_ptr<char[]>> pages_;
+
+  mutable std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_STORAGE_PAGE_STORE_H_

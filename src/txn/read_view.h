@@ -1,0 +1,24 @@
+#ifndef POLARMP_TXN_READ_VIEW_H_
+#define POLARMP_TXN_READ_VIEW_H_
+
+#include "common/types.h"
+
+namespace polarmp {
+
+// A transaction's read view (§4.1): its own g_trx_id plus a CTS fetched
+// from the TSO. A row version is visible iff it was committed at or before
+// the view's CTS (or is the transaction's own write).
+//
+// Under read committed the view is refreshed at every statement (via the
+// Linear Lamport cache); under snapshot isolation it is fixed at the first
+// read.
+struct ReadView {
+  GTrxId own = kInvalidGTrxId;
+  Csn cts = kCsnInit;
+
+  bool VisibleCts(Csn row_cts) const { return row_cts <= cts; }
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_TXN_READ_VIEW_H_

@@ -1,0 +1,159 @@
+#include "txn/tit.h"
+
+namespace polarmp {
+
+Tit::Tit(Fabric* fabric, uint32_t slots_per_node)
+    : fabric_(fabric), slots_per_node_(slots_per_node) {}
+
+Tit::~Tit() = default;
+
+Status Tit::AddNode(NodeId node, uint64_t base_version) {
+  std::lock_guard lock(mu_);
+  auto it = tables_.find(node);
+  if (it == tables_.end()) {
+    auto table = std::make_unique<Table>();
+    table->slots = std::make_unique<Slot[]>(slots_per_node_);
+    for (uint32_t i = 0; i < slots_per_node_; ++i) {
+      table->slots[i].version.store(base_version, std::memory_order_relaxed);
+    }
+    it = tables_.emplace(node, std::move(table)).first;
+  }
+  // (Re-)register with the fabric; a restart re-exposes the same memory.
+  const Status s = fabric_->RegisterRegion(
+      node, kTitRegion, it->second->slots.get(),
+      slots_per_node_ * sizeof(Slot));
+  if (!s.ok() && !s.IsAlreadyExists()) return s;
+  return Status::OK();
+}
+
+void Tit::ResetNode(NodeId node) {
+  std::lock_guard lock(mu_);
+  auto it = tables_.find(node);
+  if (it == tables_.end()) return;
+  Slot* slots = it->second->slots.get();
+  for (uint32_t i = 0; i < slots_per_node_; ++i) {
+    // Same order as allocation: version first, then cts, so concurrent
+    // remote readers resolve to "slot reused".
+    slots[i].version.fetch_add(1, std::memory_order_release);
+    slots[i].cts.store(kCsnInit, std::memory_order_release);
+    slots[i].ref.store(0, std::memory_order_release);
+    slots[i].trx_ptr.store(0, std::memory_order_release);
+  }
+}
+
+StatusOr<Tit::Table*> Tit::FindTable(NodeId node) const {
+  std::lock_guard lock(mu_);
+  auto it = tables_.find(node);
+  if (it == tables_.end()) {
+    return Status::NotFound("TIT missing for node " + std::to_string(node));
+  }
+  return it->second.get();
+}
+
+StatusOr<GTrxId> Tit::AllocSlot(NodeId node, TrxId trx_local_id) {
+  POLARMP_ASSIGN_OR_RETURN(Table* table, FindTable(node));
+  const uint32_t start =
+      table->alloc_hint.fetch_add(1, std::memory_order_relaxed);
+  for (uint32_t i = 0; i < slots_per_node_; ++i) {
+    const uint32_t idx = (start + i) % slots_per_node_;
+    Slot& slot = table->slots[idx];
+    uint64_t expected = 0;
+    if (!slot.trx_ptr.compare_exchange_strong(expected, trx_local_id,
+                                              std::memory_order_acq_rel)) {
+      continue;  // occupied
+    }
+    const uint64_t version =
+        slot.version.fetch_add(1, std::memory_order_release) + 1;
+    slot.cts.store(kCsnInit, std::memory_order_release);
+    slot.ref.store(0, std::memory_order_release);
+    return MakeGTrxId(node, idx, static_cast<uint32_t>(version));
+  }
+  return Status::Internal("TIT exhausted on node " + std::to_string(node));
+}
+
+void Tit::PublishCts(GTrxId trx, Csn cts) {
+  auto table = FindTable(GTrxNode(trx));
+  POLARMP_CHECK(table.ok());
+  Slot& slot = table.value()->slots[GTrxSlot(trx)];
+  POLARMP_CHECK_EQ(
+      static_cast<uint32_t>(slot.version.load(std::memory_order_acquire)),
+      GTrxVersion(trx));
+  slot.cts.store(cts, std::memory_order_release);
+}
+
+bool Tit::ReadAndClearRef(GTrxId trx) {
+  auto table = FindTable(GTrxNode(trx));
+  POLARMP_CHECK(table.ok());
+  Slot& slot = table.value()->slots[GTrxSlot(trx)];
+  return slot.ref.exchange(0, std::memory_order_acq_rel) != 0;
+}
+
+void Tit::FreeSlot(GTrxId trx) {
+  auto table = FindTable(GTrxNode(trx));
+  if (!table.ok()) return;
+  Slot& slot = table.value()->slots[GTrxSlot(trx)];
+  slot.trx_ptr.store(0, std::memory_order_release);
+}
+
+uint32_t Tit::LiveSlots(NodeId node) const {
+  auto table = FindTable(node);
+  if (!table.ok()) return 0;
+  uint32_t live = 0;
+  for (uint32_t i = 0; i < slots_per_node_; ++i) {
+    if (table.value()->slots[i].trx_ptr.load(std::memory_order_acquire) != 0) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+void Tit::MarkDeparted(NodeId node, bool departed) {
+  std::lock_guard lock(mu_);
+  departed_[node] = departed;
+}
+
+StatusOr<Tit::SlotRead> Tit::ReadSlot(EndpointId from, GTrxId trx) const {
+  const NodeId owner = GTrxNode(trx);
+  if (!fabric_->EndpointAlive(owner)) {
+    bool departed;
+    {
+      std::lock_guard lock(mu_);
+      auto it = departed_.find(owner);
+      departed = it != departed_.end() && it->second;
+    }
+    if (!departed) {
+      return Status::Unavailable("TIT owner down: node " +
+                                 std::to_string(owner));
+    }
+    // Gracefully departed: its table (kept by this registry) stands in for
+    // the node's registered memory.
+  }
+  POLARMP_ASSIGN_OR_RETURN(Table* table, FindTable(owner));
+  if (from != static_cast<EndpointId>(owner)) {
+    SimDelay(fabric_->profile().rdma_read_ns);
+  }
+  const Slot& slot = table->slots[GTrxSlot(trx)];
+  SlotRead out;
+  // cts before version — see the class comment for why this order makes a
+  // version match authenticate the cts.
+  out.cts = slot.cts.load(std::memory_order_acquire);
+  out.version =
+      static_cast<uint32_t>(slot.version.load(std::memory_order_acquire));
+  return out;
+}
+
+Status Tit::SetRefRemote(EndpointId from, GTrxId trx) const {
+  const NodeId owner = GTrxNode(trx);
+  if (!fabric_->EndpointAlive(owner)) {
+    return Status::Unavailable("TIT owner down: node " +
+                               std::to_string(owner));
+  }
+  POLARMP_ASSIGN_OR_RETURN(Table* table, FindTable(owner));
+  if (from != static_cast<EndpointId>(owner)) {
+    SimDelay(fabric_->profile().rdma_write_ns);
+  }
+  table->slots[GTrxSlot(trx)].ref.store(1, std::memory_order_release);
+  return Status::OK();
+}
+
+}  // namespace polarmp

@@ -1,0 +1,116 @@
+#ifndef POLARMP_TXN_TIT_H_
+#define POLARMP_TXN_TIT_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/types.h"
+#include "rdma/fabric.h"
+
+namespace polarmp {
+
+// Fabric region at each node endpoint holding its TIT slots.
+inline constexpr uint32_t kTitRegion = 1;
+
+// Transaction Information Table (§4.1, Fig. 3).
+//
+// Every node keeps a fixed array of slots {pointer, CTS, version, ref} in
+// RDMA-registered memory. Transaction metadata is fully decentralized: a
+// node allocates slots for its own transactions locally, and any node can
+// read any slot with a one-sided RDMA read, addressed by the slot index
+// carried in the row's g_trx_id.
+//
+// Slot lifecycle and the lock-free read protocol:
+//   * allocation claims a free slot (pointer CAS), bumps `version`
+//     (release), THEN resets `cts` to kCsnInit;
+//   * readers load `cts` first, `version` second. With those orders, a
+//     version match guarantees the cts belongs to the expected transaction,
+//     and any mismatch means the slot was recycled — which by the recycle
+//     rule implies the old transaction's changes are visible to every view
+//     (Algorithm 1's kCsnMin case);
+//   * a slot is recycled only when its CTS (or, for rolled-back
+//     transactions, the TSO value observed at rollback completion) is below
+//     the global minimum view broadcast by Transaction Fusion.
+//
+// `ref` is the waiting-transaction flag of the RLock protocol (§4.3.2):
+// waiters set it remotely; a finishing transaction that sees it set pings
+// Lock Fusion to wake them.
+class Tit {
+ public:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> version{0};
+    std::atomic<uint64_t> cts{kCsnInit};
+    std::atomic<uint64_t> ref{0};
+    std::atomic<uint64_t> trx_ptr{0};  // local trx id; 0 = free slot
+  };
+
+  struct SlotRead {
+    Csn cts = kCsnInit;
+    uint32_t version = 0;
+  };
+
+  Tit(Fabric* fabric, uint32_t slots_per_node);
+  ~Tit();
+
+  Tit(const Tit&) = delete;
+  Tit& operator=(const Tit&) = delete;
+
+  // Allocates (or re-registers after restart) the node's table. A fresh
+  // table seeds every slot's version with `base_version` (derived from the
+  // node's durable restart epoch) so g_trx_ids minted before a full-cluster
+  // restart can never collide with post-restart slot versions.
+  Status AddNode(NodeId node, uint64_t base_version = 0);
+
+  // Graceful-departure flag: a departed node's table stays readable (its
+  // memory lives in this registry) so rows written by its committed
+  // transactions remain resolvable after the node leaves. A *crashed* node
+  // is not departed: its TIT reads fail Unavailable until recovery, which
+  // is what keeps its in-flight transactions' rows conservatively locked.
+  void MarkDeparted(NodeId node, bool departed);
+
+  // Restart path: frees every slot while bumping versions, so g_trx_ids
+  // minted before the crash resolve as "slot reused" (their transactions
+  // were either committed — correct — or rolled back by recovery before the
+  // node serves reads).
+  void ResetNode(NodeId node);
+
+  // ---- owner-node operations ----
+  // Claims a free slot for local transaction `trx_local_id`.
+  StatusOr<GTrxId> AllocSlot(NodeId node, TrxId trx_local_id);
+  // Publishes the commit timestamp (the INIT→CTS transition).
+  void PublishCts(GTrxId trx, Csn cts);
+  // Waiting-transaction flag (read/cleared by the owner at finish).
+  bool ReadAndClearRef(GTrxId trx);
+  // Recycles the slot (caller enforced the global-min-view rule).
+  void FreeSlot(GTrxId trx);
+  // Number of live (allocated) slots on the node, for telemetry/tests.
+  uint32_t LiveSlots(NodeId node) const;
+
+  // ---- any-node operations ----
+  // One-sided read of {cts, version}; Unavailable if the owner is down.
+  StatusOr<SlotRead> ReadSlot(EndpointId from, GTrxId trx) const;
+  // One-sided write setting the owner's ref flag (Fig. 6 step 1).
+  Status SetRefRemote(EndpointId from, GTrxId trx) const;
+
+  uint32_t slots_per_node() const { return slots_per_node_; }
+
+ private:
+  struct Table {
+    std::unique_ptr<Slot[]> slots;
+    std::atomic<uint32_t> alloc_hint{0};
+  };
+
+  StatusOr<Table*> FindTable(NodeId node) const;
+
+  Fabric* fabric_;
+  const uint32_t slots_per_node_;
+  mutable std::mutex mu_;
+  std::map<NodeId, std::unique_ptr<Table>> tables_;
+  std::map<NodeId, bool> departed_;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_TXN_TIT_H_

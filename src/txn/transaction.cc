@@ -1,0 +1,537 @@
+#include "txn/transaction.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace polarmp {
+
+TrxManager::TrxManager(EngineContext* engine, Tit* tit, TsoClient* tso,
+                       TransactionFusion* txn_fusion, LockFusion* lock_fusion,
+                       UndoStore* undo, const Options& options)
+    : engine_(engine),
+      tit_(tit),
+      tso_(tso),
+      txn_fusion_(txn_fusion),
+      lock_fusion_(lock_fusion),
+      undo_(undo),
+      options_(options) {}
+
+StatusOr<Transaction*> TrxManager::Begin(IsolationLevel iso) {
+  std::unique_lock lock(mu_);
+  const TrxId local_id = next_local_id_++;
+  lock.unlock();
+  auto gid_or = tit_->AllocSlot(node(), local_id);
+  for (int attempt = 0; !gid_or.ok() && attempt < 64; ++attempt) {
+    // TIT full: recycling lags the commit rate. Run the recycle pass
+    // synchronously (report view, read global minimum, free slots) and
+    // retry — the paper's background reclamation, on demand.
+    BackgroundTick();
+    gid_or = tit_->AllocSlot(node(), local_id);
+    if (!gid_or.ok()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  POLARMP_ASSIGN_OR_RETURN(GTrxId gid, std::move(gid_or));
+  auto trx = std::make_unique<Transaction>(local_id, gid, iso);
+  trx->view_.own = gid;
+  Transaction* ptr = trx.get();
+  lock.lock();
+  active_[local_id] = std::move(trx);
+  return ptr;
+}
+
+Status TrxManager::RefreshView(Transaction* trx) {
+  if (trx->iso_ == IsolationLevel::kSnapshotIsolation && trx->has_view()) {
+    return Status::OK();  // snapshot fixed at first statement
+  }
+  POLARMP_ASSIGN_OR_RETURN(Csn cts, tso_->ReadTimestamp());
+  trx->view_.cts = cts;
+  return Status::OK();
+}
+
+Csn TrxManager::GetCtsForVersion(GTrxId g_trx, Csn row_cts) const {
+  // Algorithm 1.
+  if (row_cts != kCsnInit) return row_cts;          // CTS already backfilled
+  if (g_trx == kInvalidGTrxId) return kCsnMin;      // bulk-loaded row
+  auto slot = tit_->ReadSlot(node(), g_trx);
+  if (!slot.ok()) {
+    // Owner unreachable (crashed): conservatively treat as active until its
+    // recovery rolls the transaction back or republishes the TIT.
+    return kCsnMax;
+  }
+  if (slot.value().version != GTrxVersion(g_trx)) {
+    // Slot reused ⇒ the transaction committed and is globally visible.
+    return kCsnMin;
+  }
+  if (slot.value().cts == kCsnInit) return kCsnMax;  // still active
+  return slot.value().cts;
+}
+
+bool TrxManager::IsTrxActive(GTrxId g_trx) const {
+  return GetCtsForVersion(g_trx, kCsnInit) == kCsnMax;
+}
+
+StatusOr<std::optional<RowVersion>> TrxManager::VisibleVersion(
+    const Transaction* trx, const RowView& row) const {
+  RowVersion version = RowVersion::FromView(row);
+  for (int depth = 0; depth < 4096; ++depth) {
+    if (version.g_trx_id == trx->gid()) return std::optional(version);
+    const Csn cts = GetCtsForVersion(version.g_trx_id, version.cts);
+    if (cts != kCsnMax && trx->view().VisibleCts(cts)) {
+      return std::optional(version);
+    }
+    if (version.undo_ptr == kNullUndoPtr) return std::optional<RowVersion>();
+    POLARMP_ASSIGN_OR_RETURN(UndoRecord rec,
+                             undo_->Read(node(), version.undo_ptr));
+    if (rec.type == UndoType::kInsert) {
+      // The row did not exist before this insert.
+      return std::optional<RowVersion>();
+    }
+    version.g_trx_id = rec.prev_trx;
+    version.cts = rec.prev_cts;
+    version.undo_ptr = rec.prev_undo;
+    version.flags = rec.prev_flags;
+    version.value = std::move(rec.prev_value);
+  }
+  return Status::Internal("version chain too deep");
+}
+
+StatusOr<std::string> TrxManager::ReadRow(Transaction* trx, BTree* tree,
+                                          int64_t key) {
+  POLARMP_RETURN_IF_ERROR(RefreshView(trx));
+  Mtr mtr(engine_);
+  POLARMP_ASSIGN_OR_RETURN(BTree::LeafPos pos,
+                           tree->SearchLeaf(&mtr, key, LockMode::kShared));
+  if (!pos.found) return Status::NotFound("no row for key");
+  Page leaf = mtr.PageAt(pos.guard);
+  POLARMP_ASSIGN_OR_RETURN(RowView row, leaf.RowAt(pos.slot));
+  POLARMP_ASSIGN_OR_RETURN(std::optional<RowVersion> version,
+                           VisibleVersion(trx, row));
+  mtr.Commit();
+  if (!version.has_value() || version->tombstone()) {
+    return Status::NotFound("no visible version");
+  }
+  return std::move(version->value);
+}
+
+Status TrxManager::ScanRows(
+    Transaction* trx, BTree* tree, int64_t lo, int64_t hi,
+    const std::function<bool(int64_t, const std::string&)>& fn) {
+  POLARMP_RETURN_IF_ERROR(RefreshView(trx));
+  Status inner = Status::OK();
+  const Status scan = tree->ScanRange(lo, hi, [&](const RowView& row) {
+    auto version = VisibleVersion(trx, row);
+    if (!version.ok()) {
+      inner = version.status();
+      return false;
+    }
+    if (!version.value().has_value() || version.value()->tombstone()) {
+      return true;
+    }
+    return fn(version.value()->key, version.value()->value);
+  });
+  POLARMP_RETURN_IF_ERROR(scan);
+  return inner;
+}
+
+Status TrxManager::WaitForRowLock(Transaction* trx, GTrxId holder) {
+  lock_waits_.fetch_add(1, std::memory_order_relaxed);
+  // Fig. 6: (1) register the wait-for edge, (2) raise the holder's ref flag,
+  // (3) re-check the holder (it may have finished between our row check and
+  // the flag write), (4) block until notified. The register-before-recheck
+  // order closes the missed-wakeup race.
+  const Status reg = lock_fusion_->RegisterWait(trx->gid(), holder);
+  if (reg.IsAborted()) {
+    deadlock_aborts_.fetch_add(1, std::memory_order_relaxed);
+    return reg;
+  }
+  POLARMP_RETURN_IF_ERROR(reg);
+  (void)tit_->SetRefRemote(node(), holder);
+  if (!IsTrxActive(holder)) {
+    lock_fusion_->CancelWait(trx->gid());
+    return Status::OK();
+  }
+  return lock_fusion_->AwaitHolder(trx->gid(), options_.lock_wait_timeout_ms);
+}
+
+Status TrxManager::WriteRow(Transaction* trx, BTree* tree, int64_t key,
+                            Slice value, bool tombstone, bool must_not_exist,
+                            bool require_exists,
+                            std::optional<RowVersion>* prev) {
+  POLARMP_CHECK_EQ(trx->state_, TrxState::kActive);
+  POLARMP_RETURN_IF_ERROR(RefreshView(trx));
+  const uint8_t flags = tombstone ? kRowTombstone : 0;
+
+  for (int attempt = 0; attempt < options_.write_retry_limit; ++attempt) {
+    GTrxId conflict_holder = kInvalidGTrxId;
+    {
+      Mtr mtr(engine_);
+      const size_t need = kRowHeaderSize + value.size();
+      POLARMP_ASSIGN_OR_RETURN(BTree::LeafPos pos,
+                               tree->SearchLeafForWrite(&mtr, key, need));
+      Page leaf = mtr.PageAt(pos.guard);
+
+      UndoRecord undo_rec;
+      undo_rec.space = tree->space();
+      undo_rec.key = key;
+      undo_rec.trx = trx->gid();
+      undo_rec.trx_prev = trx->last_undo();
+
+      if (pos.found) {
+        POLARMP_ASSIGN_OR_RETURN(RowView row, leaf.RowAt(pos.slot));
+        // A backfilled row CTS proves the writer committed even when its
+        // TIT is unreachable; only unresolved rows consult the TIT.
+        const Csn row_commit_cts =
+            row.g_trx_id == trx->gid()
+                ? trx->view().cts  // own write, trivially "visible"
+                : GetCtsForVersion(row.g_trx_id, row.cts);
+        if (row.g_trx_id != trx->gid() && row_commit_cts == kCsnMax) {
+          // Embedded row lock held by another live transaction (§4.3.2).
+          conflict_holder = row.g_trx_id;
+        } else {
+          if (trx->iso_ == IsolationLevel::kSnapshotIsolation &&
+              row.g_trx_id != trx->gid() &&
+              !trx->view().VisibleCts(row_commit_cts)) {
+            // First-committer-wins under snapshot isolation.
+            return Status::Aborted("write-write conflict (SI)");
+          }
+          if (must_not_exist && !row.tombstone()) {
+            return Status::AlreadyExists("key exists");
+          }
+          if (require_exists && row.tombstone()) {
+            return Status::NotFound("row deleted");
+          }
+          undo_rec.type =
+              row.tombstone() ? UndoType::kDelete : UndoType::kUpdate;
+          undo_rec.prev_trx = row.g_trx_id;
+          undo_rec.prev_cts = row.cts;
+          undo_rec.prev_undo = row.undo_ptr;
+          undo_rec.prev_flags = row.flags;
+          undo_rec.prev_value = row.value.ToString();
+          if (prev != nullptr) {
+            *prev = row.tombstone() ? std::optional<RowVersion>()
+                                    : std::optional(RowVersion::FromView(row));
+          }
+        }
+      } else {
+        if (require_exists) return Status::NotFound("no row for key");
+        undo_rec.type = UndoType::kInsert;
+        if (prev != nullptr) *prev = std::nullopt;
+      }
+
+      if (conflict_holder == kInvalidGTrxId) {
+        POLARMP_ASSIGN_OR_RETURN(UndoStore::AppendResult undo_res,
+                                 undo_->Append(node(), undo_rec));
+        mtr.LogUndoAppend(undo_res.offset, undo_res.bytes);
+        const std::string image = EncodeRow(key, trx->gid(), kCsnInit,
+                                            undo_res.ptr, flags, value);
+        POLARMP_RETURN_IF_ERROR(mtr.LogWriteRow(pos.guard, image));
+        mtr.Commit();
+        if (trx->first_lsn_ == 0) trx->first_lsn_ = mtr.commit_start_lsn();
+        trx->last_undo_ = undo_res.ptr;
+        trx->first_undo_offset_ =
+            std::min(trx->first_undo_offset_, undo_res.offset);
+        trx->touched_.push_back(Transaction::TouchedRow{
+            mtr.PageIdAt(pos.guard), key, tree->space(), tombstone});
+        return Status::OK();
+      }
+      // Conflict: fall through with all guards released (the Mtr destructor
+      // runs now; never block on a row lock while holding page latches).
+    }
+    const Status wait = WaitForRowLock(trx, conflict_holder);
+    if (!wait.ok()) return wait;
+  }
+  return Status::Busy("row write did not converge");
+}
+
+Status TrxManager::Commit(Transaction* trx) {
+  POLARMP_CHECK_EQ(trx->state_, TrxState::kActive);
+  if (!trx->has_writes()) {
+    trx->state_ = TrxState::kCommitted;
+    // Read-only: no row ever carries this gid; the slot can recycle now.
+    tit_->FreeSlot(trx->gid());
+    FinishWaiters(trx);
+    return Status::OK();
+  }
+  // 1. Commit timestamp from the TSO (one-sided RDMA fetch-add).
+  POLARMP_ASSIGN_OR_RETURN(Csn cts, tso_->CommitTimestamp());
+  trx->cts_ = cts;
+  // 2. Durability: commit record + force ("before committing a transaction,
+  //    the corresponding redo logs are synchronized to the storage", §4.4).
+  const Lsn end =
+      engine_->log->Add({MakeTrxCommit(node(), trx->gid(), cts)});
+  POLARMP_RETURN_IF_ERROR(engine_->log->ForceTo(end));
+  // 3. Visibility: publish the CTS in the TIT.
+  tit_->PublishCts(trx->gid(), cts);
+  trx->state_ = TrxState::kCommitted;
+  // 4. Best-effort CTS backfill into still-buffered rows (§4.1).
+  BackfillCts(trx);
+  // 5. Wake cross-node waiters if any flagged themselves (§4.3.2).
+  FinishWaiters(trx);
+  // 6. Hand the slot to the recycler once globally visible; tombstoned
+  //    rows join the purge queue for physical removal.
+  std::lock_guard lock(mu_);
+  finished_.push_back(FinishedTrx{trx->gid(), cts, trx->first_undo_offset(),
+                                  undo_->head(node())});
+  for (const auto& touched : trx->touched_) {
+    if (touched.tombstone) {
+      purge_queue_.push_back(PurgeCandidate{touched.space, touched.key, cts});
+    }
+  }
+  return Status::OK();
+}
+
+void TrxManager::BackfillCts(Transaction* trx) {
+  for (const auto& touched : trx->touched_) {
+    if (!engine_->plock->TryPinLocal(touched.page, LockMode::kExclusive)) {
+      continue;
+    }
+    BufferPool::Handle handle = engine_->lbp->TryGetCached(touched.page);
+    if (!handle.valid()) {
+      engine_->plock->Unpin(touched.page);
+      continue;
+    }
+    engine_->lbp->Latch(handle, LockMode::kExclusive);
+    Page page(handle.data, engine_->lbp->page_size());
+    const int slot = page.FindSlot(touched.key);
+    if (slot >= 0) {
+      auto row = page.RowAt(slot);
+      if (row.ok() && row.value().g_trx_id == trx->gid()) {
+        // Unlogged metadata refinement: after a crash the CTS is
+        // re-derivable (TIT mismatch ⇒ visible to all), so no redo needed.
+        page.SetRowCts(slot, trx->cts_);
+      }
+    }
+    engine_->lbp->Unlatch(handle, LockMode::kExclusive);
+    engine_->lbp->Unpin(handle);
+    engine_->plock->Unpin(touched.page);
+  }
+}
+
+void TrxManager::FinishWaiters(Transaction* trx) {
+  if (tit_->ReadAndClearRef(trx->gid())) {
+    lock_fusion_->NotifyTrxFinished(trx->gid());
+  }
+}
+
+Status TrxManager::Rollback(Transaction* trx) {
+  POLARMP_CHECK_EQ(trx->state_, TrxState::kActive);
+  // Resolver for the tree a rolled-back record belongs to is installed by
+  // DbNode (tree_resolver_); without writes there is nothing to undo.
+  UndoPtr cursor = trx->last_undo();
+  while (cursor != kNullUndoPtr) {
+    POLARMP_ASSIGN_OR_RETURN(UndoRecord rec, undo_->Read(node(), cursor));
+    POLARMP_CHECK_EQ(rec.trx, trx->gid());
+    BTree* tree = tree_resolver_(rec.space);
+    if (tree == nullptr) {
+      return Status::Internal("no tree for space " + std::to_string(rec.space));
+    }
+    // Rollback holds row locks other transactions wait on; transient page
+    // contention (Busy) must be retried, never surfaced.
+    for (int attempt = 0;; ++attempt) {
+      const Status applied = [&]() -> Status {
+        Mtr mtr(engine_);
+        const size_t need = kRowHeaderSize + rec.prev_value.size();
+        POLARMP_ASSIGN_OR_RETURN(BTree::LeafPos pos,
+                                 tree->SearchLeafForWrite(&mtr, rec.key, need));
+        if (rec.type == UndoType::kInsert) {
+          if (pos.found) {
+            POLARMP_RETURN_IF_ERROR(mtr.LogRemoveRow(pos.guard, rec.key));
+          }
+        } else {
+          const std::string image =
+              EncodeRow(rec.key, rec.prev_trx, rec.prev_cts, rec.prev_undo,
+                        rec.prev_flags, rec.prev_value);
+          POLARMP_RETURN_IF_ERROR(mtr.LogWriteRow(pos.guard, image));
+        }
+        mtr.Commit();
+        return Status::OK();
+      }();
+      if (applied.ok()) break;
+      if (!applied.IsBusy()) return applied;
+      if (attempt > 0 && attempt % 16 == 0) {
+        POLARMP_LOG(Warn) << "rollback of trx " << trx->gid()
+                          << " retrying under contention: "
+                          << applied.ToString();
+      }
+    }
+    cursor = rec.trx_prev;
+  }
+  if (trx->has_writes()) {
+    engine_->log->Add({MakeTrxRollbackEnd(node(), trx->gid())});
+  }
+  trx->state_ = TrxState::kRolledBack;
+  FinishWaiters(trx);
+  // Gate recycling on the TSO value observed now: any reader that captured
+  // one of this transaction's row images has a view below it.
+  auto now = tso_->ReadTimestamp();
+  std::lock_guard lock(mu_);
+  finished_.push_back(FinishedTrx{trx->gid(), now.ok() ? now.value() : kCsnMax,
+                                  trx->first_undo_offset(),
+                                  undo_->head(node())});
+  return Status::OK();
+}
+
+void TrxManager::Release(Transaction* trx) {
+  std::lock_guard lock(mu_);
+  auto it = active_.find(trx->local_id());
+  POLARMP_CHECK(it != active_.end());
+  POLARMP_CHECK(it->second->state_ != TrxState::kActive)
+      << "release of active transaction";
+  active_.erase(it);
+}
+
+void TrxManager::BackgroundTick() {
+  // 1. Report this node's minimum view (§4.1 "TIT recycle").
+  Csn min_view = kCsnMax;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [id, trx] : active_) {
+      if (trx->state_ == TrxState::kActive && trx->has_view()) {
+        min_view = std::min(min_view, trx->view().cts);
+      }
+    }
+  }
+  if (min_view == kCsnMax) {
+    // No active views: any future view will read the TSO at >= current, so
+    // everything committed at or below the current value is globally
+    // visible. Reporting current+1 lets the strict `<` recycle gate pass
+    // for the newest commit while staying exact for rollback gating.
+    auto now = tso_->ReadTimestamp();
+    if (!now.ok()) return;
+    min_view = now.value() + 1;
+  }
+  (void)txn_fusion_->ReportMinView(node(), min_view);
+
+  // 2. Read the consolidated minimum (one-sided) and recycle.
+  auto gmin_or = txn_fusion_->GlobalMinView(node());
+  if (!gmin_or.ok()) return;
+  const Csn gmin = gmin_or.value();
+
+  uint64_t purge_to = UINT64_MAX;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [id, trx] : active_) {
+      if (trx->first_undo_offset() != UINT64_MAX) {
+        purge_to = std::min(purge_to, trx->first_undo_offset());
+      }
+    }
+    auto it = finished_.begin();
+    while (it != finished_.end()) {
+      if (it->recycle_after < gmin) {
+        tit_->FreeSlot(it->gid);
+        it = finished_.erase(it);
+      } else {
+        if (it->first_undo_offset != UINT64_MAX) {
+          purge_to = std::min(purge_to, it->first_undo_offset);
+        }
+        ++it;
+      }
+    }
+  }
+  // 3. Purge undo below every possibly-needed record.
+  if (purge_to == UINT64_MAX) purge_to = undo_->head(node());
+  (void)undo_->FreeUpTo(node(), purge_to);
+
+  // 4. Physically remove tombstones that are visible-to-all (row GC).
+  std::vector<PurgeCandidate> ready;
+  {
+    std::lock_guard lock(mu_);
+    auto it = purge_queue_.begin();
+    while (it != purge_queue_.end()) {
+      if (it->delete_cts < gmin) {
+        ready.push_back(*it);
+        it = purge_queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const PurgeCandidate& candidate : ready) {
+    const Status s = PurgeRow(candidate.space, candidate.key, gmin);
+    if (!s.ok() && !s.IsNotFound() && !s.IsBusy()) {
+      POLARMP_LOG(Warn) << "tombstone purge failed: " << s.ToString();
+    }
+  }
+}
+
+Status TrxManager::PurgeRow(SpaceId space, int64_t key, Csn gmin) {
+  BTree* tree = tree_resolver_(space);
+  if (tree == nullptr) return Status::NotFound("no tree for space");
+  Mtr mtr(engine_);
+  POLARMP_ASSIGN_OR_RETURN(BTree::LeafPos pos,
+                           tree->SearchLeaf(&mtr, key, LockMode::kExclusive));
+  if (!pos.found) return Status::OK();  // already gone
+  POLARMP_ASSIGN_OR_RETURN(RowView row, mtr.PageAt(pos.guard).RowAt(pos.slot));
+  // Only remove if the row is STILL a tombstone whose delete is globally
+  // visible (it may have been re-inserted, or deleted again more recently).
+  if (!row.tombstone()) return Status::OK();
+  const Csn cts = GetCtsForVersion(row.g_trx_id, row.cts);
+  if (cts == kCsnMax || cts >= gmin) return Status::OK();
+  POLARMP_RETURN_IF_ERROR(mtr.LogRemoveRow(pos.guard, key));
+  mtr.Commit();
+  purged_rows_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Lsn TrxManager::OldestActiveFirstLsn() const {
+  std::lock_guard lock(mu_);
+  Lsn oldest = UINT64_MAX;
+  for (const auto& [id, trx] : active_) {
+    if (trx->state_ == TrxState::kActive && trx->first_lsn() != 0) {
+      oldest = std::min(oldest, trx->first_lsn());
+    }
+  }
+  return oldest;
+}
+
+Status TrxManager::RollbackRecovered(GTrxId gid, UndoPtr last_undo) {
+  UndoPtr cursor = last_undo;
+  while (cursor != kNullUndoPtr) {
+    POLARMP_ASSIGN_OR_RETURN(UndoRecord rec, undo_->Read(node(), cursor));
+    if (rec.trx != gid) {
+      return Status::Corruption("undo chain crosses transactions");
+    }
+    BTree* tree = tree_resolver_(rec.space);
+    if (tree == nullptr) {
+      return Status::Internal("no tree for space " +
+                              std::to_string(rec.space));
+    }
+    Mtr mtr(engine_);
+    const size_t need = kRowHeaderSize + rec.prev_value.size();
+    POLARMP_ASSIGN_OR_RETURN(BTree::LeafPos pos,
+                             tree->SearchLeafForWrite(&mtr, rec.key, need));
+    if (rec.type == UndoType::kInsert) {
+      if (pos.found) {
+        POLARMP_RETURN_IF_ERROR(mtr.LogRemoveRow(pos.guard, rec.key));
+      }
+    } else {
+      // Only restore if the row still carries the dead transaction's id
+      // (a re-run of recovery may find it already restored).
+      bool restore = true;
+      if (pos.found) {
+        auto row = mtr.PageAt(pos.guard).RowAt(pos.slot);
+        restore = row.ok() && row.value().g_trx_id == gid;
+      }
+      if (restore) {
+        const std::string image =
+            EncodeRow(rec.key, rec.prev_trx, rec.prev_cts, rec.prev_undo,
+                      rec.prev_flags, rec.prev_value);
+        POLARMP_RETURN_IF_ERROR(mtr.LogWriteRow(pos.guard, image));
+      }
+    }
+    mtr.Commit();
+    cursor = rec.trx_prev;
+  }
+  engine_->log->Add({MakeTrxRollbackEnd(node(), gid)});
+  lock_fusion_->NotifyTrxFinished(gid);
+  return Status::OK();
+}
+
+void TrxManager::DropAll() {
+  std::lock_guard lock(mu_);
+  active_.clear();
+  finished_.clear();
+}
+
+}  // namespace polarmp

@@ -1,0 +1,211 @@
+#ifndef POLARMP_TXN_TRANSACTION_H_
+#define POLARMP_TXN_TRANSACTION_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "engine/btree.h"
+#include "engine/undo.h"
+#include "pmfs/lock_fusion.h"
+#include "pmfs/transaction_fusion.h"
+#include "txn/read_view.h"
+#include "txn/tit.h"
+
+namespace polarmp {
+
+enum class TrxState : uint8_t { kActive, kCommitted, kRolledBack };
+
+// A transaction executing on one node (PolarDB-MP never needs distributed
+// transactions: every node sees all data, §1).
+class Transaction {
+ public:
+  Transaction(TrxId local_id, GTrxId gid, IsolationLevel iso)
+      : local_id_(local_id), gid_(gid), iso_(iso) {}
+
+  TrxId local_id() const { return local_id_; }
+  GTrxId gid() const { return gid_; }
+  IsolationLevel isolation() const { return iso_; }
+  TrxState state() const { return state_; }
+  Csn cts() const { return cts_; }
+
+  const ReadView& view() const { return view_; }
+  bool has_view() const { return view_.cts != kCsnInit; }
+
+  UndoPtr last_undo() const { return last_undo_; }
+  uint64_t first_undo_offset() const { return first_undo_offset_; }
+  bool has_writes() const { return last_undo_ != kNullUndoPtr; }
+  // LSN of the transaction's first redo byte (checkpoints must not pass it
+  // while the transaction is active); 0 if it has not written.
+  Lsn first_lsn() const { return first_lsn_; }
+
+ private:
+  friend class TrxManager;
+
+  struct TouchedRow {
+    PageId page;  // leaf the row lived on at write time (backfill hint)
+    int64_t key;
+    SpaceId space;
+    bool tombstone;
+  };
+
+  const TrxId local_id_;
+  const GTrxId gid_;
+  const IsolationLevel iso_;
+  TrxState state_ = TrxState::kActive;
+  ReadView view_;
+  Csn cts_ = kCsnInit;
+
+  UndoPtr last_undo_ = kNullUndoPtr;
+  uint64_t first_undo_offset_ = UINT64_MAX;  // lowest undo offset written
+  Lsn first_lsn_ = 0;
+  std::vector<TouchedRow> touched_;
+};
+
+// Per-node transaction manager: TIT slot lifecycle, MVCC visibility
+// (Algorithm 1), the embedded-row-lock write protocol (§4.3.2), the commit
+// pipeline (CTS fetch → redo force → TIT publish → CTS backfill → waiter
+// notification) and undo-based rollback. The background tick drives
+// min-view reporting, TIT recycling and undo purge.
+class TrxManager {
+ public:
+  struct Options {
+    uint64_t lock_wait_timeout_ms = 2'000;
+    int write_retry_limit = 64;
+  };
+
+  TrxManager(EngineContext* engine, Tit* tit, TsoClient* tso,
+             TransactionFusion* txn_fusion, LockFusion* lock_fusion,
+             UndoStore* undo, const Options& options);
+
+  TrxManager(const TrxManager&) = delete;
+  TrxManager& operator=(const TrxManager&) = delete;
+
+  // Maps a tablespace to its tree so Rollback can route undo records.
+  // Installed by DbNode before any transaction runs.
+  void SetTreeResolver(std::function<BTree*(SpaceId)> resolver) {
+    tree_resolver_ = std::move(resolver);
+  }
+
+  NodeId node() const { return engine_->node; }
+
+  StatusOr<Transaction*> Begin(IsolationLevel iso);
+  Status Commit(Transaction* trx);
+  Status Rollback(Transaction* trx);
+  // After Commit/Rollback the pointer stays valid until Release.
+  void Release(Transaction* trx);
+
+  // ---- row operations (engine-facing; Session wraps them) ----
+
+  // Writes `value` (or a tombstone) for `key`, acquiring the embedded row
+  // lock, emitting undo and redo. `must_not_exist` gives INSERT semantics
+  // (AlreadyExists if a committed, non-deleted version exists).
+  // On success *prev (if non-null) receives the previous committed version
+  // (absent for fresh inserts), which callers use for GSI maintenance.
+  // Errors: Aborted (deadlock victim), Busy (lock wait timeout), NotFound
+  // (update/delete of a missing row — when `require_exists`).
+  Status WriteRow(Transaction* trx, BTree* tree, int64_t key, Slice value,
+                  bool tombstone, bool must_not_exist, bool require_exists,
+                  std::optional<RowVersion>* prev);
+
+  // MVCC point read. NotFound if no visible version (or visible tombstone).
+  StatusOr<std::string> ReadRow(Transaction* trx, BTree* tree, int64_t key);
+
+  // MVCC range scan: visible versions of rows with lo <= key <= hi.
+  Status ScanRows(Transaction* trx, BTree* tree, int64_t lo, int64_t hi,
+                  const std::function<bool(int64_t, const std::string&)>& fn);
+
+  // Algorithm 1 (GetCTSForRow) generalized to any reconstructed version.
+  Csn GetCtsForVersion(GTrxId g_trx, Csn row_cts) const;
+
+  // Drives min-view reporting, TIT recycling and undo purge; called by the
+  // node's background thread.
+  void BackgroundTick();
+
+  // Checkpoint gate: the lowest first-redo LSN among active writing
+  // transactions (UINT64_MAX if none).
+  Lsn OldestActiveFirstLsn() const;
+
+  // Recovery: rolls back a pre-crash transaction identified by its gid and
+  // last undo pointer, through the normal (logged, locked) engine path.
+  Status RollbackRecovered(GTrxId gid, UndoPtr last_undo);
+
+  // Crash support: forget all volatile transaction state.
+  void DropAll();
+
+  uint64_t purged_rows() const {
+    return purged_rows_.load(std::memory_order_relaxed);
+  }
+  uint64_t lock_waits() const { return lock_waits_.load(std::memory_order_relaxed); }
+  uint64_t deadlock_aborts() const {
+    return deadlock_aborts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Refreshes the statement view per the isolation level.
+  Status RefreshView(Transaction* trx);
+
+  // True if the transaction behind `g_trx` is still active (conservative on
+  // unreachable owners).
+  bool IsTrxActive(GTrxId g_trx) const;
+
+  // Fig. 6 wait protocol. OK = holder finished, retry the row; Aborted =
+  // deadlock victim; Busy = timeout.
+  Status WaitForRowLock(Transaction* trx, GTrxId holder);
+
+  // Reconstructs the newest version visible to `view`, starting from the
+  // on-page row. Returns nullopt if no visible version exists.
+  StatusOr<std::optional<RowVersion>> VisibleVersion(
+      const Transaction* trx, const RowView& row) const;
+
+  // Best-effort commit-time CTS backfill (§4.1).
+  void BackfillCts(Transaction* trx);
+
+  // Physically removes `key`'s row if it is a globally-visible tombstone.
+  Status PurgeRow(SpaceId space, int64_t key, Csn gmin);
+
+  void FinishWaiters(Transaction* trx);
+
+  EngineContext* engine_;
+  Tit* tit_;
+  TsoClient* tso_;
+  TransactionFusion* txn_fusion_;
+  LockFusion* lock_fusion_;
+  UndoStore* undo_;
+  const Options options_;
+  std::function<BTree*(SpaceId)> tree_resolver_;
+
+  mutable std::mutex mu_;
+  TrxId next_local_id_ = 1;
+  std::map<TrxId, std::unique_ptr<Transaction>> active_;
+
+  struct FinishedTrx {
+    GTrxId gid;
+    Csn recycle_after;          // recycle when global min view exceeds this
+    uint64_t first_undo_offset;  // UINT64_MAX if no undo
+    uint64_t end_undo_offset;    // undo head when the trx finished
+  };
+  std::vector<FinishedTrx> finished_;
+
+  // Tombstone purge queue: rows deleted by committed transactions become
+  // physically removable once globally visible (the row-level analogue of
+  // TIT recycling; without it deleted rows would pin page space forever).
+  struct PurgeCandidate {
+    SpaceId space;
+    int64_t key;
+    Csn delete_cts;
+  };
+  std::vector<PurgeCandidate> purge_queue_;
+  std::atomic<uint64_t> purged_rows_{0};
+
+  std::atomic<uint64_t> lock_waits_{0};
+  std::atomic<uint64_t> deadlock_aborts_{0};
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_TXN_TRANSACTION_H_

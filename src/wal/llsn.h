@@ -1,0 +1,45 @@
+#ifndef POLARMP_WAL_LLSN_H_
+#define POLARMP_WAL_LLSN_H_
+
+#include <atomic>
+
+#include "common/types.h"
+
+namespace polarmp {
+
+// Logical log sequence number clock (§4.4).
+//
+// Each node keeps a local LLSN that (a) increments on every log-generating
+// page update and (b) max-merges with the LLSN of every page the node reads
+// (from storage or the DBP). Because a page can only be updated under an
+// exclusive PLock, and the updated page reaches the next writer through the
+// DBP *before* the PLock moves, the LLSNs stamped on any single page's logs
+// are strictly increasing in generation order across nodes — a partial
+// order that is total per page, which is all recovery needs.
+class LlsnClock {
+ public:
+  LlsnClock() : value_(0) {}
+
+  // Called when generating a log record for a page update; returns the LLSN
+  // to stamp on both the record and the page.
+  Llsn Advance() { return value_.fetch_add(1, std::memory_order_acq_rel) + 1; }
+
+  // Called when reading a page whose stamp is `observed` ("if a node reads a
+  // page ... it updates its local LLSN to match the accessed page's LLSN").
+  void Observe(Llsn observed) {
+    Llsn cur = value_.load(std::memory_order_relaxed);
+    while (observed > cur &&
+           !value_.compare_exchange_weak(cur, observed,
+                                         std::memory_order_acq_rel)) {
+    }
+  }
+
+  Llsn Current() const { return value_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<Llsn> value_;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_WAL_LLSN_H_

@@ -1,0 +1,158 @@
+#include "wal/log_record.h"
+
+#include "common/coding.h"
+
+namespace polarmp {
+
+namespace {
+// type(1) + node(2) + llsn(8) + page(8) + trx(8) + aux(8) + body_len(4)
+constexpr size_t kHeaderSize = 39;
+}  // namespace
+
+size_t LogRecord::EncodedSize() const { return kHeaderSize + body.size(); }
+
+void LogRecord::AppendTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(type));
+  PutFixed16(dst, node);
+  PutFixed64(dst, llsn);
+  PutFixed64(dst, page_id.Pack());
+  PutFixed64(dst, trx);
+  PutFixed64(dst, aux);
+  PutFixed32(dst, static_cast<uint32_t>(body.size()));
+  dst->append(body);
+}
+
+std::string LogRecord::Encode() const {
+  std::string out;
+  out.reserve(EncodedSize());
+  AppendTo(&out);
+  return out;
+}
+
+StatusOr<LogRecord> LogRecord::Decode(std::string_view data,
+                                      size_t* consumed) {
+  if (data.size() < kHeaderSize) {
+    return Status::InvalidArgument("short log header");
+  }
+  LogRecord rec;
+  const char* p = data.data();
+  rec.type = static_cast<LogRecordType>(static_cast<uint8_t>(p[0]));
+  rec.node = DecodeFixed16(p + 1);
+  rec.llsn = DecodeFixed64(p + 3);
+  rec.page_id = PageId::Unpack(DecodeFixed64(p + 11));
+  rec.trx = DecodeFixed64(p + 19);
+  rec.aux = DecodeFixed64(p + 27);
+  const uint32_t body_len = DecodeFixed32(p + 35);
+  if (data.size() < kHeaderSize + body_len) {
+    return Status::InvalidArgument("short log body");
+  }
+  rec.body.assign(p + kHeaderSize, body_len);
+  *consumed = kHeaderSize + body_len;
+  return rec;
+}
+
+LogRecord MakeInitPage(NodeId node, Llsn llsn, PageId page, uint8_t level,
+                       PageNo prev, PageNo next) {
+  LogRecord rec;
+  rec.type = LogRecordType::kInitPage;
+  rec.node = node;
+  rec.llsn = llsn;
+  rec.page_id = page;
+  rec.body.push_back(static_cast<char>(level));
+  PutFixed32(&rec.body, prev);
+  PutFixed32(&rec.body, next);
+  return rec;
+}
+
+LogRecord MakeWriteRow(NodeId node, Llsn llsn, PageId page,
+                       std::string row_image) {
+  LogRecord rec;
+  rec.type = LogRecordType::kWriteRow;
+  rec.node = node;
+  rec.llsn = llsn;
+  rec.page_id = page;
+  rec.body = std::move(row_image);
+  return rec;
+}
+
+LogRecord MakeRemoveRow(NodeId node, Llsn llsn, PageId page, int64_t key) {
+  LogRecord rec;
+  rec.type = LogRecordType::kRemoveRow;
+  rec.node = node;
+  rec.llsn = llsn;
+  rec.page_id = page;
+  PutFixed64(&rec.body, static_cast<uint64_t>(key));
+  return rec;
+}
+
+LogRecord MakeSetPageLinks(NodeId node, Llsn llsn, PageId page, PageNo prev,
+                           PageNo next) {
+  LogRecord rec;
+  rec.type = LogRecordType::kSetPageLinks;
+  rec.node = node;
+  rec.llsn = llsn;
+  rec.page_id = page;
+  PutFixed32(&rec.body, prev);
+  PutFixed32(&rec.body, next);
+  return rec;
+}
+
+LogRecord MakeUndoAppend(NodeId node, Llsn llsn, uint64_t offset,
+                         std::string bytes) {
+  LogRecord rec;
+  rec.type = LogRecordType::kUndoAppend;
+  rec.node = node;
+  rec.llsn = llsn;
+  rec.aux = offset;
+  rec.body = std::move(bytes);
+  return rec;
+}
+
+LogRecord MakeTrxCommit(NodeId node, GTrxId trx, Csn cts) {
+  LogRecord rec;
+  rec.type = LogRecordType::kTrxCommit;
+  rec.node = node;
+  rec.trx = trx;
+  rec.aux = cts;
+  return rec;
+}
+
+LogRecord MakeTrxRollbackEnd(NodeId node, GTrxId trx) {
+  LogRecord rec;
+  rec.type = LogRecordType::kTrxRollbackEnd;
+  rec.node = node;
+  rec.trx = trx;
+  return rec;
+}
+
+LogRecord MakeLoadRows(NodeId node, Llsn llsn, PageId page,
+                       std::string images) {
+  LogRecord rec;
+  rec.type = LogRecordType::kLoadRows;
+  rec.node = node;
+  rec.llsn = llsn;
+  rec.page_id = page;
+  rec.body = std::move(images);
+  return rec;
+}
+
+LogRecord MakeLlsnMark(NodeId node, Llsn llsn) {
+  LogRecord rec;
+  rec.type = LogRecordType::kLlsnMark;
+  rec.node = node;
+  rec.llsn = llsn;
+  return rec;
+}
+
+LogRecord MakeTruncateRows(NodeId node, Llsn llsn, PageId page,
+                           int64_t from_key) {
+  LogRecord rec;
+  rec.type = LogRecordType::kTruncateRows;
+  rec.node = node;
+  rec.llsn = llsn;
+  rec.page_id = page;
+  rec.aux = static_cast<uint64_t>(from_key);
+  return rec;
+}
+
+}  // namespace polarmp

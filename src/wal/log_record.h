@@ -1,0 +1,81 @@
+#ifndef POLARMP_WAL_LOG_RECORD_H_
+#define POLARMP_WAL_LOG_RECORD_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace polarmp {
+
+// Redo record catalogue. Records are page-scoped and physiological
+// (ARIES-style, §4.4): replay applies a record to its page iff the page's
+// LLSN stamp is older than the record's, which makes replay idempotent and
+// lets logs from different nodes interleave freely except per page.
+enum class LogRecordType : uint8_t {
+  kInitPage = 1,      // format page: body = {level u8, prev u32, next u32}
+  kWriteRow = 2,      // upsert serialized row: body = row image
+  kRemoveRow = 3,     // physically remove row: body = key i64
+  kSetPageLinks = 4,  // body = {prev u32, next u32}
+  kUndoAppend = 5,    // rebuild undo store: aux = store offset, body = bytes
+  kTrxCommit = 6,     // trx = g_trx_id, aux = CTS
+  kTrxRollbackEnd = 7,  // trx = g_trx_id: rollback fully logged
+  kLoadRows = 8,      // upsert a batch of row images (splits): body = images
+  kTruncateRows = 9,  // drop rows with key >= aux-as-key (splits)
+  kLlsnMark = 10,     // heartbeat carrying the node's current LLSN, so
+                      // log consumers (standby, recovery) can advance the
+                      // LLSN_bound past idle streams
+};
+
+struct LogRecord {
+  LogRecordType type = LogRecordType::kInitPage;
+  NodeId node = 0;       // generating node (undo-store owner for kUndoAppend)
+  Llsn llsn = 0;         // 0 for pure-transaction records
+  PageId page_id;        // page records only
+  GTrxId trx = kInvalidGTrxId;  // transaction records only
+  uint64_t aux = 0;      // CTS (kTrxCommit) or undo offset (kUndoAppend)
+  std::string body;
+
+  bool IsPageRecord() const {
+    return type == LogRecordType::kInitPage ||
+           type == LogRecordType::kWriteRow ||
+           type == LogRecordType::kRemoveRow ||
+           type == LogRecordType::kSetPageLinks ||
+           type == LogRecordType::kLoadRows ||
+           type == LogRecordType::kTruncateRows;
+  }
+
+  void AppendTo(std::string* dst) const;
+  std::string Encode() const;
+
+  // Parses one record from the front of `data`; sets *consumed to the bytes
+  // used. Returns InvalidArgument if `data` holds less than one full record
+  // (the caller then fetches a larger chunk).
+  static StatusOr<LogRecord> Decode(std::string_view data, size_t* consumed);
+
+  // Size this record will occupy in the stream.
+  size_t EncodedSize() const;
+};
+
+// Convenience constructors for the common shapes.
+LogRecord MakeInitPage(NodeId node, Llsn llsn, PageId page, uint8_t level,
+                       PageNo prev, PageNo next);
+LogRecord MakeWriteRow(NodeId node, Llsn llsn, PageId page,
+                       std::string row_image);
+LogRecord MakeRemoveRow(NodeId node, Llsn llsn, PageId page, int64_t key);
+LogRecord MakeSetPageLinks(NodeId node, Llsn llsn, PageId page, PageNo prev,
+                           PageNo next);
+LogRecord MakeUndoAppend(NodeId node, Llsn llsn, uint64_t offset,
+                         std::string bytes);
+LogRecord MakeTrxCommit(NodeId node, GTrxId trx, Csn cts);
+LogRecord MakeTrxRollbackEnd(NodeId node, GTrxId trx);
+LogRecord MakeLoadRows(NodeId node, Llsn llsn, PageId page,
+                       std::string images);
+LogRecord MakeLlsnMark(NodeId node, Llsn llsn);
+LogRecord MakeTruncateRows(NodeId node, Llsn llsn, PageId page,
+                           int64_t from_key);
+
+}  // namespace polarmp
+
+#endif  // POLARMP_WAL_LOG_RECORD_H_

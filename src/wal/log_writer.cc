@@ -1,0 +1,86 @@
+#include "wal/log_writer.h"
+
+namespace polarmp {
+
+LogWriter::LogWriter(NodeId node, LogStore* store)
+    : node_(node), store_(store) {
+  if (!store_->LogExists(node_)) {
+    const Status s = store_->CreateLog(node_);
+    POLARMP_CHECK(s.ok()) << s.ToString();
+  }
+  const auto durable = store_->DurableLsn(node_);
+  POLARMP_CHECK(durable.ok());
+  durable_ = durable.value();
+  buffer_start_ = durable_;
+}
+
+Lsn LogWriter::Add(const std::vector<LogRecord>& records) {
+  std::string encoded;
+  for (const LogRecord& rec : records) rec.AppendTo(&encoded);
+  return AddEncoded(encoded);
+}
+
+Lsn LogWriter::AddEncoded(const std::string& encoded) {
+  std::lock_guard lock(mu_);
+  buffer_ += encoded;
+  return buffer_start_ + buffer_.size();
+}
+
+Status LogWriter::ForceTo(Lsn lsn) {
+  std::unique_lock lock(mu_);
+  while (durable_ < lsn) {
+    if (force_in_flight_) {
+      // Another committer's force will cover us; wait for it to land.
+      cv_.wait(lock, [&] { return durable_ >= lsn || !force_in_flight_; });
+      continue;
+    }
+    if (buffer_.empty()) {
+      return Status::Internal("force target beyond buffered log");
+    }
+    // Take the whole buffer in one append (group commit).
+    std::string batch;
+    batch.swap(buffer_);
+    const Lsn batch_start = buffer_start_;
+    buffer_start_ += batch.size();
+    force_in_flight_ = true;
+    lock.unlock();
+
+    const auto appended = store_->Append(node_, batch);
+
+    lock.lock();
+    force_in_flight_ = false;
+    if (!appended.ok()) {
+      // Restore the batch so a retry can re-force it.
+      buffer_.insert(0, batch);
+      buffer_start_ = batch_start;
+      cv_.notify_all();
+      return appended.status();
+    }
+    POLARMP_CHECK_EQ(appended.value(), batch_start)
+        << "log stream diverged from writer bookkeeping";
+    durable_ = batch_start + batch.size();
+    cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+Status LogWriter::ForceAll() {
+  Lsn target;
+  {
+    std::lock_guard lock(mu_);
+    target = buffer_start_ + buffer_.size();
+  }
+  return ForceTo(target);
+}
+
+Lsn LogWriter::durable_lsn() const {
+  std::lock_guard lock(mu_);
+  return durable_;
+}
+
+Lsn LogWriter::buffered_lsn() const {
+  std::lock_guard lock(mu_);
+  return buffer_start_ + buffer_.size();
+}
+
+}  // namespace polarmp

@@ -1,0 +1,52 @@
+#ifndef POLARMP_WAL_LOG_WRITER_H_
+#define POLARMP_WAL_LOG_WRITER_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/log_store.h"
+#include "wal/log_record.h"
+
+namespace polarmp {
+
+// Per-node redo log front end: buffers encoded records in LSN order and
+// forces them to the LogStore with group commit (concurrent committers
+// piggyback on one storage append, as InnoDB's log does).
+class LogWriter {
+ public:
+  LogWriter(NodeId node, LogStore* store);
+
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  NodeId node() const { return node_; }
+
+  // Buffers `records`; returns the end LSN after them (force target).
+  Lsn Add(const std::vector<LogRecord>& records);
+  Lsn AddEncoded(const std::string& encoded);
+
+  // Blocks until everything up to `lsn` is durable. Group commit: a caller
+  // that arrives while a force is in flight waits and re-checks.
+  Status ForceTo(Lsn lsn);
+  Status ForceAll();
+
+  Lsn durable_lsn() const;
+  Lsn buffered_lsn() const;
+
+ private:
+  const NodeId node_;
+  LogStore* const store_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::string buffer_;       // encoded bytes not yet durable
+  Lsn buffer_start_ = 0;     // LSN of buffer_[0]
+  Lsn durable_ = 0;
+  bool force_in_flight_ = false;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_WAL_LOG_WRITER_H_

@@ -1,0 +1,114 @@
+#include "workload/driver.h"
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+namespace polarmp {
+
+std::string DriverResult::ToString() const {
+  std::ostringstream os;
+  os << "committed=" << committed << " aborted=" << aborted
+     << " errors=" << errors << " tps=" << throughput
+     << " p95_ms=" << static_cast<double>(latency.Percentile(95)) / 1e6;
+  return os.str();
+}
+
+DriverResult RunWorkload(Database* db, Workload* workload,
+                         const DriverOptions& options) {
+  const int num_workers = options.num_nodes * options.threads_per_node;
+  const uint64_t total_ms = options.warmup_ms + options.duration_ms;
+  const size_t seconds = total_ms / 1000 + 2;
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> measuring{false};
+  std::vector<std::atomic<uint64_t>> per_second(seconds);
+  for (auto& s : per_second) s.store(0);
+
+  struct WorkerStats {
+    uint64_t committed = 0, aborted = 0, errors = 0;
+    Histogram latency;
+  };
+  std::vector<WorkerStats> stats(num_workers);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    threads.emplace_back([&, w] {
+      const int node = w % options.num_nodes;
+      Random rng(options.seed * 1000003 + w);
+      auto conn = db->Connect(node);
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!conn.ok()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          conn = db->Connect(node);
+          continue;
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        const Status st = workload->RunOne(conn->get(), node, w, &rng);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (st.ok()) {
+          if (measuring.load(std::memory_order_relaxed)) {
+            ++stats[w].committed;
+            stats[w].latency.Add(static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()));
+          }
+          const size_t sec = static_cast<size_t>(
+              std::chrono::duration_cast<std::chrono::seconds>(t1 - start)
+                  .count());
+          if (sec < seconds) {
+            per_second[sec].fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (st.IsAborted() || st.IsBusy()) {
+          // Rolled back per the Connection contract; Rollback is an
+          // idempotent no-op here but keeps misbehaving workloads honest.
+          (void)(*conn)->Rollback();
+          if (measuring.load(std::memory_order_relaxed)) ++stats[w].aborted;
+        } else if (st.IsUnavailable()) {
+          // Node gone (crash benches); reconnect after a beat.
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          conn = db->Connect(node);
+        } else {
+          // Application-level failure (e.g. duplicate insert): close the
+          // transaction and move on.
+          (void)(*conn)->Rollback();
+          if (measuring.load(std::memory_order_relaxed)) ++stats[w].errors;
+          if (stats[w].errors > 100) break;  // give up on a broken setup
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(options.warmup_ms));
+  measuring.store(true);
+  const auto measure_start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(options.duration_ms));
+  measuring.store(false);
+  const auto measure_end = std::chrono::steady_clock::now();
+  stop.store(true);
+  for (auto& t : threads) t.join();
+
+  DriverResult result;
+  for (const WorkerStats& s : stats) {
+    result.committed += s.committed;
+    result.aborted += s.aborted;
+    result.errors += s.errors;
+    result.latency.Merge(s.latency);
+  }
+  result.elapsed_s =
+      std::chrono::duration<double>(measure_end - measure_start).count();
+  result.throughput =
+      result.elapsed_s > 0
+          ? static_cast<double>(result.committed) / result.elapsed_s
+          : 0;
+  result.per_second.reserve(seconds);
+  for (const auto& s : per_second) {
+    result.per_second.push_back(s.load(std::memory_order_relaxed));
+  }
+  return result;
+}
+
+}  // namespace polarmp

@@ -1,0 +1,63 @@
+#ifndef POLARMP_WORKLOAD_DRIVER_H_
+#define POLARMP_WORKLOAD_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/database.h"
+#include "common/histogram.h"
+#include "common/random.h"
+
+namespace polarmp {
+
+// A benchmark workload: table setup/load plus a transaction generator.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  // Creates tables and loads initial data (benches run this under
+  // SetSimTimeScale(0) so loading does not consume wall-clock).
+  virtual Status Setup(Database* db) = 0;
+
+  // Executes ONE transaction (Begin through Commit/Rollback) on `conn`,
+  // which is bound to node `node`. Returns OK on commit; Aborted/Busy count
+  // as aborts (the driver retries with a fresh transaction); anything else
+  // is an error.
+  virtual Status RunOne(Connection* conn, int node, int worker,
+                        Random* rng) = 0;
+};
+
+struct DriverOptions {
+  int num_nodes = 1;           // workers spread round-robin over nodes
+  int threads_per_node = 2;
+  uint64_t warmup_ms = 300;
+  uint64_t duration_ms = 2'000;
+  uint64_t seed = 42;
+};
+
+struct DriverResult {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t errors = 0;
+  double elapsed_s = 0;
+  double throughput = 0;  // committed/s in the measurement window
+  Histogram latency;      // per-transaction latency (committed only), ns
+  // Committed transactions per second, warmup included (timeline figures).
+  std::vector<uint64_t> per_second;
+
+  double abort_rate() const {
+    const uint64_t total = committed + aborted;
+    return total == 0 ? 0.0
+                      : static_cast<double>(aborted) /
+                            static_cast<double>(total);
+  }
+  std::string ToString() const;
+};
+
+// Runs `workload` against `db` (Setup must already have happened).
+DriverResult RunWorkload(Database* db, Workload* workload,
+                         const DriverOptions& options);
+
+}  // namespace polarmp
+
+#endif  // POLARMP_WORKLOAD_DRIVER_H_

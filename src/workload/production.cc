@@ -1,0 +1,54 @@
+#include "workload/production.h"
+
+namespace polarmp {
+
+Status ProductionWorkload::Setup(Database* db) {
+  const std::string value(options_.value_size, 'o');
+  for (int node = 0; node < options_.num_nodes; ++node) {
+    const std::string table = TableFor(node);
+    POLARMP_RETURN_IF_ERROR(db->CreateTable(table, 0));
+    POLARMP_ASSIGN_OR_RETURN(auto conn, db->Connect(0));
+    constexpr int64_t kBatch = 500;
+    for (int64_t base = 0; base < options_.orders_per_node; base += kBatch) {
+      POLARMP_RETURN_IF_ERROR(conn->Begin());
+      for (int64_t k = base;
+           k < base + kBatch && k < options_.orders_per_node; ++k) {
+        POLARMP_RETURN_IF_ERROR(conn->Insert(table, k, value));
+      }
+      POLARMP_RETURN_IF_ERROR(conn->Commit());
+    }
+  }
+  return Status::OK();
+}
+
+Status ProductionWorkload::RunOne(Connection* conn, int node, int worker,
+                                  Random* rng) {
+  (void)worker;
+  const std::string table = TableFor(node);
+  const std::string value(options_.value_size, 'n');
+  const uint64_t dice = rng->Uniform(10);
+
+  POLARMP_RETURN_IF_ERROR(conn->Begin());
+  if (dice < 3) {  // insert (new order)
+    const int64_t key =
+        next_insert_.fetch_add(1, std::memory_order_relaxed) * 100 + node;
+    const Status st = conn->Insert(table, key, value);
+    if (!st.ok() && !st.IsAlreadyExists()) return st;
+  } else if (dice < 5) {  // update (order state change)
+    const int64_t key = static_cast<int64_t>(
+        rng->Uniform(static_cast<uint64_t>(options_.orders_per_node)));
+    const Status st = conn->Put(table, key, value);
+    if (!st.ok()) return st;
+  } else {  // select (order lookup)
+    const int64_t key = static_cast<int64_t>(
+        rng->Uniform(static_cast<uint64_t>(options_.orders_per_node)));
+    auto v = conn->Get(table, key);
+    if (!v.ok() && !v.status().IsNotFound()) {
+      (void)conn->Rollback();
+      return v.status();
+    }
+  }
+  return conn->Commit();
+}
+
+}  // namespace polarmp

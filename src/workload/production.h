@@ -1,0 +1,38 @@
+#ifndef POLARMP_WORKLOAD_PRODUCTION_H_
+#define POLARMP_WORKLOAD_PRODUCTION_H_
+
+#include <atomic>
+
+#include "workload/driver.h"
+
+namespace polarmp {
+
+// Alibaba trading-service production mix (§5.2 Fig. 10): memory-intensive,
+// 3:2:5 insert:update:select, well-partitioned at the application level
+// (each node serves its own slice of the trading traffic).
+struct ProductionOptions {
+  int num_nodes = 1;
+  int64_t orders_per_node = 5'000;  // preloaded working set per node
+  int value_size = 96;
+};
+
+class ProductionWorkload : public Workload {
+ public:
+  explicit ProductionWorkload(const ProductionOptions& options)
+      : options_(options), next_insert_(options.orders_per_node) {}
+
+  Status Setup(Database* db) override;
+  Status RunOne(Connection* conn, int node, int worker, Random* rng) override;
+
+ private:
+  static std::string TableFor(int node) {
+    return "trade_orders_n" + std::to_string(node);
+  }
+
+  ProductionOptions options_;
+  std::atomic<int64_t> next_insert_;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_WORKLOAD_PRODUCTION_H_

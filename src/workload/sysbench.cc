@@ -1,0 +1,87 @@
+#include "workload/sysbench.h"
+
+namespace polarmp {
+
+std::string SysbenchWorkload::TableName(int group, int table) const {
+  return "sbtest_g" + std::to_string(group) + "_t" + std::to_string(table);
+}
+
+Status SysbenchWorkload::Setup(Database* db) {
+  const std::string value(options_.value_size, 'v');
+  for (int group = 0; group <= options_.num_nodes; ++group) {
+    // Load only groups the run can touch: private groups unless everything
+    // is shared, the shared group unless nothing is.
+    const bool is_shared = group == options_.num_nodes;
+    const bool used = is_shared ? options_.shared_pct > 0
+                                : options_.shared_pct < 100;
+    for (int table = 0; table < options_.tables_per_group; ++table) {
+      const std::string name = TableName(group, table);
+      POLARMP_RETURN_IF_ERROR(db->CreateTable(name, 0));
+      if (!used) continue;
+      // Batched load to bound commit count.
+      POLARMP_ASSIGN_OR_RETURN(auto conn, db->Connect(group % db->num_nodes()));
+      constexpr int64_t kBatch = 500;
+      for (int64_t base = 1; base <= options_.rows_per_table; base += kBatch) {
+        POLARMP_RETURN_IF_ERROR(conn->Begin());
+        for (int64_t key = base;
+             key < base + kBatch && key <= options_.rows_per_table; ++key) {
+          POLARMP_RETURN_IF_ERROR(conn->Insert(name, key, value));
+        }
+        POLARMP_RETURN_IF_ERROR(conn->Commit());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void SysbenchWorkload::PickTarget(int node, Random* rng, std::string* table,
+                                  int64_t* key) {
+  const int group = rng->Percent(static_cast<uint32_t>(options_.shared_pct))
+                        ? options_.num_nodes
+                        : node;
+  const int t = static_cast<int>(rng->Uniform(options_.tables_per_group));
+  *table = TableName(group, t);
+  *key = 1 + static_cast<int64_t>(
+                 rng->Uniform(static_cast<uint64_t>(options_.rows_per_table)));
+}
+
+Status SysbenchWorkload::RunOne(Connection* conn, int node, int worker,
+                                Random* rng) {
+  (void)worker;
+  POLARMP_RETURN_IF_ERROR(conn->Begin());
+  const std::string value(options_.value_size, 'w');
+  std::string table;
+  int64_t key;
+
+  const bool do_reads = options_.mix != SysbenchOptions::Mix::kWriteOnly;
+  const bool do_writes = options_.mix != SysbenchOptions::Mix::kReadOnly;
+
+  if (do_reads) {
+    for (int i = 0; i < options_.reads_per_txn; ++i) {
+      PickTarget(node, rng, &table, &key);
+      const auto v = conn->Get(table, key);
+      if (!v.ok() && !v.status().IsNotFound()) {
+        (void)conn->Rollback();
+        return v.status();
+      }
+    }
+  }
+  if (do_writes) {
+    // sysbench oltp write set: index updates plus a delete + insert pair on
+    // the same key (the pair keeps the table stable while exercising
+    // tombstones and reinsertion, and raises genuine row conflict).
+    for (int i = 0; i < options_.writes_per_txn - 2; ++i) {
+      PickTarget(node, rng, &table, &key);
+      const Status st = conn->Put(table, key, value);
+      if (!st.ok()) return st;  // already rolled back per contract
+    }
+    PickTarget(node, rng, &table, &key);
+    Status st = conn->Delete(table, key);
+    if (!st.ok() && !st.IsNotFound()) return st;
+    st = conn->Put(table, key, value);
+    if (!st.ok()) return st;
+  }
+  return conn->Commit();
+}
+
+}  // namespace polarmp

@@ -1,0 +1,44 @@
+#ifndef POLARMP_WORKLOAD_SYSBENCH_H_
+#define POLARMP_WORKLOAD_SYSBENCH_H_
+
+#include "workload/driver.h"
+
+namespace polarmp {
+
+// SysBench-style OLTP workload with the Taurus-MM/PolarDB-MP sharing knob
+// (§5.1): tables are divided into N private groups (one per node) plus one
+// shared group; X% of *queries* target the shared group, the rest the
+// executing node's private group.
+struct SysbenchOptions {
+  enum class Mix { kReadOnly, kReadWrite, kWriteOnly };
+
+  int num_nodes = 1;
+  int tables_per_group = 4;     // paper: 40 (scaled down for the simulator)
+  int64_t rows_per_table = 10'000;  // paper: 1M
+  int shared_pct = 0;           // X% of queries on shared tables
+  Mix mix = Mix::kReadWrite;
+  int reads_per_txn = 10;       // sysbench oltp point selects
+  int writes_per_txn = 4;       // sysbench oltp index updates
+  int value_size = 64;
+};
+
+class SysbenchWorkload : public Workload {
+ public:
+  explicit SysbenchWorkload(const SysbenchOptions& options)
+      : options_(options) {}
+
+  Status Setup(Database* db) override;
+  Status RunOne(Connection* conn, int node, int worker, Random* rng) override;
+
+ private:
+  // group == num_nodes is the shared group.
+  std::string TableName(int group, int table) const;
+  // Picks (table name, key) for one query issued by `node`.
+  void PickTarget(int node, Random* rng, std::string* table, int64_t* key);
+
+  SysbenchOptions options_;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_WORKLOAD_SYSBENCH_H_

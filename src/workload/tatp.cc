@@ -1,0 +1,79 @@
+#include "workload/tatp.h"
+
+namespace polarmp {
+
+namespace {
+// Call-forwarding rows live beside their subscriber: key = sub*4 + slot.
+int64_t ForwardingKey(int64_t sub, int slot) { return sub * 4 + slot; }
+}  // namespace
+
+Status TatpWorkload::Setup(Database* db) {
+  POLARMP_RETURN_IF_ERROR(db->CreateTable("tatp_subscriber", 0));
+  POLARMP_RETURN_IF_ERROR(db->CreateTable("tatp_access_info", 0));
+  POLARMP_RETURN_IF_ERROR(db->CreateTable("tatp_call_forwarding", 0));
+  const int64_t total =
+      static_cast<int64_t>(options_.num_nodes) * options_.subscribers_per_node;
+  POLARMP_ASSIGN_OR_RETURN(auto conn, db->Connect(0));
+  constexpr int64_t kBatch = 500;
+  for (int64_t base = 0; base < total; base += kBatch) {
+    POLARMP_RETURN_IF_ERROR(conn->Begin());
+    for (int64_t sub = base; sub < base + kBatch && sub < total; ++sub) {
+      POLARMP_RETURN_IF_ERROR(
+          conn->Insert("tatp_subscriber", sub, "subscriber-data-0"));
+      POLARMP_RETURN_IF_ERROR(
+          conn->Insert("tatp_access_info", sub, "access-data"));
+    }
+    POLARMP_RETURN_IF_ERROR(conn->Commit());
+  }
+  return Status::OK();
+}
+
+Status TatpWorkload::RunOne(Connection* conn, int node, int worker,
+                            Random* rng) {
+  (void)worker;
+  const int64_t sub = PickSubscriber(node, rng);
+  const uint64_t dice = rng->Uniform(100);
+
+  POLARMP_RETURN_IF_ERROR(conn->Begin());
+  if (dice < 35) {  // GET_SUBSCRIBER_DATA
+    auto v = conn->Get("tatp_subscriber", sub);
+    if (!v.ok() && !v.status().IsNotFound()) {
+      (void)conn->Rollback();
+      return v.status();
+    }
+  } else if (dice < 70) {  // GET_ACCESS_DATA
+    auto v = conn->Get("tatp_access_info", sub);
+    if (!v.ok() && !v.status().IsNotFound()) {
+      (void)conn->Rollback();
+      return v.status();
+    }
+  } else if (dice < 80) {  // GET_NEW_DESTINATION: scan the 4 forwarding slots
+    const Status st = conn->Scan("tatp_call_forwarding", ForwardingKey(sub, 0),
+                                 ForwardingKey(sub, 3),
+                                 [](int64_t, const std::string&) { return true; });
+    if (!st.ok()) {
+      (void)conn->Rollback();
+      return st;
+    }
+  } else if (dice < 94) {  // UPDATE_LOCATION
+    const Status st = conn->Put("tatp_subscriber", sub,
+                                "subscriber-data-" + std::to_string(dice));
+    if (!st.ok()) return st;
+  } else if (dice < 96) {  // UPDATE_SUBSCRIBER_DATA
+    const Status st = conn->Put("tatp_access_info", sub, "access-data-upd");
+    if (!st.ok()) return st;
+  } else if (dice < 98) {  // INSERT_CALL_FORWARDING
+    const int slot = static_cast<int>(rng->Uniform(4));
+    const Status st = conn->Put("tatp_call_forwarding",
+                                ForwardingKey(sub, slot), "forward-to");
+    if (!st.ok()) return st;
+  } else {  // DELETE_CALL_FORWARDING
+    const int slot = static_cast<int>(rng->Uniform(4));
+    const Status st =
+        conn->Delete("tatp_call_forwarding", ForwardingKey(sub, slot));
+    if (!st.ok() && !st.IsNotFound()) return st;
+  }
+  return conn->Commit();
+}
+
+}  // namespace polarmp

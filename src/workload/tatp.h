@@ -1,0 +1,38 @@
+#ifndef POLARMP_WORKLOAD_TATP_H_
+#define POLARMP_WORKLOAD_TATP_H_
+
+#include "workload/driver.h"
+
+namespace polarmp {
+
+// TATP (§5.2 Fig. 8): telecom subscriber workload, perfectly partitionable
+// by subscriber id. Each node owns a contiguous subscriber range; the
+// standard mix is ~80% reads / ~20% writes:
+//   35% GET_SUBSCRIBER_DATA, 35% GET_ACCESS_DATA, 10% GET_NEW_DESTINATION,
+//   14% UPDATE_LOCATION, 2% UPDATE_SUBSCRIBER_DATA,
+//   2% INSERT_CALL_FORWARDING, 2% DELETE_CALL_FORWARDING.
+struct TatpOptions {
+  int num_nodes = 1;
+  int64_t subscribers_per_node = 20'000;  // paper: 20M
+};
+
+class TatpWorkload : public Workload {
+ public:
+  explicit TatpWorkload(const TatpOptions& options) : options_(options) {}
+
+  Status Setup(Database* db) override;
+  Status RunOne(Connection* conn, int node, int worker, Random* rng) override;
+
+ private:
+  int64_t PickSubscriber(int node, Random* rng) const {
+    return node * options_.subscribers_per_node +
+           static_cast<int64_t>(rng->Uniform(
+               static_cast<uint64_t>(options_.subscribers_per_node)));
+  }
+
+  TatpOptions options_;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_WORKLOAD_TATP_H_

@@ -1,0 +1,186 @@
+#include "workload/tpcc.h"
+
+#include "common/coding.h"
+
+namespace polarmp {
+
+namespace {
+constexpr int kDistrictsPerWarehouse = 10;
+
+// The warehouse row lives in the district table's key space, slot 99 of
+// its own warehouse block: warehouse w's hot rows (wh + 10 districts, each
+// padded toward realistic widths) then fill roughly one page owned by w's
+// home node — the per-warehouse page locality a real TPC-C layout has.
+int64_t DistrictKey(int w, int d) { return (w + 1) * 100 + d; }
+int64_t WarehouseKey(int w) { return DistrictKey(w, 99); }
+int64_t CustomerKey(int w, int d, int c) {
+  return ((w + 1) * 100 + d) * 1000 + c;
+}
+int64_t StockKey(int w, int64_t i) { return (w + 1) * 1'000'000 + i; }
+int64_t OrderKey(int w, int d, int64_t o_id) {
+  return (((w + 1) * 100 + static_cast<int64_t>(d)) << 24) | o_id;
+}
+
+// Counter rows carry a decimal counter plus padding that mimics the real
+// row widths: a TPC-C warehouse row is wide enough to have a page largely
+// to itself, and districts of one warehouse share a couple of pages. If
+// every warehouse shared one 8 KB page, the Payment hot row would turn
+// into a single cluster-wide page hotspot no real deployment has.
+std::string EncodeCounter(int64_t v, size_t pad = 0) {
+  std::string s = std::to_string(v);
+  if (pad > 0) {
+    s.push_back('|');
+    s.append(pad, 'p');
+  }
+  return s;
+}
+int64_t DecodeCounter(const std::string& s) { return std::stoll(s); }
+constexpr size_t kWarehousePad = 700;
+constexpr size_t kDistrictPad = 700;
+constexpr size_t kStockPad = 48;
+}  // namespace
+
+int TpccWorkload::HomeWarehouse(int node, int worker) const {
+  // Workers on a node rotate over that node's warehouses.
+  const int within =
+      (worker / options_.num_nodes) % options_.warehouses_per_node;
+  return node * options_.warehouses_per_node + within;
+}
+
+Status TpccWorkload::Setup(Database* db) {
+  for (const char* table : {"tpcc_district", "tpcc_customer",
+                            "tpcc_stock", "tpcc_orders"}) {
+    POLARMP_RETURN_IF_ERROR(db->CreateTable(table, 0));
+  }
+  POLARMP_ASSIGN_OR_RETURN(auto conn, db->Connect(0));
+  for (int w = 0; w < TotalWarehouses(); ++w) {
+    POLARMP_RETURN_IF_ERROR(conn->Begin());
+    POLARMP_RETURN_IF_ERROR(
+        conn->Insert("tpcc_district", WarehouseKey(w), EncodeCounter(0, kWarehousePad)));
+    for (int d = 0; d < kDistrictsPerWarehouse; ++d) {
+      POLARMP_RETURN_IF_ERROR(
+          conn->Insert("tpcc_district", DistrictKey(w, d), EncodeCounter(1, kDistrictPad)));
+    }
+    POLARMP_RETURN_IF_ERROR(conn->Commit());
+    POLARMP_RETURN_IF_ERROR(conn->Begin());
+    for (int d = 0; d < kDistrictsPerWarehouse; ++d) {
+      for (int c = 0; c < options_.customers_per_district; ++c) {
+        POLARMP_RETURN_IF_ERROR(conn->Insert(
+            "tpcc_customer", CustomerKey(w, d, c), EncodeCounter(0)));
+      }
+    }
+    POLARMP_RETURN_IF_ERROR(conn->Commit());
+    constexpr int kBatch = 500;
+    for (int64_t i = 0; i < options_.items; i += kBatch) {
+      POLARMP_RETURN_IF_ERROR(conn->Begin());
+      for (int64_t j = i; j < i + kBatch && j < options_.items; ++j) {
+        POLARMP_RETURN_IF_ERROR(
+            conn->Insert("tpcc_stock", StockKey(w, j), EncodeCounter(1000)));
+      }
+      POLARMP_RETURN_IF_ERROR(conn->Commit());
+    }
+  }
+  return Status::OK();
+}
+
+Status TpccWorkload::NewOrder(Connection* conn, int warehouse, Random* rng) {
+  POLARMP_RETURN_IF_ERROR(conn->Begin());
+  const int d = static_cast<int>(rng->Uniform(kDistrictsPerWarehouse));
+
+  // Warehouse tax read.
+  auto wrow = conn->Get("tpcc_district", WarehouseKey(warehouse));
+  if (!wrow.ok()) {
+    (void)conn->Rollback();
+    return wrow.status();
+  }
+  // District: read and bump next_o_id.
+  auto drow = conn->Get("tpcc_district", DistrictKey(warehouse, d));
+  if (!drow.ok()) {
+    (void)conn->Rollback();
+    return drow.status();
+  }
+  const int64_t o_id = DecodeCounter(drow.value());
+  Status st = conn->Update("tpcc_district", DistrictKey(warehouse, d),
+                           EncodeCounter(o_id + 1, kDistrictPad));
+  if (!st.ok()) return st;
+
+  // Customer read.
+  const int c = static_cast<int>(rng->Uniform(options_.customers_per_district));
+  auto crow = conn->Get("tpcc_customer", CustomerKey(warehouse, d, c));
+  if (!crow.ok()) {
+    (void)conn->Rollback();
+    return crow.status();
+  }
+
+  // Order lines: 5-15 items, each 1% from a remote warehouse.
+  const int ol_cnt = 5 + static_cast<int>(rng->Uniform(11));
+  for (int line = 0; line < ol_cnt; ++line) {
+    int supply_w = warehouse;
+    if (TotalWarehouses() > 1 &&
+        rng->Percent(static_cast<uint32_t>(options_.remote_item_pct))) {
+      do {
+        supply_w = static_cast<int>(rng->Uniform(TotalWarehouses()));
+      } while (supply_w == warehouse);
+    }
+    const int64_t item = static_cast<int64_t>(rng->Uniform(options_.items));
+    auto srow = conn->Get("tpcc_stock", StockKey(supply_w, item));
+    if (!srow.ok()) {
+      (void)conn->Rollback();
+      return srow.status();
+    }
+    int64_t quantity = DecodeCounter(srow.value());
+    quantity = quantity > 10 ? quantity - static_cast<int64_t>(rng->Uniform(10)) - 1
+                             : quantity + 91;
+    st = conn->Update("tpcc_stock", StockKey(supply_w, item),
+                      EncodeCounter(quantity, kStockPad));
+    if (!st.ok()) return st;
+  }
+
+  // Order record (order lines folded into the payload). Two transactions
+  // can read the same next_o_id under read committed before either update
+  // commits (real TPC-C uses SELECT FOR UPDATE); an upsert keeps the
+  // workload honest without spurious duplicate-key errors.
+  st = conn->Put("tpcc_orders", OrderKey(warehouse, d, o_id),
+                 std::string(static_cast<size_t>(options_.order_payload),
+                             static_cast<char>('a' + o_id % 26)));
+  if (!st.ok()) return st;
+  st = conn->Commit();
+  if (st.ok()) new_orders_.fetch_add(1, std::memory_order_relaxed);
+  return st;
+}
+
+Status TpccWorkload::Payment(Connection* conn, int warehouse, Random* rng) {
+  POLARMP_RETURN_IF_ERROR(conn->Begin());
+  const int d = static_cast<int>(rng->Uniform(kDistrictsPerWarehouse));
+  const int c = static_cast<int>(rng->Uniform(options_.customers_per_district));
+
+  // Warehouse YTD (the classic per-warehouse hot row).
+  auto wrow = conn->Get("tpcc_district", WarehouseKey(warehouse));
+  if (!wrow.ok()) {
+    (void)conn->Rollback();
+    return wrow.status();
+  }
+  Status st = conn->Update("tpcc_district", WarehouseKey(warehouse),
+                           EncodeCounter(DecodeCounter(wrow.value()) + 1,
+                                         kWarehousePad));
+  if (!st.ok()) return st;
+  // Customer balance.
+  auto crow = conn->Get("tpcc_customer", CustomerKey(warehouse, d, c));
+  if (!crow.ok()) {
+    (void)conn->Rollback();
+    return crow.status();
+  }
+  st = conn->Update("tpcc_customer", CustomerKey(warehouse, d, c),
+                    EncodeCounter(DecodeCounter(crow.value()) + 1));
+  if (!st.ok()) return st;
+  return conn->Commit();
+}
+
+Status TpccWorkload::RunOne(Connection* conn, int node, int worker,
+                            Random* rng) {
+  const int warehouse = HomeWarehouse(node, worker);
+  if (rng->Percent(50)) return NewOrder(conn, warehouse, rng);
+  return Payment(conn, warehouse, rng);
+}
+
+}  // namespace polarmp

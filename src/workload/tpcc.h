@@ -1,0 +1,59 @@
+#ifndef POLARMP_WORKLOAD_TPCC_H_
+#define POLARMP_WORKLOAD_TPCC_H_
+
+#include <atomic>
+
+#include "workload/driver.h"
+
+namespace polarmp {
+
+// TPC-C (scaled down for the simulator) with zero think/keying time (§5.2).
+//
+// Schema over int64-keyed tables:
+//   tpcc_warehouse  key = w
+//   tpcc_district   key = w*100 + d                (10 districts/warehouse)
+//   tpcc_customer   key = (w*100 + d)*1000 + c     (customers/district)
+//   tpcc_stock      key = w*1000000 + i            (items/warehouse)
+//   tpcc_orders     key = ((w*100 + d) << 24) | o_id
+//
+// Transaction mix: 50% New-Order (the tpmC metric), 50% Payment. Each
+// worker has a home warehouse on its node; ~1% of New-Order items hit a
+// remote warehouse's stock, giving the paper's ~11% cross-warehouse
+// transactions at 10 items/order.
+struct TpccOptions {
+  int num_nodes = 1;
+  int warehouses_per_node = 2;
+  int customers_per_district = 100;
+  int items = 200;  // per warehouse (paper: 100k; scaled for load time)
+  int remote_item_pct = 1;
+  int64_t order_payload = 64;
+};
+
+class TpccWorkload : public Workload {
+ public:
+  explicit TpccWorkload(const TpccOptions& options) : options_(options) {}
+
+  Status Setup(Database* db) override;
+  Status RunOne(Connection* conn, int node, int worker, Random* rng) override;
+
+  // New-Order commits (the figure reports tpmC, not total commits).
+  uint64_t new_orders() const {
+    return new_orders_.load(std::memory_order_relaxed);
+  }
+  void ResetNewOrders() { new_orders_.store(0, std::memory_order_relaxed); }
+
+ private:
+  int TotalWarehouses() const {
+    return options_.num_nodes * options_.warehouses_per_node;
+  }
+  int HomeWarehouse(int node, int worker) const;
+  Status NewOrder(Connection* conn, int warehouse, Random* rng);
+  Status Payment(Connection* conn, int warehouse, Random* rng);
+
+  TpccOptions options_;
+  std::atomic<uint64_t> new_orders_{0};
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_WORKLOAD_TPCC_H_

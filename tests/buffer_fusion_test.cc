@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "pmfs/buffer_fusion.h"
+
+namespace polarmp {
+namespace {
+
+constexpr uint32_t kPageSize = 256;
+
+class BufferFusionTest : public ::testing::Test {
+ protected:
+  BufferFusionTest()
+      : fabric_(ZeroLatencyProfile()),
+        dsm_(&fabric_, 1, 1 << 20),
+        page_store_(ZeroLatencyProfile(), kPageSize) {
+    BufferFusion::Options opts;
+    opts.capacity_pages = 8;
+    opts.page_size = kPageSize;
+    opts.flush_interval_ms = 5;
+    bf_ = std::make_unique<BufferFusion>(&fabric_, &dsm_, &page_store_, opts);
+    EXPECT_TRUE(page_store_.CreateSpace(1).ok());
+    // Nodes 1 and 2 with one invalid flag each.
+    EXPECT_TRUE(fabric_.RegisterRegion(1, kLbpFlagsRegion, flags1_, 16).ok());
+    EXPECT_TRUE(fabric_.RegisterRegion(2, kLbpFlagsRegion, flags2_, 16).ok());
+    bf_->AddNode(1);
+    bf_->AddNode(2);
+  }
+
+  std::string MakePage(char fill, Llsn llsn) {
+    std::string p(kPageSize, fill);
+    // Keep a valid LLSN stamp at the page-header offset (8).
+    std::memcpy(p.data() + 8, &llsn, 8);
+    return p;
+  }
+
+  Fabric fabric_;
+  Dsm dsm_;
+  PageStore page_store_;
+  std::unique_ptr<BufferFusion> bf_;
+  std::atomic<uint64_t> flags1_[2] = {0, 0};
+  std::atomic<uint64_t> flags2_[2] = {0, 0};
+};
+
+TEST_F(BufferFusionTest, RegisterPushFetch) {
+  const PageId page{1, 0};
+  auto reg1 = bf_->RegisterCopy(1, page, 0);
+  ASSERT_TRUE(reg1.ok());
+  EXPECT_FALSE(reg1->present);
+
+  const std::string content = MakePage('a', 5);
+  ASSERT_TRUE(bf_->PushPage(1, reg1->frame, content.data()).ok());
+  ASSERT_TRUE(bf_->NotifyPush(1, page, 5, /*clean_load=*/false).ok());
+
+  auto reg2 = bf_->RegisterCopy(2, page, 0);
+  ASSERT_TRUE(reg2.ok());
+  EXPECT_TRUE(reg2->present);
+  EXPECT_EQ(reg2->frame, reg1->frame);  // stable r_addr
+
+  std::string out(kPageSize, 0);
+  ASSERT_TRUE(bf_->FetchPage(2, reg2->frame, out.data()).ok());
+  EXPECT_EQ(out, content);
+}
+
+TEST_F(BufferFusionTest, PushInvalidatesOtherCopies) {
+  const PageId page{1, 0};
+  auto reg1 = bf_->RegisterCopy(1, page, 0);
+  auto reg2 = bf_->RegisterCopy(2, page, 8);  // node 2's flag is flags2_[1]
+  ASSERT_TRUE(reg1.ok());
+  ASSERT_TRUE(reg2.ok());
+
+  const std::string content = MakePage('b', 3);
+  ASSERT_TRUE(bf_->PushPage(1, reg1->frame, content.data()).ok());
+  ASSERT_TRUE(bf_->NotifyPush(1, page, 3, /*clean_load=*/false).ok());
+  EXPECT_EQ(flags2_[1].load(), 1u);  // node 2 invalidated
+  EXPECT_EQ(flags1_[0].load(), 0u);  // pusher untouched
+  EXPECT_EQ(bf_->invalidations(), 1u);
+}
+
+TEST_F(BufferFusionTest, CleanLoadPushDoesNotInvalidate) {
+  const PageId page{1, 0};
+  auto reg1 = bf_->RegisterCopy(1, page, 0);
+  auto reg2 = bf_->RegisterCopy(2, page, 8);
+  const std::string content = MakePage('c', 2);
+  ASSERT_TRUE(bf_->PushPage(1, reg1->frame, content.data()).ok());
+  ASSERT_TRUE(bf_->NotifyPush(1, page, 2, /*clean_load=*/true).ok());
+  EXPECT_EQ(flags2_[1].load(), 0u);
+  EXPECT_EQ(bf_->LastFlushedLlsn(page), 2u);  // counted as already durable
+}
+
+TEST_F(BufferFusionTest, BackgroundFlusherWritesStorage) {
+  const PageId page{1, 0};
+  auto reg = bf_->RegisterCopy(1, page, 0);
+  const std::string content = MakePage('d', 9);
+  ASSERT_TRUE(bf_->PushPage(1, reg->frame, content.data()).ok());
+  ASSERT_TRUE(bf_->NotifyPush(1, page, 9, /*clean_load=*/false).ok());
+  bf_->Start();
+  for (int i = 0; i < 200 && bf_->LastFlushedLlsn(page) < 9; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  bf_->Stop();
+  EXPECT_GE(bf_->LastFlushedLlsn(page), 9u);
+  std::string out(kPageSize, 0);
+  ASSERT_TRUE(page_store_.ReadPage(page, out.data()).ok());
+  EXPECT_EQ(out, content);
+}
+
+TEST_F(BufferFusionTest, SynchronousFlushPages) {
+  const PageId page{1, 0};
+  auto reg = bf_->RegisterCopy(1, page, 0);
+  const std::string content = MakePage('e', 4);
+  ASSERT_TRUE(bf_->PushPage(1, reg->frame, content.data()).ok());
+  ASSERT_TRUE(bf_->NotifyPush(1, page, 4, /*clean_load=*/false).ok());
+  ASSERT_TRUE(bf_->FlushPages(1, {page}).ok());
+  EXPECT_EQ(bf_->LastFlushedLlsn(page), 4u);
+  EXPECT_TRUE(page_store_.PageExists(page));
+}
+
+TEST_F(BufferFusionTest, HostWriteInvalidatesAndServesRecoveryReads) {
+  const PageId page{1, 0};
+  ASSERT_TRUE(bf_->RegisterCopy(2, page, 8).ok());
+  const std::string content = MakePage('f', 11);
+  ASSERT_TRUE(bf_->HostWritePage(page, content.data(), 11, /*flushed=*/true).ok());
+  EXPECT_EQ(flags2_[1].load(), 1u);
+  EXPECT_TRUE(bf_->HasValidPage(page));
+  std::string out(kPageSize, 0);
+  ASSERT_TRUE(bf_->ReadPageForRecovery(1, page, out.data()).ok());
+  EXPECT_EQ(out, content);
+  EXPECT_EQ(bf_->LastFlushedLlsn(page), 11u);
+}
+
+TEST_F(BufferFusionTest, EvictionNeedsCleanCopyFreeEntries) {
+  // Fill the 8-frame DBP with copy-free clean pages, then one more page
+  // must trigger an eviction rather than failing.
+  for (PageNo i = 0; i < 8; ++i) {
+    const PageId page{1, i};
+    auto reg = bf_->RegisterCopy(1, page, 0);
+    ASSERT_TRUE(reg.ok());
+    const std::string content = MakePage('g', i + 1);
+    ASSERT_TRUE(bf_->PushPage(1, reg->frame, content.data()).ok());
+    ASSERT_TRUE(bf_->NotifyPush(1, page, i + 1, /*clean_load=*/true).ok());
+    ASSERT_TRUE(bf_->UnregisterCopy(1, page).ok());
+  }
+  auto reg = bf_->RegisterCopy(1, PageId{1, 100}, 0);
+  ASSERT_TRUE(reg.ok());
+  EXPECT_FALSE(reg->present);
+}
+
+TEST_F(BufferFusionTest, RemoveNodeDropsCopies) {
+  const PageId page{1, 0};
+  ASSERT_TRUE(bf_->RegisterCopy(1, page, 0).ok());
+  ASSERT_TRUE(bf_->RegisterCopy(2, page, 8).ok());
+  bf_->RemoveNode(2);
+  auto reg1 = bf_->RegisterCopy(1, page, 0);
+  const std::string content = MakePage('h', 20);
+  ASSERT_TRUE(bf_->PushPage(1, reg1->frame, content.data()).ok());
+  ASSERT_TRUE(bf_->NotifyPush(1, page, 20, /*clean_load=*/false).ok());
+  EXPECT_EQ(flags2_[1].load(), 0u);  // no longer a copy holder
+}
+
+}  // namespace
+}  // namespace polarmp

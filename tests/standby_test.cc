@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "cluster/standby.h"
+
+namespace polarmp {
+namespace {
+
+class StandbyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterOptions opts;
+    opts.node.lbp_flush_interval_ms = 20;  // fast heartbeats for the test
+    auto cluster = Cluster::Create(opts);
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+    StandbyReplicator::Options sopts;
+    sopts.poll_interval_ms = 5;
+    sopts.page_size = cluster_->options().page_size;
+    standby_ = std::make_unique<StandbyReplicator>(cluster_->log_store(),
+                                                   sopts);
+    standby_->Start();
+  }
+
+  std::map<int64_t, std::string> StandbyContents(SpaceId space) {
+    std::map<int64_t, std::string> out;
+    EXPECT_TRUE(standby_
+                    ->ScanTable(space,
+                                [&](const RowView& row) {
+                                  if (!row.tombstone()) {
+                                    out[row.key] = row.value.ToString();
+                                  }
+                                  return true;
+                                })
+                    .ok());
+    return out;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<StandbyReplicator> standby_;
+};
+
+TEST_F(StandbyTest, ReplicatesSingleNodeWrites) {
+  DbNode* node = cluster_->AddNode().value();
+  auto info = cluster_->CreateTable("t");
+  ASSERT_TRUE(info.ok());
+  TableHandle table = node->OpenTable("t").value();
+  Session s(node, IsolationLevel::kReadCommitted);
+  ASSERT_TRUE(s.Begin().ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(s.Insert(table, i, "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(s.Commit().ok());
+
+  ASSERT_TRUE(standby_->WaitForCatchUp(10'000));
+  auto contents = StandbyContents(info->primary_space);
+  ASSERT_EQ(contents.size(), 50u);
+  EXPECT_EQ(contents[7], "v7");
+  EXPECT_EQ(contents[49], "v49");
+}
+
+TEST_F(StandbyTest, MergesInterleavedMultiNodeStreams) {
+  DbNode* n1 = cluster_->AddNode().value();
+  DbNode* n2 = cluster_->AddNode().value();
+  auto info = cluster_->CreateTable("t");
+  ASSERT_TRUE(info.ok());
+  TableHandle t1 = n1->OpenTable("t").value();
+  TableHandle t2 = n2->OpenTable("t").value();
+  // Interleave writes to the SAME rows from both nodes so the standby must
+  // merge the two streams in LLSN order per page.
+  for (int round = 0; round < 30; ++round) {
+    DbNode* node = round % 2 == 0 ? n1 : n2;
+    const TableHandle& table = round % 2 == 0 ? t1 : t2;
+    Session s(node, IsolationLevel::kReadCommitted);
+    ASSERT_TRUE(s.Begin().ok());
+    ASSERT_TRUE(s.Put(table, round % 5, "round-" + std::to_string(round)).ok());
+    ASSERT_TRUE(s.Commit().ok());
+  }
+  ASSERT_TRUE(standby_->WaitForCatchUp(10'000));
+  auto contents = StandbyContents(info->primary_space);
+  ASSERT_EQ(contents.size(), 5u);
+  // Key k's last writer was round 25+k (rounds 25..29 hit keys 0..4).
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(contents[k], "round-" + std::to_string(25 + k)) << k;
+  }
+}
+
+TEST_F(StandbyTest, HeartbeatsUnblockIdleStreams) {
+  DbNode* n1 = cluster_->AddNode().value();
+  DbNode* n2 = cluster_->AddNode().value();
+  auto info = cluster_->CreateTable("t");
+  ASSERT_TRUE(info.ok());
+  // Warm both nodes' LLSN clocks so heartbeats are meaningful.
+  for (DbNode* node : {n1, n2}) {
+    TableHandle table = node->OpenTable("t").value();
+    Session s(node, IsolationLevel::kReadCommitted);
+    ASSERT_TRUE(s.Begin().ok());
+    ASSERT_TRUE(s.Put(table, node->id(), "warm").ok());
+    ASSERT_TRUE(s.Commit().ok());
+  }
+  // Now only node 1 writes; node 2 idles. Without heartbeats the standby's
+  // LLSN bound would stall at node 2's horizon.
+  TableHandle t1 = n1->OpenTable("t").value();
+  Session s(n1, IsolationLevel::kReadCommitted);
+  ASSERT_TRUE(s.Begin().ok());
+  for (int i = 100; i < 140; ++i) {
+    ASSERT_TRUE(s.Put(t1, i, "only-n1").ok());
+  }
+  ASSERT_TRUE(s.Commit().ok());
+  ASSERT_TRUE(standby_->WaitForCatchUp(10'000));
+  auto contents = StandbyContents(info->primary_space);
+  EXPECT_EQ(contents.count(139), 1u);
+  EXPECT_GT(standby_->records_applied(), 40u);
+}
+
+TEST_F(StandbyTest, SplitsReplicateStructurally) {
+  DbNode* node = cluster_->AddNode().value();
+  auto info = cluster_->CreateTable("t");
+  ASSERT_TRUE(info.ok());
+  TableHandle table = node->OpenTable("t").value();
+  // Enough rows to force multi-level splits on 8 KB pages.
+  for (int batch = 0; batch < 10; ++batch) {
+    Session s(node, IsolationLevel::kReadCommitted);
+    ASSERT_TRUE(s.Begin().ok());
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(
+          s.Insert(table, batch * 200 + i, std::string(64, 'x')).ok());
+    }
+    ASSERT_TRUE(s.Commit().ok());
+  }
+  ASSERT_TRUE(standby_->WaitForCatchUp(15'000));
+  auto contents = StandbyContents(info->primary_space);
+  EXPECT_EQ(contents.size(), 2000u);  // leaf chain complete across splits
+}
+
+TEST_F(StandbyTest, LagDrainsToZero) {
+  DbNode* node = cluster_->AddNode().value();
+  ASSERT_TRUE(cluster_->CreateTable("t").ok());
+  TableHandle table = node->OpenTable("t").value();
+  Session s(node, IsolationLevel::kReadCommitted);
+  ASSERT_TRUE(s.Begin().ok());
+  ASSERT_TRUE(s.Put(table, 1, "x").ok());
+  ASSERT_TRUE(s.Commit().ok());
+  ASSERT_TRUE(standby_->WaitForCatchUp(10'000));
+  EXPECT_EQ(standby_->LagBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace polarmp
