@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_production_timeline.dir/fig10_production_timeline.cc.o"
+  "CMakeFiles/fig10_production_timeline.dir/fig10_production_timeline.cc.o.d"
+  "fig10_production_timeline"
+  "fig10_production_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_production_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

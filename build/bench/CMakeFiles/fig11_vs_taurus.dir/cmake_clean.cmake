@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_vs_taurus.dir/fig11_vs_taurus.cc.o"
+  "CMakeFiles/fig11_vs_taurus.dir/fig11_vs_taurus.cc.o.d"
+  "fig11_vs_taurus"
+  "fig11_vs_taurus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_vs_taurus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_light_conflict.dir/fig12_light_conflict.cc.o"
+  "CMakeFiles/fig12_light_conflict.dir/fig12_light_conflict.cc.o.d"
+  "fig12_light_conflict"
+  "fig12_light_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_light_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

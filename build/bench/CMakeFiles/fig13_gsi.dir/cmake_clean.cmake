@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_gsi.dir/fig13_gsi.cc.o"
+  "CMakeFiles/fig13_gsi.dir/fig13_gsi.cc.o.d"
+  "fig13_gsi"
+  "fig13_gsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_gsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_tatp.dir/fig8_tatp.cc.o"
+  "CMakeFiles/fig8_tatp.dir/fig8_tatp.cc.o.d"
+  "fig8_tatp"
+  "fig8_tatp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_tatp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

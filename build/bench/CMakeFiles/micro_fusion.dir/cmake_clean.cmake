@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fusion.dir/micro_fusion.cc.o"
+  "CMakeFiles/micro_fusion.dir/micro_fusion.cc.o.d"
+  "micro_fusion"
+  "micro_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secondary_index.dir/secondary_index.cpp.o"
+  "CMakeFiles/secondary_index.dir/secondary_index.cpp.o.d"
+  "secondary_index"
+  "secondary_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secondary_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

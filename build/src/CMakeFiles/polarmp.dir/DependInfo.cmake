@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/aurora_mm.cc" "src/CMakeFiles/polarmp.dir/baselines/aurora_mm.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/baselines/aurora_mm.cc.o.d"
+  "/root/repo/src/baselines/database.cc" "src/CMakeFiles/polarmp.dir/baselines/database.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/baselines/database.cc.o.d"
+  "/root/repo/src/baselines/shared_nothing.cc" "src/CMakeFiles/polarmp.dir/baselines/shared_nothing.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/baselines/shared_nothing.cc.o.d"
+  "/root/repo/src/baselines/sim_store.cc" "src/CMakeFiles/polarmp.dir/baselines/sim_store.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/baselines/sim_store.cc.o.d"
+  "/root/repo/src/baselines/single_primary.cc" "src/CMakeFiles/polarmp.dir/baselines/single_primary.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/baselines/single_primary.cc.o.d"
+  "/root/repo/src/baselines/taurus_mm.cc" "src/CMakeFiles/polarmp.dir/baselines/taurus_mm.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/baselines/taurus_mm.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/polarmp.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/standby.cc" "src/CMakeFiles/polarmp.dir/cluster/standby.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/cluster/standby.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/polarmp.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/polarmp.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/sim_latency.cc" "src/CMakeFiles/polarmp.dir/common/sim_latency.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/common/sim_latency.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/polarmp.dir/common/status.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/common/status.cc.o.d"
+  "/root/repo/src/dsm/dsm.cc" "src/CMakeFiles/polarmp.dir/dsm/dsm.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/dsm/dsm.cc.o.d"
+  "/root/repo/src/engine/btree.cc" "src/CMakeFiles/polarmp.dir/engine/btree.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/engine/btree.cc.o.d"
+  "/root/repo/src/engine/buffer_pool.cc" "src/CMakeFiles/polarmp.dir/engine/buffer_pool.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/engine/buffer_pool.cc.o.d"
+  "/root/repo/src/engine/mtr.cc" "src/CMakeFiles/polarmp.dir/engine/mtr.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/engine/mtr.cc.o.d"
+  "/root/repo/src/engine/page.cc" "src/CMakeFiles/polarmp.dir/engine/page.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/engine/page.cc.o.d"
+  "/root/repo/src/engine/plock_manager.cc" "src/CMakeFiles/polarmp.dir/engine/plock_manager.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/engine/plock_manager.cc.o.d"
+  "/root/repo/src/engine/row.cc" "src/CMakeFiles/polarmp.dir/engine/row.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/engine/row.cc.o.d"
+  "/root/repo/src/engine/undo.cc" "src/CMakeFiles/polarmp.dir/engine/undo.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/engine/undo.cc.o.d"
+  "/root/repo/src/node/catalog.cc" "src/CMakeFiles/polarmp.dir/node/catalog.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/node/catalog.cc.o.d"
+  "/root/repo/src/node/db_node.cc" "src/CMakeFiles/polarmp.dir/node/db_node.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/node/db_node.cc.o.d"
+  "/root/repo/src/node/session.cc" "src/CMakeFiles/polarmp.dir/node/session.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/node/session.cc.o.d"
+  "/root/repo/src/pmfs/buffer_fusion.cc" "src/CMakeFiles/polarmp.dir/pmfs/buffer_fusion.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/pmfs/buffer_fusion.cc.o.d"
+  "/root/repo/src/pmfs/lock_fusion.cc" "src/CMakeFiles/polarmp.dir/pmfs/lock_fusion.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/pmfs/lock_fusion.cc.o.d"
+  "/root/repo/src/pmfs/transaction_fusion.cc" "src/CMakeFiles/polarmp.dir/pmfs/transaction_fusion.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/pmfs/transaction_fusion.cc.o.d"
+  "/root/repo/src/pmfs/tso.cc" "src/CMakeFiles/polarmp.dir/pmfs/tso.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/pmfs/tso.cc.o.d"
+  "/root/repo/src/rdma/fabric.cc" "src/CMakeFiles/polarmp.dir/rdma/fabric.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/rdma/fabric.cc.o.d"
+  "/root/repo/src/rdma/rpc.cc" "src/CMakeFiles/polarmp.dir/rdma/rpc.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/rdma/rpc.cc.o.d"
+  "/root/repo/src/storage/log_store.cc" "src/CMakeFiles/polarmp.dir/storage/log_store.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/storage/log_store.cc.o.d"
+  "/root/repo/src/storage/page_store.cc" "src/CMakeFiles/polarmp.dir/storage/page_store.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/storage/page_store.cc.o.d"
+  "/root/repo/src/txn/tit.cc" "src/CMakeFiles/polarmp.dir/txn/tit.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/txn/tit.cc.o.d"
+  "/root/repo/src/txn/transaction.cc" "src/CMakeFiles/polarmp.dir/txn/transaction.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/txn/transaction.cc.o.d"
+  "/root/repo/src/wal/log_record.cc" "src/CMakeFiles/polarmp.dir/wal/log_record.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/wal/log_record.cc.o.d"
+  "/root/repo/src/wal/log_writer.cc" "src/CMakeFiles/polarmp.dir/wal/log_writer.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/wal/log_writer.cc.o.d"
+  "/root/repo/src/wal/recovery.cc" "src/CMakeFiles/polarmp.dir/wal/recovery.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/wal/recovery.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/polarmp.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/production.cc" "src/CMakeFiles/polarmp.dir/workload/production.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/workload/production.cc.o.d"
+  "/root/repo/src/workload/sysbench.cc" "src/CMakeFiles/polarmp.dir/workload/sysbench.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/workload/sysbench.cc.o.d"
+  "/root/repo/src/workload/tatp.cc" "src/CMakeFiles/polarmp.dir/workload/tatp.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/workload/tatp.cc.o.d"
+  "/root/repo/src/workload/tpcc.cc" "src/CMakeFiles/polarmp.dir/workload/tpcc.cc.o" "gcc" "src/CMakeFiles/polarmp.dir/workload/tpcc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

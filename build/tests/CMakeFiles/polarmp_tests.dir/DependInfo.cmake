@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/polarmp_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/polarmp_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/btree_test.cc" "tests/CMakeFiles/polarmp_tests.dir/btree_test.cc.o" "gcc" "tests/CMakeFiles/polarmp_tests.dir/btree_test.cc.o.d"
+  "/root/repo/tests/buffer_fusion_test.cc" "tests/CMakeFiles/polarmp_tests.dir/buffer_fusion_test.cc.o" "gcc" "tests/CMakeFiles/polarmp_tests.dir/buffer_fusion_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/polarmp_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/polarmp_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/engine_unit_test.cc" "tests/CMakeFiles/polarmp_tests.dir/engine_unit_test.cc.o" "gcc" "tests/CMakeFiles/polarmp_tests.dir/engine_unit_test.cc.o.d"
+  "/root/repo/tests/fabric_test.cc" "tests/CMakeFiles/polarmp_tests.dir/fabric_test.cc.o" "gcc" "tests/CMakeFiles/polarmp_tests.dir/fabric_test.cc.o.d"
+  "/root/repo/tests/failure_test.cc" "tests/CMakeFiles/polarmp_tests.dir/failure_test.cc.o" "gcc" "tests/CMakeFiles/polarmp_tests.dir/failure_test.cc.o.d"
+  "/root/repo/tests/isolation_test.cc" "tests/CMakeFiles/polarmp_tests.dir/isolation_test.cc.o" "gcc" "tests/CMakeFiles/polarmp_tests.dir/isolation_test.cc.o.d"
+  "/root/repo/tests/lock_fusion_test.cc" "tests/CMakeFiles/polarmp_tests.dir/lock_fusion_test.cc.o" "gcc" "tests/CMakeFiles/polarmp_tests.dir/lock_fusion_test.cc.o.d"
+  "/root/repo/tests/multi_node_test.cc" "tests/CMakeFiles/polarmp_tests.dir/multi_node_test.cc.o" "gcc" "tests/CMakeFiles/polarmp_tests.dir/multi_node_test.cc.o.d"
+  "/root/repo/tests/page_test.cc" "tests/CMakeFiles/polarmp_tests.dir/page_test.cc.o" "gcc" "tests/CMakeFiles/polarmp_tests.dir/page_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/polarmp_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/polarmp_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/recovery_test.cc" "tests/CMakeFiles/polarmp_tests.dir/recovery_test.cc.o" "gcc" "tests/CMakeFiles/polarmp_tests.dir/recovery_test.cc.o.d"
+  "/root/repo/tests/standby_test.cc" "tests/CMakeFiles/polarmp_tests.dir/standby_test.cc.o" "gcc" "tests/CMakeFiles/polarmp_tests.dir/standby_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/polarmp_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/polarmp_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/tit_test.cc" "tests/CMakeFiles/polarmp_tests.dir/tit_test.cc.o" "gcc" "tests/CMakeFiles/polarmp_tests.dir/tit_test.cc.o.d"
+  "/root/repo/tests/txn_test.cc" "tests/CMakeFiles/polarmp_tests.dir/txn_test.cc.o" "gcc" "tests/CMakeFiles/polarmp_tests.dir/txn_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/polarmp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
