@@ -72,5 +72,6 @@ int main() {
   Print("both off", RunVariant(false, false, cfg));
   std::printf("\nexpectation: eager release multiplies PLock RPCs; disabling "
               "LLT multiplies TSO fetches; both cost throughput\n");
+  bench::EmitMetricsSidecar("ablation_fusion");
   return 0;
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "baselines/database.h"
+#include "obs/metrics.h"
 #include "workload/driver.h"
 
 namespace polarmp {
@@ -95,6 +96,27 @@ inline void PrintRow(const std::string& label, double tps, double relative,
                      double abort_rate, double p95_ms) {
   std::printf("%-34s %10.0f tps   %5.2fx   aborts %4.1f%%   p95 %6.2f ms\n",
               label.c_str(), tps, relative, abort_rate * 100.0, p95_ms);
+}
+
+// Dumps the process-wide metrics registry next to the binary's output as
+// `<bench_name>.metrics.json` (override the directory with
+// POLARMP_METRICS_DIR). Called at the end of every bench main so each run
+// leaves a machine-readable sidecar of every `component.instrument` family.
+inline void EmitMetricsSidecar(const std::string& bench_name) {
+  std::string path = bench_name + ".metrics.json";
+  if (const char* dir = std::getenv("POLARMP_METRICS_DIR")) {
+    path = std::string(dir) + "/" + path;
+  }
+  const std::string json = obs::MetricsRegistry::Global().SnapshotJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "metrics sidecar: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("\nmetrics sidecar: %s\n", path.c_str());
 }
 
 }  // namespace bench

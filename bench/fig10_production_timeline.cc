@@ -101,5 +101,6 @@ int main() {
   }
   std::printf("\npaper reference: step-up at each node addition, "
               "near-linear total gain (well-partitioned workload)\n");
+  bench::EmitMetricsSidecar("fig10_production_timeline");
   return 0;
 }

@@ -80,5 +80,6 @@ int main() {
   Compare("write-only, 30% shared", SysbenchOptions::Mix::kWriteOnly, 30, cfg);
   std::printf("\npaper reference @8 nodes: Polar 3.17x Taurus (read-write), "
               "4.02x (write-only); scalability 5.64 vs 1.88 and 4.62 vs 1.5\n");
+  bench::EmitMetricsSidecar("fig11_vs_taurus");
   return 0;
 }

@@ -80,5 +80,6 @@ int main() {
   }
   std::printf("\npaper reference: Aurora-MM flat 2->4 nodes (read-write) and "
               "below single-node (write-only); Polar > Taurus > Aurora\n");
+  bench::EmitMetricsSidecar("fig12_light_conflict");
   return 0;
 }

@@ -117,5 +117,6 @@ int main() {
   }
   std::printf("\npaper reference: 1 GSI -> PolarDB-MP ~-20%%, shared-nothing "
               "~-60-70%%; 8 GSIs -> shared-nothing <20%% of baseline\n");
+  bench::EmitMetricsSidecar("fig13_gsi");
   return 0;
 }

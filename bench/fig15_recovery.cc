@@ -153,5 +153,6 @@ int main() {
   }
   std::printf("\npaper reference: node 2 unaffected; node 1 resumes within "
               "~10 s, recovering mostly from disaggregated memory\n");
+  bench::EmitMetricsSidecar("fig15_recovery");
   return 0;
 }

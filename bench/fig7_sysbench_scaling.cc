@@ -92,5 +92,6 @@ int main() {
   }
   std::printf("\npaper reference @8 nodes: read-only ~8x; read-write 100%% "
               "shared ~5.4x; write-only 100%% shared ~3x\n");
+  bench::EmitMetricsSidecar("fig7_sysbench_scaling");
   return 0;
 }

@@ -42,5 +42,6 @@ int main() {
   }
   std::printf("\npaper reference: linear scalability (no inter-node data "
               "transfer once partitions are cached)\n");
+  bench::EmitMetricsSidecar("fig8_tatp");
   return 0;
 }

@@ -70,5 +70,6 @@ int main() {
   }
   std::printf("\npaper reference: ~28x at 32 nodes (9.1M tpmC), near-linear "
               "to 24 nodes, P95 rising slightly\n");
+  bench::EmitMetricsSidecar("fig9_tpcc_large");
   return 0;
 }

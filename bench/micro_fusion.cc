@@ -6,7 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench/bench_util.h"
 #include "cluster/cluster.h"
+#include "obs/metrics.h"
 
 namespace polarmp {
 namespace {
@@ -136,7 +140,65 @@ void BM_CrossNodePagePingPong(benchmark::State& state) {
 }
 BENCHMARK(BM_CrossNodePagePingPong);
 
+// One row of the post-run fusion-service table, built entirely from the
+// process-wide registry (no per-instance getters): how often the service
+// was invoked, what one-sided traffic it generated, and its latency shape.
+struct ServiceRow {
+  const char* service;
+  const char* rpc_counter;       // "" if the service has no RPC family
+  const char* remote_reads;      // one-sided reads it issued
+  const char* remote_writes;     // one-sided writes
+  const char* remote_atomics;    // one-sided fetch-add/CAS
+  const char* latency_family;    // representative histogram family
+};
+
+void PrintFusionServiceTable() {
+  const obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const ServiceRow rows[] = {
+      {"lock fusion", "lock_fusion.plock_acquire_rpcs", "", "", "",
+       "lock_fusion.plock_wait_ns"},
+      {"transaction fusion", "txn_fusion.min_view_reports", "", "",
+       "tso.fetches", "txn_fusion.commit_ns"},
+      {"buffer fusion", "buffer_fusion.fetches", "", "buffer_fusion.pushes",
+       "", ""},
+      {"tit", "", "tit.remote_slot_reads", "tit.remote_ref_sets", "",
+       "tit.remote_read_ns"},
+      {"fabric (all)", "fabric.rpcs", "fabric.remote_reads",
+       "fabric.remote_writes", "fabric.remote_atomics", "fabric.rpc_ns"},
+  };
+  auto cell = [&](const char* family) -> std::string {
+    if (family[0] == '\0') return "-";
+    return std::to_string(reg.CounterTotal(family));
+  };
+  std::printf("\nper-fusion-service totals (process-wide registry)\n");
+  std::printf("%-20s %12s %12s %12s %12s %12s %12s\n", "service", "rpcs",
+              "rd-reads", "rd-writes", "rd-atomics", "p50(ns)", "p99(ns)");
+  for (const ServiceRow& row : rows) {
+    std::string p50 = "-";
+    std::string p99 = "-";
+    if (row.latency_family[0] != '\0') {
+      const Histogram h = reg.HistogramTotal(row.latency_family);
+      if (h.count() > 0) {
+        p50 = std::to_string(h.Percentile(50));
+        p99 = std::to_string(h.Percentile(99));
+      }
+    }
+    std::printf("%-20s %12s %12s %12s %12s %12s %12s\n", row.service,
+                cell(row.rpc_counter).c_str(), cell(row.remote_reads).c_str(),
+                cell(row.remote_writes).c_str(),
+                cell(row.remote_atomics).c_str(), p50.c_str(), p99.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace polarmp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  polarmp::PrintFusionServiceTable();
+  polarmp::bench::EmitMetricsSidecar("micro_fusion");
+  return 0;
+}

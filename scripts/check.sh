@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build + ctest, optionally under a sanitizer.
+#
+#   scripts/check.sh            # plain RelWithDebInfo build + tests
+#   scripts/check.sh thread     # TSan build + tests (fails on any report)
+#   scripts/check.sh address    # ASan build + tests
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SAN="${1:-}"
+BUILD_DIR="build"
+CMAKE_ARGS=()
+if [[ -n "${SAN}" ]]; then
+  case "${SAN}" in
+    thread|address) ;;
+    *) echo "usage: $0 [thread|address]" >&2; exit 2 ;;
+  esac
+  BUILD_DIR="build-${SAN}"
+  CMAKE_ARGS+=("-DPOLARMP_SANITIZE=${SAN}")
+fi
+
+cmake -B "${BUILD_DIR}" -S . "${CMAKE_ARGS[@]}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+# halt_on_error makes a sanitizer report fail the test that produced it;
+# tsan.supp whitelists the by-design seqlock races. detect_deadlocks=0:
+# the per-frame page latches form ordering cycles by design (deadlock
+# freedom comes from the B-tree descent discipline, which the
+# potential-deadlock detector cannot model); race detection is unaffected.
+export TSAN_OPTIONS="halt_on_error=1 detect_deadlocks=0 suppressions=$PWD/tsan.supp ${TSAN_OPTIONS:-}"
+export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"

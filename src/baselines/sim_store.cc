@@ -24,6 +24,7 @@ StatusOr<uint32_t> SimStore::TableId(const std::string& name) const {
 }
 
 StatusOr<std::string> SimStore::GetRow(uint32_t table, int64_t key) const {
+  row_reads_.Inc();
   std::lock_guard lock(mu_);
   auto it = rows_.find({table, key});
   if (it == rows_.end()) return Status::NotFound("row missing");
@@ -36,11 +37,13 @@ bool SimStore::RowExists(uint32_t table, int64_t key) const {
 }
 
 void SimStore::PutRow(uint32_t table, int64_t key, const std::string& value) {
+  row_writes_.Inc();
   std::lock_guard lock(mu_);
   rows_[{table, key}] = value;
 }
 
 void SimStore::EraseRow(uint32_t table, int64_t key) {
+  row_writes_.Inc();
   std::lock_guard lock(mu_);
   rows_.erase({table, key});
 }
@@ -79,11 +82,13 @@ void SimStore::BumpPageVersion(SimPageKey page) {
 
 bool SimStore::ValidateAndBump(
     const std::map<SimPageKey, uint64_t>& observed, int node) {
+  occ_validations_.Inc();
   std::lock_guard lock(mu_);
   for (const auto& [page, version] : observed) {
     auto it = page_versions_.find(page);
     if (it == page_versions_.end()) continue;
     if (it->second.version != version && it->second.last_writer != node) {
+      occ_aborts_.Inc();
       return false;
     }
   }
@@ -93,6 +98,13 @@ bool SimStore::ValidateAndBump(
     state.last_writer = node;
   }
   return true;
+}
+
+void SimStore::ResetCounters() {
+  row_reads_.Reset();
+  row_writes_.Reset();
+  occ_validations_.Reset();
+  occ_aborts_.Reset();
 }
 
 bool SimLockTable::CanGrant(const Entry& e, uint64_t owner,
@@ -108,7 +120,7 @@ Status SimLockTable::Acquire(uint64_t resource, uint64_t owner, LockMode mode,
                              uint64_t timeout_ms, bool charge_rpc) {
   if (charge_rpc) SimDelay(profile_.rpc_ns);
   std::unique_lock lock(mu_);
-  ++acquires_;
+  acquires_.Inc();
   Entry& e = locks_[resource];
   auto held = e.holders.find(owner);
   if (held != e.holders.end() &&
@@ -128,7 +140,7 @@ Status SimLockTable::Acquire(uint64_t resource, uint64_t owner, LockMode mode,
       return Status::Busy("baseline lock timeout");
     }
   }
-  if (waited) ++waits_;
+  if (waited) waits_.Inc();
   auto& slot = e.holders[owner];
   slot = std::max(slot, mode);
   by_owner_[owner].insert(resource);

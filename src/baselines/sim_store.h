@@ -13,6 +13,7 @@
 #include "common/sim_latency.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace polarmp {
 
@@ -90,6 +91,14 @@ class SimStore {
   bool ValidateAndBump(const std::map<SimPageKey, uint64_t>& observed,
                        int node);
 
+  // ---- telemetry ------------------------------------------------------------
+  // Shims over this instance's registry handles ("sim_store.*" families).
+  uint64_t row_reads() const { return row_reads_.Value(); }
+  uint64_t row_writes() const { return row_writes_.Value(); }
+  uint64_t occ_validations() const { return occ_validations_.Value(); }
+  uint64_t occ_aborts() const { return occ_aborts_.Value(); }
+  void ResetCounters();
+
  private:
   struct PageState {
     uint64_t version = 0;
@@ -102,6 +111,11 @@ class SimStore {
   // (table, key) -> value
   std::map<std::pair<uint32_t, int64_t>, std::string> rows_;
   std::unordered_map<SimPageKey, PageState, SimPageKeyHash> page_versions_;
+
+  mutable obs::Counter row_reads_{"sim_store.row_reads"};
+  obs::Counter row_writes_{"sim_store.row_writes"};
+  obs::Counter occ_validations_{"sim_store.occ_validations"};
+  obs::Counter occ_aborts_{"sim_store.occ_aborts"};
 };
 
 // Blocking FIFO lock table keyed by an opaque 64-bit resource id, used for
@@ -120,8 +134,10 @@ class SimLockTable {
   // Releases all of `owner`'s locks (commit/abort); charges one RPC.
   void ReleaseAll(uint64_t owner, bool charge_rpc);
 
-  uint64_t acquires() const { return acquires_; }
-  uint64_t waits() const { return waits_; }
+  // Shims over registry handles ("sim_store.lock_*" families); safe to
+  // read lock-free while workers are acquiring.
+  uint64_t acquires() const { return acquires_.Value(); }
+  uint64_t waits() const { return waits_.Value(); }
 
  private:
   struct Entry {
@@ -135,8 +151,8 @@ class SimLockTable {
   std::condition_variable cv_;
   std::unordered_map<uint64_t, Entry> locks_;
   std::unordered_map<uint64_t, std::set<uint64_t>> by_owner_;
-  uint64_t acquires_ = 0;
-  uint64_t waits_ = 0;
+  obs::Counter acquires_{"sim_store.lock_acquires"};
+  obs::Counter waits_{"sim_store.lock_waits"};
 };
 
 }  // namespace polarmp

@@ -1,6 +1,7 @@
 #include "engine/btree.h"
 
 #include "common/coding.h"
+#include "obs/trace.h"
 
 namespace polarmp {
 
@@ -41,6 +42,7 @@ Status BTree::Create() {
 StatusOr<BTree::LeafPos> BTree::SearchLeaf(Mtr* mtr, int64_t key,
                                            LockMode mode) {
   POLARMP_CHECK_GT(key, INT64_MIN);
+  leaf_searches_.Inc();
   for (int attempt = 0; attempt < 64; ++attempt) {
     // Root level is unknown before reading it; start shared and upgrade by
     // re-acquiring if the root itself turns out to be the target leaf.
@@ -106,6 +108,8 @@ StatusOr<BTree::LeafPos> BTree::SearchLeafForWrite(Mtr* mtr, int64_t key,
 }
 
 Status BTree::SplitOnce(int64_t key, size_t need_bytes) {
+  splits_.Inc();
+  obs::TraceSpan span(&smo_ns_);
   Mtr smo(ctx_);
   // The index-wide virtual X lock serializes structure modifications
   // cluster-wide (§4.3.1), so a cheap SHARED discovery descent is safe:
@@ -296,6 +300,12 @@ Status BTree::ScanRange(int64_t lo, int64_t hi,
   }
   mtr.Commit();
   return Status::OK();
+}
+
+void BTree::ResetCounters() {
+  leaf_searches_.Reset();
+  splits_.Reset();
+  smo_ns_.Reset();
 }
 
 }  // namespace polarmp

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "engine/mtr.h"
+#include "obs/metrics.h"
 #include "storage/page_store.h"
 
 namespace polarmp {
@@ -59,6 +60,13 @@ class BTree {
   static std::string EncodeInternalEntry(int64_t key, PageNo child);
   static PageNo RouteChild(const Page& page, int64_t key);
 
+  // ---- telemetry ------------------------------------------------------------
+  // Shims over this instance's registry handles ("btree.*" families); SMO
+  // durations land in "btree.smo_ns".
+  uint64_t leaf_searches() const { return leaf_searches_.Value(); }
+  uint64_t splits() const { return splits_.Value(); }
+  void ResetCounters();
+
  private:
   PageId RootId() const { return PageId{space_, 0}; }
   PageId IndexLockId() const { return PageId{space_, kIndexLockPageNo}; }
@@ -72,6 +80,10 @@ class BTree {
   EngineContext* ctx_;
   PageStore* page_store_;
   const SpaceId space_;
+
+  obs::Counter leaf_searches_{"btree.leaf_searches"};
+  obs::Counter splits_{"btree.splits"};
+  obs::LatencyHistogram smo_ns_{"btree.smo_ns"};
 };
 
 }  // namespace polarmp

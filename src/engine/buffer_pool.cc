@@ -55,7 +55,7 @@ StatusOr<BufferPool::Handle> BufferPool::GetPage(PageId page_id, bool create) {
         // page; fetch the latest from the DBP (Fig. 4 invalid + r_addr path).
         std::unique_lock frame_latch(f.latch);
         if (invalid_flags_[idx].load(std::memory_order_acquire) != 0) {
-          invalid_refetches_.fetch_add(1, std::memory_order_relaxed);
+          invalid_refetches_.Inc();
           const Status s =
               buffer_fusion_->FetchPage(node_, f.r_addr, f.data.get());
           if (!s.ok()) {
@@ -67,7 +67,7 @@ StatusOr<BufferPool::Handle> BufferPool::GetPage(PageId page_id, bool create) {
           llsn_clock_->Observe(Page::PeekLlsn(f.data.get()));
         }
       } else {
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        hits_.Inc();
       }
       return Handle{idx, f.data.get()};
     }
@@ -118,11 +118,11 @@ Status BufferPool::LoadFrame(uint32_t idx, PageId page_id, bool create) {
     return Status::OK();
   }
   if (reg.present) {
-    dbp_fetches_.fetch_add(1, std::memory_order_relaxed);
+    dbp_fetches_.Inc();
     POLARMP_RETURN_IF_ERROR(
         buffer_fusion_->FetchPage(node_, f.r_addr, f.data.get()));
   } else {
-    storage_loads_.fetch_add(1, std::memory_order_relaxed);
+    storage_loads_.Inc();
     POLARMP_RETURN_IF_ERROR(page_store_->ReadPage(page_id, f.data.get()));
     // "Once loaded by a node, the page is registered to the DBP and
     // remotely written to it" (§4.2).

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "engine/page.h"
+#include "obs/metrics.h"
 #include "pmfs/buffer_fusion.h"
 #include "wal/llsn.h"
 
@@ -101,16 +102,12 @@ class BufferPool {
   NodeId node() const { return node_; }
   uint32_t page_size() const { return options_.page_size; }
 
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t dbp_fetches() const {
-    return dbp_fetches_.load(std::memory_order_relaxed);
-  }
-  uint64_t storage_loads() const {
-    return storage_loads_.load(std::memory_order_relaxed);
-  }
-  uint64_t invalid_refetches() const {
-    return invalid_refetches_.load(std::memory_order_relaxed);
-  }
+  // Telemetry shims over this instance's registry handles
+  // ("buffer_pool.*").
+  uint64_t hits() const { return hits_.Value(); }
+  uint64_t dbp_fetches() const { return dbp_fetches_.Value(); }
+  uint64_t storage_loads() const { return storage_loads_.Value(); }
+  uint64_t invalid_refetches() const { return invalid_refetches_.Value(); }
 
  private:
   struct Frame {
@@ -161,12 +158,14 @@ class BufferPool {
   std::unordered_map<uint64_t, uint32_t> page_to_frame_;
   uint64_t tick_ = 0;
 
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> dbp_fetches_{0};
-  std::atomic<uint64_t> storage_loads_{0};
-  std::atomic<uint64_t> invalid_refetches_{0};
+  obs::Counter hits_{"buffer_pool.hits"};
+  obs::Counter dbp_fetches_{"buffer_pool.dbp_fetches"};
+  obs::Counter storage_loads_{"buffer_pool.storage_loads"};
+  obs::Counter invalid_refetches_{"buffer_pool.invalid_refetches"};
 };
 
 }  // namespace polarmp
 
 #endif  // POLARMP_ENGINE_BUFFER_POOL_H_
+
+

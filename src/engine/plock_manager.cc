@@ -26,7 +26,7 @@ Status PLockManager::Pin(PageId page, LockMode mode, uint64_t timeout_ms) {
         continue;
       }
       ++e.refs;
-      local_grants_.fetch_add(1, std::memory_order_relaxed);
+      local_grants_.Inc();
       return Status::OK();
     }
     if (e.acquiring) {
@@ -46,7 +46,7 @@ Status PLockManager::Pin(PageId page, LockMode mode, uint64_t timeout_ms) {
     e.acquiring = true;
     lock.unlock();
     const Status st = fusion_->AcquirePLock(node_, page, mode, timeout_ms);
-    fusion_acquires_.fetch_add(1, std::memory_order_relaxed);
+    fusion_acquires_.Inc();
     lock.lock();
     Entry& e2 = entries_[key];  // may have rehashed
     e2.acquiring = false;
@@ -75,7 +75,7 @@ bool PLockManager::TryPinLocal(PageId page, LockMode mode) {
     return false;
   }
   ++e.refs;
-  local_grants_.fetch_add(1, std::memory_order_relaxed);
+  local_grants_.Inc();
   return true;
 }
 
@@ -141,7 +141,7 @@ Status PLockManager::ForceRelease(PageId page) {
 
 void PLockManager::ReleaseLocked(std::unique_lock<std::mutex>& lock,
                                  PageId page, bool run_hook) {
-  negotiated_releases_.fetch_add(1, std::memory_order_relaxed);
+  negotiated_releases_.Inc();
   lock.unlock();
   if (run_hook && before_release_) {
     const Status s = before_release_(page);

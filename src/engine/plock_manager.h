@@ -7,6 +7,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "pmfs/lock_fusion.h"
 
 namespace polarmp {
@@ -69,14 +70,11 @@ class PLockManager {
   // Human-readable dump of all local entries (deadlock forensics).
   std::string DebugDump() const;
 
-  uint64_t local_grants() const {
-    return local_grants_.load(std::memory_order_relaxed);
-  }
-  uint64_t fusion_acquires() const {
-    return fusion_acquires_.load(std::memory_order_relaxed);
-  }
+  // Telemetry shims over this instance's registry handles ("plock.*").
+  uint64_t local_grants() const { return local_grants_.Value(); }
+  uint64_t fusion_acquires() const { return fusion_acquires_.Value(); }
   uint64_t negotiated_releases() const {
-    return negotiated_releases_.load(std::memory_order_relaxed);
+    return negotiated_releases_.Value();
   }
 
  private:
@@ -118,9 +116,9 @@ class PLockManager {
   std::condition_variable cv_;
   std::unordered_map<uint64_t, Entry> entries_;
 
-  std::atomic<uint64_t> local_grants_{0};
-  std::atomic<uint64_t> fusion_acquires_{0};
-  std::atomic<uint64_t> negotiated_releases_{0};
+  obs::Counter local_grants_{"plock.local_grants"};
+  obs::Counter fusion_acquires_{"plock.fusion_acquires"};
+  obs::Counter negotiated_releases_{"plock.negotiated_releases"};
 };
 
 }  // namespace polarmp

@@ -1,6 +1,7 @@
 #include "node/session.h"
 
 #include "common/coding.h"
+#include "obs/trace.h"
 
 namespace polarmp {
 
@@ -27,6 +28,10 @@ Status Session::Begin() {
 
 Status Session::Commit() {
   POLARMP_CHECK(trx_ != nullptr);
+  // Whole client-observed commit latency (the outermost commit-path
+  // segment; "txn_fusion.commit*_ns" decompose the interior).
+  static obs::LatencyHistogram commit_ns("session.commit_ns");
+  obs::TraceSpan span(&commit_ns);
   const Status s = node_->trx_manager()->Commit(trx_);
   if (!s.ok() && trx_->state() == TrxState::kActive) {
     // Commit failed before the commit point (e.g. log force error): the

@@ -1,0 +1,222 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace polarmp {
+namespace obs {
+
+namespace {
+
+MetricsRegistry* ResolveRegistry(MetricsRegistry* registry) {
+  return registry != nullptr ? registry : &MetricsRegistry::Global();
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+}  // namespace
+
+// ---- Counter ----------------------------------------------------------------
+
+Counter::Counter(std::string family, MetricsRegistry* registry)
+    : family_(std::move(family)), registry_(ResolveRegistry(registry)) {
+  registry_->Attach(this);
+}
+
+Counter::~Counter() { registry_->Detach(this); }
+
+// ---- LatencyHistogram -------------------------------------------------------
+
+LatencyHistogram::LatencyHistogram(std::string family,
+                                   MetricsRegistry* registry)
+    : family_(std::move(family)), registry_(ResolveRegistry(registry)) {
+  registry_->Attach(this);
+}
+
+LatencyHistogram::~LatencyHistogram() { registry_->Detach(this); }
+
+size_t LatencyHistogram::ShardIndex() {
+  // Thread-stable stripe: same thread always lands on the same shard, so
+  // the shard mutex is effectively uncontended.
+  static thread_local const size_t index =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) % kShards;
+  return index;
+}
+
+void LatencyHistogram::Record(uint64_t value_ns) {
+  Shard& shard = shards_[ShardIndex()];
+  std::lock_guard lock(shard.mu);
+  shard.hist.Add(value_ns);
+}
+
+Histogram LatencyHistogram::Merged() const {
+  Histogram out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    out.Merge(shard.hist);
+  }
+  return out;
+}
+
+void LatencyHistogram::Reset() {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    shard.hist.Clear();
+  }
+}
+
+// ---- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked so that handles with static storage duration (and worker threads
+  // still recording at exit) can never outlive the registry.
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+void MetricsRegistry::Attach(Counter* c) {
+  std::lock_guard lock(mu_);
+  counters_[c->family()].live.push_back(c);
+}
+
+void MetricsRegistry::Detach(Counter* c) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(c->family());
+  if (it == counters_.end()) return;
+  auto& live = it->second.live;
+  live.erase(std::remove(live.begin(), live.end(), c), live.end());
+  it->second.retired += c->Value();
+}
+
+void MetricsRegistry::Attach(LatencyHistogram* h) {
+  std::lock_guard lock(mu_);
+  histograms_[h->family()].live.push_back(h);
+}
+
+void MetricsRegistry::Detach(LatencyHistogram* h) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(h->family());
+  if (it == histograms_.end()) return;
+  auto& live = it->second.live;
+  live.erase(std::remove(live.begin(), live.end(), h), live.end());
+  it->second.retired.Merge(h->Merged());
+}
+
+uint64_t MetricsRegistry::CounterTotal(const std::string& family) const {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(family);
+  if (it == counters_.end()) return 0;
+  uint64_t total = it->second.retired;
+  for (const Counter* c : it->second.live) total += c->Value();
+  return total;
+}
+
+Histogram MetricsRegistry::HistogramTotal(const std::string& family) const {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(family);
+  if (it == histograms_.end()) return Histogram();
+  Histogram out;
+  out.Merge(it->second.retired);
+  for (const LatencyHistogram* h : it->second.live) out.Merge(h->Merged());
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::CounterFamilies() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, family] : counters_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::HistogramFamilies() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, family] : histograms_) out.push_back(name);
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, family] : counters_) {
+    family.retired = 0;
+    for (Counter* c : family.live) c->Reset();
+  }
+  for (auto& [name, family] : histograms_) {
+    family.retired.Clear();
+    for (LatencyHistogram* h : family.live) h->Reset();
+  }
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, family] : counters_) {
+    uint64_t total = family.retired;
+    for (const Counter* c : family.live) total += c->Value();
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": ";
+    AppendUint(&out, total);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, family] : histograms_) {
+    Histogram merged;
+    merged.Merge(family.retired);
+    for (const LatencyHistogram* h : family.live) merged.Merge(h->Merged());
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, name);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  ": {\"count\": %" PRIu64 ", \"min\": %" PRIu64
+                  ", \"max\": %" PRIu64
+                  ", \"mean\": %.1f, \"p50\": %" PRIu64 ", \"p90\": %" PRIu64
+                  ", \"p99\": %" PRIu64 "}",
+                  merged.count(), merged.min(), merged.max(), merged.Mean(),
+                  merged.Percentile(50), merged.Percentile(90),
+                  merged.Percentile(99));
+    out += buf;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace polarmp

@@ -1,0 +1,161 @@
+#ifndef POLARMP_OBS_METRICS_H_
+#define POLARMP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace polarmp {
+namespace obs {
+
+class MetricsRegistry;
+
+// Component-scoped handle onto a named counter family.
+//
+// Every PolarDB-MP evaluation argument is a ratio of RDMA ops to RPCs to
+// storage I/Os on some critical path, so the process needs one place where
+// all of those counts can be read together. A component owns a Counter per
+// instrument (a member, constructed with the family name); the constructor
+// attaches it to the registry, increments are a single relaxed fetch-add on
+// the handle's own cache line, and a registry snapshot sums every live
+// handle of the family plus the counts of handles that have since been
+// destroyed ("retired"). Per-instance getters keep their exact old
+// semantics by reading only their own handle.
+//
+// The registry must outlive the handle (trivially true for the process-wide
+// MetricsRegistry::Global(), which is never destroyed).
+class Counter {
+ public:
+  // `registry == nullptr` attaches to MetricsRegistry::Global().
+  explicit Counter(std::string family, MetricsRegistry* registry = nullptr);
+  ~Counter();
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  const std::string& family() const { return family_; }
+
+ private:
+  const std::string family_;
+  MetricsRegistry* const registry_;
+  std::atomic<uint64_t> value_{0};
+};
+
+// Component-scoped handle onto a named latency-histogram family
+// (nanosecond samples).
+//
+// The underlying Histogram is not thread-safe, so writes are striped over
+// kShards shards keyed by the calling thread's id — concurrent recorders
+// from different threads almost never contend on the same shard mutex —
+// and snapshots merge all shards. Same registry/lifetime rules as Counter.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(std::string family,
+                            MetricsRegistry* registry = nullptr);
+  ~LatencyHistogram();
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Record(uint64_t value_ns);
+  // Merged view over all shards of this handle only.
+  Histogram Merged() const;
+  void Reset();
+
+  const std::string& family() const { return family_; }
+
+ private:
+  static constexpr int kShards = 16;
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    Histogram hist;
+  };
+
+  static size_t ShardIndex();
+
+  const std::string family_;
+  MetricsRegistry* const registry_;
+  Shard shards_[kShards];
+};
+
+// Process-wide registry of counter and histogram families.
+//
+// Families are created implicitly by the first handle that names them and
+// aggregate every handle registered under the same name; a handle's
+// destructor folds its final value into the family so totals are stable
+// across component churn (benches that build and tear down several
+// clusters in one process keep a cumulative process-wide view).
+//
+// Family naming convention: "component.instrument", e.g.
+// "fabric.remote_reads", "lock_fusion.plock_wait_ns". Histogram families
+// end in "_ns" since every TraceSpan records nanoseconds.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide default registry (never destroyed, so handles with
+  // static storage duration can detach safely at exit).
+  static MetricsRegistry& Global();
+
+  // Live handles + retired total for the family; 0 if never registered.
+  uint64_t CounterTotal(const std::string& family) const;
+  // Merge over the family's live handles + retired samples.
+  Histogram HistogramTotal(const std::string& family) const;
+
+  std::vector<std::string> CounterFamilies() const;
+  std::vector<std::string> HistogramFamilies() const;
+
+  // Zeroes every live handle and every retired total/sample. Meant for
+  // benches that want a clean slate between measurement windows.
+  void ResetAll();
+
+  // Snapshot of every family as JSON:
+  //   {"counters": {"fabric.rpcs": 12, ...},
+  //    "histograms": {"fabric.read_ns": {"count": 3, "min": ..., "max": ...,
+  //                                      "mean": ..., "p50": ..., "p90": ...,
+  //                                      "p99": ...}, ...}}
+  // Safe to call while other threads are recording (counts are relaxed
+  // reads; histogram shards are locked one at a time).
+  std::string SnapshotJson() const;
+
+ private:
+  friend class Counter;
+  friend class LatencyHistogram;
+
+  struct CounterFamily {
+    std::vector<Counter*> live;
+    uint64_t retired = 0;
+  };
+  struct HistogramFamily {
+    std::vector<LatencyHistogram*> live;
+    Histogram retired;
+  };
+
+  void Attach(Counter* c);
+  void Detach(Counter* c);
+  void Attach(LatencyHistogram* h);
+  void Detach(LatencyHistogram* h);
+
+  mutable std::mutex mu_;
+  std::map<std::string, CounterFamily> counters_;
+  std::map<std::string, HistogramFamily> histograms_;
+};
+
+}  // namespace obs
+}  // namespace polarmp
+
+#endif  // POLARMP_OBS_METRICS_H_

@@ -1,0 +1,67 @@
+#ifndef POLARMP_OBS_TRACE_H_
+#define POLARMP_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace polarmp {
+namespace obs {
+
+// RAII timer over a critical-path segment: constructed at segment entry,
+// records the elapsed nanoseconds into a LatencyHistogram family when it
+// goes out of scope (or at an explicit Finish()). Used to decompose the
+// commit path (session -> transaction fusion -> log writer -> fabric) and
+// the PLock acquire -> negotiate -> grant path, the breakdowns §6 reasons
+// with.
+//
+// In the simulation, elapsed wall time includes SimDelay charges, so span
+// histograms report the same simulated costs the throughput figures pay.
+//
+// A null sink makes the span a no-op, which lets call sites time only the
+// interesting branch:
+//   obs::TraceSpan span(remote ? &read_ns_ : nullptr);
+class TraceSpan {
+ public:
+  explicit TraceSpan(LatencyHistogram* sink)
+      : sink_(sink), start_ns_(NowNanos()) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  TraceSpan(TraceSpan&& other) noexcept
+      : sink_(other.sink_), start_ns_(other.start_ns_) {
+    other.sink_ = nullptr;
+  }
+
+  ~TraceSpan() { Finish(); }
+
+  // Records the sample now; further Finish()/destruction is a no-op.
+  void Finish() {
+    if (sink_ == nullptr) return;
+    sink_->Record(NowNanos() - start_ns_);
+    sink_ = nullptr;
+  }
+
+  // Drops the span without recording (e.g. an error path whose latency
+  // would pollute the distribution).
+  void Cancel() { sink_ = nullptr; }
+
+  uint64_t elapsed_ns() const { return NowNanos() - start_ns_; }
+
+  static uint64_t NowNanos() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  LatencyHistogram* sink_;
+  uint64_t start_ns_;
+};
+
+}  // namespace obs
+}  // namespace polarmp
+
+#endif  // POLARMP_OBS_TRACE_H_

@@ -133,20 +133,20 @@ Status BufferFusion::NotifyPush(NodeId node, PageId page, Llsn llsn,
     // just means the copy died with its node.
     const Status s = fabric_->Store64(kPmfsEndpoint, copy_node,
                                       kLbpFlagsRegion, offset, 1);
-    if (s.ok()) invalidations_.fetch_add(1, std::memory_order_relaxed);
+    if (s.ok()) invalidations_.Inc();
   }
   return Status::OK();
 }
 
 Status BufferFusion::FetchPage(EndpointId from, DsmPtr frame,
                                char* dst) const {
-  fetches_.fetch_add(1, std::memory_order_relaxed);
+  fetches_.Inc();
   return dsm_->ReadSeqlocked(from, frame, dst, options_.page_size);
 }
 
 Status BufferFusion::PushPage(EndpointId from, DsmPtr frame,
                               const char* src) const {
-  pushes_.fetch_add(1, std::memory_order_relaxed);
+  pushes_.Inc();
   return dsm_->WriteSeqlocked(from, frame, src, options_.page_size);
 }
 
@@ -179,7 +179,7 @@ Status BufferFusion::FlushEntryLocked(std::unique_lock<std::mutex>& lock,
 
   lock.lock();
   if (!write.ok()) return write;
-  storage_flushes_.fetch_add(1, std::memory_order_relaxed);
+  storage_flushes_.Inc();
   auto it2 = directory_.find(page.Pack());
   if (it2 != directory_.end()) {
     Entry& e = it2->second;
@@ -277,7 +277,7 @@ Status BufferFusion::HostWritePage(PageId page, const char* data, Llsn llsn,
   for (const auto& [copy_node, offset] : to_invalidate) {
     const Status s = fabric_->Store64(kPmfsEndpoint, copy_node,
                                       kLbpFlagsRegion, offset, 1);
-    if (s.ok()) invalidations_.fetch_add(1, std::memory_order_relaxed);
+    if (s.ok()) invalidations_.Inc();
   }
   return Status::OK();
 }

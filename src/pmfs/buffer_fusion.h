@@ -12,6 +12,7 @@
 
 #include "dsm/dsm.h"
 #include "storage/page_store.h"
+#include "obs/metrics.h"
 
 namespace polarmp {
 
@@ -114,15 +115,12 @@ class BufferFusion {
 
   uint32_t page_size() const { return options_.page_size; }
 
-  // Telemetry.
-  uint64_t pushes() const { return pushes_.load(std::memory_order_relaxed); }
-  uint64_t fetches() const { return fetches_.load(std::memory_order_relaxed); }
-  uint64_t invalidations() const {
-    return invalidations_.load(std::memory_order_relaxed);
-  }
-  uint64_t storage_flushes() const {
-    return storage_flushes_.load(std::memory_order_relaxed);
-  }
+  // Telemetry shims over this instance's registry handles
+  // ("buffer_fusion.*").
+  uint64_t pushes() const { return pushes_.Value(); }
+  uint64_t fetches() const { return fetches_.Value(); }
+  uint64_t invalidations() const { return invalidations_.Value(); }
+  uint64_t storage_flushes() const { return storage_flushes_.Value(); }
 
  private:
   struct Entry {
@@ -161,10 +159,10 @@ class BufferFusion {
   bool stop_ = false;
   bool started_ = false;
 
-  mutable std::atomic<uint64_t> pushes_{0};
-  mutable std::atomic<uint64_t> fetches_{0};
-  std::atomic<uint64_t> invalidations_{0};
-  std::atomic<uint64_t> storage_flushes_{0};
+  mutable obs::Counter pushes_{"buffer_fusion.pushes"};
+  mutable obs::Counter fetches_{"buffer_fusion.fetches"};
+  obs::Counter invalidations_{"buffer_fusion.invalidations"};
+  obs::Counter storage_flushes_{"buffer_fusion.storage_flushes"};
 };
 
 }  // namespace polarmp

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace polarmp {
 
 void LockFusion::AddNode(NodeId node, NegotiateHandler handler) {
@@ -134,7 +136,7 @@ void LockFusion::TryGrant(PageId page, PLockEntry* entry,
       if (!LockModesConflict(mode, front.mode)) continue;
       if (entry->negotiated[holder]) continue;
       entry->negotiated[holder] = true;
-      ++negotiations_sent_;
+      negotiations_sent_.Inc();
       negotiate_targets->push_back(holder);
     }
   }
@@ -143,6 +145,10 @@ void LockFusion::TryGrant(PageId page, PLockEntry* entry,
 
 Status LockFusion::AcquirePLock(NodeId node, PageId page, LockMode mode,
                                 uint64_t timeout_ms) {
+  plock_acquire_rpcs_.Inc();
+  // Request arrival to grant/timeout: the PLock wait time of §4.3.1
+  // (covers the negotiate -> release -> grant round when contended).
+  obs::TraceSpan span(&plock_wait_ns_);
   fabric_->ChargeRpc(node, kPmfsEndpoint);
   auto waiter = std::make_shared<PLockWaiter>();
   waiter->node = node;
@@ -151,7 +157,6 @@ Status LockFusion::AcquirePLock(NodeId node, PageId page, LockMode mode,
   std::vector<NodeId> targets;
   {
     std::unique_lock lock(mu_);
-    ++plock_acquire_rpcs_;
     PLockEntry& entry = plocks_[page.Pack()];
     auto held = entry.holders.find(node);
     if (held != entry.holders.end() &&
@@ -205,11 +210,11 @@ Status LockFusion::AcquirePLock(NodeId node, PageId page, LockMode mode,
 }
 
 Status LockFusion::ReleasePLock(NodeId node, PageId page) {
+  plock_release_rpcs_.Inc();
   fabric_->ChargeRpc(node, kPmfsEndpoint);
   std::vector<NodeId> targets;
   {
     std::lock_guard lock(mu_);
-    ++plock_release_rpcs_;
     auto it = plocks_.find(page.Pack());
     if (it == plocks_.end()) {
       return Status::NotFound("PLock entry missing: " + page.ToString());
@@ -250,9 +255,9 @@ Status LockFusion::RegisterWait(GTrxId waiter, GTrxId holder) {
   POLARMP_CHECK_NE(waiter, holder);
   fabric_->ChargeRpc(GTrxNode(waiter), kPmfsEndpoint);
   std::lock_guard lock(mu_);
-  ++rlock_waits_;
+  rlock_waits_.Inc();
   if (WaitChainReaches(holder, waiter)) {
-    ++deadlocks_detected_;
+    deadlocks_detected_.Inc();
     return Status::Aborted("deadlock: wait-for cycle detected");
   }
   POLARMP_CHECK_EQ(waits_by_waiter_.count(waiter), 0u)
@@ -278,6 +283,7 @@ bool LockFusion::WaitChainReaches(GTrxId from, GTrxId target) const {
 }
 
 Status LockFusion::AwaitHolder(GTrxId waiter, uint64_t timeout_ms) {
+  obs::TraceSpan span(&rlock_wait_ns_);
   std::unique_lock lock(mu_);
   auto it = waits_by_waiter_.find(waiter);
   if (it == waits_by_waiter_.end()) {
@@ -352,12 +358,13 @@ std::string LockFusion::DebugDump() const {
 }
 
 void LockFusion::ResetCounters() {
-  std::lock_guard lock(mu_);
-  plock_acquire_rpcs_ = 0;
-  plock_release_rpcs_ = 0;
-  negotiations_sent_ = 0;
-  rlock_waits_ = 0;
-  deadlocks_detected_ = 0;
+  plock_acquire_rpcs_.Reset();
+  plock_release_rpcs_.Reset();
+  negotiations_sent_.Reset();
+  rlock_waits_.Reset();
+  deadlocks_detected_.Reset();
+  plock_wait_ns_.Reset();
+  rlock_wait_ns_.Reset();
 }
 
 }  // namespace polarmp

@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "rdma/fabric.h"
 
 namespace polarmp {
@@ -88,11 +89,14 @@ class LockFusion {
   std::string DebugDump() const;
 
   // ---- telemetry -------------------------------------------------------------
-  uint64_t plock_acquire_rpcs() const { return plock_acquire_rpcs_; }
-  uint64_t plock_release_rpcs() const { return plock_release_rpcs_; }
-  uint64_t negotiations_sent() const { return negotiations_sent_; }
-  uint64_t rlock_waits() const { return rlock_waits_; }
-  uint64_t deadlocks_detected() const { return deadlocks_detected_; }
+  // Thin shims over this instance's registry handles ("lock_fusion.*"
+  // families). Safe to read lock-free from any thread; wait-time
+  // distributions live in "lock_fusion.{plock,rlock}_wait_ns".
+  uint64_t plock_acquire_rpcs() const { return plock_acquire_rpcs_.Value(); }
+  uint64_t plock_release_rpcs() const { return plock_release_rpcs_.Value(); }
+  uint64_t negotiations_sent() const { return negotiations_sent_.Value(); }
+  uint64_t rlock_waits() const { return rlock_waits_.Value(); }
+  uint64_t deadlocks_detected() const { return deadlocks_detected_.Value(); }
   void ResetCounters();
 
  private:
@@ -138,11 +142,13 @@ class LockFusion {
   std::unordered_map<GTrxId, std::vector<std::shared_ptr<TrxWait>>>
       waits_by_holder_;
 
-  uint64_t plock_acquire_rpcs_ = 0;
-  uint64_t plock_release_rpcs_ = 0;
-  uint64_t negotiations_sent_ = 0;
-  uint64_t rlock_waits_ = 0;
-  uint64_t deadlocks_detected_ = 0;
+  obs::Counter plock_acquire_rpcs_{"lock_fusion.plock_acquire_rpcs"};
+  obs::Counter plock_release_rpcs_{"lock_fusion.plock_release_rpcs"};
+  obs::Counter negotiations_sent_{"lock_fusion.negotiations_sent"};
+  obs::Counter rlock_waits_{"lock_fusion.rlock_waits"};
+  obs::Counter deadlocks_detected_{"lock_fusion.deadlocks_detected"};
+  obs::LatencyHistogram plock_wait_ns_{"lock_fusion.plock_wait_ns"};
+  obs::LatencyHistogram rlock_wait_ns_{"lock_fusion.rlock_wait_ns"};
 };
 
 }  // namespace polarmp

@@ -20,6 +20,7 @@ TransactionFusion::~TransactionFusion() {
 
 StatusOr<Llsn> TransactionFusion::MergeLlsnWatermark(EndpointId from,
                                                      Llsn local) {
+  llsn_merges_.Inc();
   // One one-sided fetch-style op: charge once, merge host-side.
   if (from != kPmfsEndpoint) SimDelay(fabric_->profile().rdma_cas_ns);
   uint64_t cur = global_llsn_.load(std::memory_order_acquire);
@@ -42,6 +43,7 @@ void TransactionFusion::RemoveNode(NodeId node) {
 }
 
 Status TransactionFusion::ReportMinView(NodeId node, Csn min_view) {
+  min_view_reports_.Inc();
   fabric_->ChargeRpc(node, kPmfsEndpoint);
   std::lock_guard lock(mu_);
   auto it = reported_.find(node);
@@ -77,8 +79,15 @@ void TransactionFusion::Recompute() {
 }
 
 StatusOr<Csn> TransactionFusion::GlobalMinView(EndpointId from) const {
+  min_view_reads_.Inc();
   return fabric_->Load64(from, kPmfsEndpoint, kGlobalMinViewRegion,
                          /*offset=*/0);
+}
+
+void TransactionFusion::ResetCounters() {
+  min_view_reports_.Reset();
+  min_view_reads_.Reset();
+  llsn_merges_.Reset();
 }
 
 }  // namespace polarmp

@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 
+#include "obs/metrics.h"
 #include "pmfs/tso.h"
 
 namespace polarmp {
@@ -55,6 +56,15 @@ class TransactionFusion {
   // matters, and that is enforced by the page-stamp max-merge.
   StatusOr<Llsn> MergeLlsnWatermark(EndpointId from, Llsn local);
 
+  // ---- telemetry ------------------------------------------------------------
+  // Shims over this instance's registry handles ("txn_fusion.*" families).
+  // The commit-path latency decomposition ("txn_fusion.commit*_ns") is
+  // recorded node-side by TrxManager::Commit.
+  uint64_t min_view_reports() const { return min_view_reports_.Value(); }
+  uint64_t min_view_reads() const { return min_view_reads_.Value(); }
+  uint64_t llsn_merges() const { return llsn_merges_.Value(); }
+  void ResetCounters();
+
  private:
   void Recompute();  // caller holds mu_
 
@@ -67,6 +77,10 @@ class TransactionFusion {
   // Fabric-registered broadcast cells.
   std::atomic<uint64_t> global_min_;
   std::atomic<uint64_t> global_llsn_{0};
+
+  obs::Counter min_view_reports_{"txn_fusion.min_view_reports"};
+  mutable obs::Counter min_view_reads_{"txn_fusion.min_view_reads"};
+  obs::Counter llsn_merges_{"txn_fusion.llsn_merges"};
 };
 
 }  // namespace polarmp

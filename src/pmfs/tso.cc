@@ -23,7 +23,7 @@ StatusOr<Csn> Tso::CurrentCts(EndpointId from) {
 
 StatusOr<Csn> TsoClient::ReadTimestamp() {
   if (!use_linear_lamport_) {
-    fetches_.fetch_add(1, std::memory_order_relaxed);
+    fetches_.Inc();
     return tso_->CurrentCts(self_);
   }
   const uint64_t arrival = NowNanos();
@@ -34,7 +34,7 @@ StatusOr<Csn> TsoClient::ReadTimestamp() {
     // argument). The watermark is only published after the value, so a
     // match always pairs with a fresh-enough cached value.
     if (fetch_started_at_.load(std::memory_order_acquire) >= arrival) {
-      reuses_.fetch_add(1, std::memory_order_relaxed);
+      reuses_.Inc();
       return cached_ts_.load(std::memory_order_acquire);
     }
     std::unique_lock lock(fetch_mu_);
@@ -52,7 +52,7 @@ StatusOr<Csn> TsoClient::ReadTimestamp() {
 
     const uint64_t started = NowNanos();
     auto ts = tso_->CurrentCts(self_);
-    fetches_.fetch_add(1, std::memory_order_relaxed);
+    fetches_.Inc();
     if (ts.ok()) {
       cached_ts_.store(ts.value(), std::memory_order_release);
       fetch_started_at_.store(started, std::memory_order_release);
@@ -66,7 +66,7 @@ StatusOr<Csn> TsoClient::ReadTimestamp() {
 }
 
 StatusOr<Csn> TsoClient::CommitTimestamp() {
-  fetches_.fetch_add(1, std::memory_order_relaxed);
+  fetches_.Inc();
   return tso_->NextCts(self_);
 }
 

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "rdma/fabric.h"
 
 namespace polarmp {
@@ -60,8 +61,9 @@ class TsoClient {
   // Commit timestamps are always fresh fetch-adds.
   StatusOr<Csn> CommitTimestamp();
 
-  uint64_t fetches() const { return fetches_.load(std::memory_order_relaxed); }
-  uint64_t reuses() const { return reuses_.load(std::memory_order_relaxed); }
+  // Telemetry shims over this instance's registry handles ("tso.*").
+  uint64_t fetches() const { return fetches_.Value(); }
+  uint64_t reuses() const { return reuses_.Value(); }
 
  private:
   static uint64_t NowNanos() {
@@ -85,8 +87,8 @@ class TsoClient {
   std::condition_variable fetch_cv_;
   bool fetch_in_flight_ = false;
 
-  std::atomic<uint64_t> fetches_{0};
-  std::atomic<uint64_t> reuses_{0};
+  obs::Counter fetches_{"tso.fetches"};
+  obs::Counter reuses_{"tso.reuses"};
 };
 
 }  // namespace polarmp

@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "obs/trace.h"
+
 #include <cstring>
 
 namespace polarmp {
@@ -68,7 +70,8 @@ Status Fabric::Read(EndpointId from, EndpointId to, uint32_t region,
                     uint64_t offset, void* dst, size_t len) const {
   POLARMP_ASSIGN_OR_RETURN(char* src, Resolve(to, region, offset, len));
   if (from != to) {
-    remote_reads_.fetch_add(1, std::memory_order_relaxed);
+    remote_reads_.Inc();
+    obs::TraceSpan span(&read_ns_);
     SimDelay(profile_.rdma_read_ns);
   }
   std::memcpy(dst, src, len);
@@ -79,7 +82,8 @@ Status Fabric::Write(EndpointId from, EndpointId to, uint32_t region,
                      uint64_t offset, const void* src, size_t len) const {
   POLARMP_ASSIGN_OR_RETURN(char* dst, Resolve(to, region, offset, len));
   if (from != to) {
-    remote_writes_.fetch_add(1, std::memory_order_relaxed);
+    remote_writes_.Inc();
+    obs::TraceSpan span(&write_ns_);
     SimDelay(profile_.rdma_write_ns);
   }
   std::memcpy(dst, src, len);
@@ -91,7 +95,8 @@ StatusOr<uint64_t> Fabric::FetchAdd64(EndpointId from, EndpointId to,
                                       uint64_t delta) const {
   POLARMP_ASSIGN_OR_RETURN(char* p, Resolve(to, region, offset, 8));
   if (from != to) {
-    remote_atomics_.fetch_add(1, std::memory_order_relaxed);
+    remote_atomics_.Inc();
+    obs::TraceSpan span(&atomic_ns_);
     SimDelay(profile_.rdma_cas_ns);
   }
   auto* a = reinterpret_cast<std::atomic<uint64_t>*>(p);
@@ -104,7 +109,8 @@ StatusOr<uint64_t> Fabric::CompareSwap64(EndpointId from, EndpointId to,
                                          uint64_t desired) const {
   POLARMP_ASSIGN_OR_RETURN(char* p, Resolve(to, region, offset, 8));
   if (from != to) {
-    remote_atomics_.fetch_add(1, std::memory_order_relaxed);
+    remote_atomics_.Inc();
+    obs::TraceSpan span(&atomic_ns_);
     SimDelay(profile_.rdma_cas_ns);
   }
   auto* a = reinterpret_cast<std::atomic<uint64_t>*>(p);
@@ -117,7 +123,8 @@ StatusOr<uint64_t> Fabric::Load64(EndpointId from, EndpointId to,
                                   uint32_t region, uint64_t offset) const {
   POLARMP_ASSIGN_OR_RETURN(char* p, Resolve(to, region, offset, 8));
   if (from != to) {
-    remote_reads_.fetch_add(1, std::memory_order_relaxed);
+    remote_reads_.Inc();
+    obs::TraceSpan span(&read_ns_);
     SimDelay(profile_.rdma_read_ns);
   }
   auto* a = reinterpret_cast<std::atomic<uint64_t>*>(p);
@@ -128,7 +135,8 @@ Status Fabric::Store64(EndpointId from, EndpointId to, uint32_t region,
                        uint64_t offset, uint64_t value) const {
   POLARMP_ASSIGN_OR_RETURN(char* p, Resolve(to, region, offset, 8));
   if (from != to) {
-    remote_writes_.fetch_add(1, std::memory_order_relaxed);
+    remote_writes_.Inc();
+    obs::TraceSpan span(&write_ns_);
     SimDelay(profile_.rdma_write_ns);
   }
   auto* a = reinterpret_cast<std::atomic<uint64_t>*>(p);
@@ -138,16 +146,21 @@ Status Fabric::Store64(EndpointId from, EndpointId to, uint32_t region,
 
 void Fabric::ChargeRpc(EndpointId from, EndpointId to) const {
   if (from != to) {
-    rpcs_.fetch_add(1, std::memory_order_relaxed);
+    rpcs_.Inc();
+    obs::TraceSpan span(&rpc_ns_);
     SimDelay(profile_.rpc_ns);
   }
 }
 
 void Fabric::ResetCounters() {
-  remote_reads_.store(0, std::memory_order_relaxed);
-  remote_writes_.store(0, std::memory_order_relaxed);
-  remote_atomics_.store(0, std::memory_order_relaxed);
-  rpcs_.store(0, std::memory_order_relaxed);
+  remote_reads_.Reset();
+  remote_writes_.Reset();
+  remote_atomics_.Reset();
+  rpcs_.Reset();
+  read_ns_.Reset();
+  write_ns_.Reset();
+  atomic_ns_.Reset();
+  rpc_ns_.Reset();
 }
 
 }  // namespace polarmp

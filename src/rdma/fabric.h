@@ -8,6 +8,7 @@
 
 #include "common/sim_latency.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace polarmp {
 
@@ -77,11 +78,14 @@ class Fabric {
   // control messages ride RDMA-based RPC).
   void ChargeRpc(EndpointId from, EndpointId to) const;
 
-  // Telemetry: number of remote (cross-endpoint) operations by kind.
-  uint64_t remote_reads() const { return remote_reads_.load(std::memory_order_relaxed); }
-  uint64_t remote_writes() const { return remote_writes_.load(std::memory_order_relaxed); }
-  uint64_t remote_atomics() const { return remote_atomics_.load(std::memory_order_relaxed); }
-  uint64_t rpcs() const { return rpcs_.load(std::memory_order_relaxed); }
+  // Telemetry: number of remote (cross-endpoint) operations by kind. Thin
+  // shims over this instance's registry handles ("fabric.*" families); the
+  // per-verb latency distributions live in "fabric.{read,write,atomic,
+  // rpc}_ns".
+  uint64_t remote_reads() const { return remote_reads_.Value(); }
+  uint64_t remote_writes() const { return remote_writes_.Value(); }
+  uint64_t remote_atomics() const { return remote_atomics_.Value(); }
+  uint64_t rpcs() const { return rpcs_.Value(); }
   void ResetCounters();
 
  private:
@@ -103,10 +107,14 @@ class Fabric {
   std::unordered_map<uint64_t, Region> regions_;
   std::unordered_map<EndpointId, bool> endpoint_alive_;
 
-  mutable std::atomic<uint64_t> remote_reads_{0};
-  mutable std::atomic<uint64_t> remote_writes_{0};
-  mutable std::atomic<uint64_t> remote_atomics_{0};
-  mutable std::atomic<uint64_t> rpcs_{0};
+  mutable obs::Counter remote_reads_{"fabric.remote_reads"};
+  mutable obs::Counter remote_writes_{"fabric.remote_writes"};
+  mutable obs::Counter remote_atomics_{"fabric.remote_atomics"};
+  mutable obs::Counter rpcs_{"fabric.rpcs"};
+  mutable obs::LatencyHistogram read_ns_{"fabric.read_ns"};
+  mutable obs::LatencyHistogram write_ns_{"fabric.write_ns"};
+  mutable obs::LatencyHistogram atomic_ns_{"fabric.atomic_ns"};
+  mutable obs::LatencyHistogram rpc_ns_{"fabric.rpc_ns"};
 };
 
 }  // namespace polarmp

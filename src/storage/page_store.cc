@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "obs/trace.h"
+
 #include <cstring>
 
 namespace polarmp {
@@ -54,7 +56,8 @@ StatusOr<PageNo> PageStore::MaxPageNo(SpaceId space) const {
 }
 
 Status PageStore::ReadPage(PageId page_id, char* dst) const {
-  reads_.fetch_add(1, std::memory_order_relaxed);
+  reads_.Inc();
+  obs::TraceSpan span(&read_ns_);
   SimDelay(profile_.storage_read_ns);
   std::shared_lock lock(mu_);
   auto it = pages_.find(page_id.Pack());
@@ -66,7 +69,8 @@ Status PageStore::ReadPage(PageId page_id, char* dst) const {
 }
 
 Status PageStore::WritePage(PageId page_id, const char* src) {
-  writes_.fetch_add(1, std::memory_order_relaxed);
+  writes_.Inc();
+  obs::TraceSpan span(&write_ns_);
   SimDelay(profile_.storage_write_ns);
   std::unique_lock lock(mu_);
   if (spaces_.count(page_id.space) == 0) {
@@ -84,8 +88,10 @@ bool PageStore::PageExists(PageId page_id) const {
 }
 
 void PageStore::ResetCounters() {
-  reads_.store(0, std::memory_order_relaxed);
-  writes_.store(0, std::memory_order_relaxed);
+  reads_.Reset();
+  writes_.Reset();
+  read_ns_.Reset();
+  write_ns_.Reset();
 }
 
 }  // namespace polarmp

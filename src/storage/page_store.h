@@ -9,6 +9,7 @@
 #include "common/sim_latency.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace polarmp {
 
@@ -49,8 +50,10 @@ class PageStore {
   Status WritePage(PageId page_id, const char* src);
   bool PageExists(PageId page_id) const;
 
-  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
-  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+  // Telemetry shims over this instance's registry handles ("page_store.*"
+  // families); I/O latency distributions are "page_store.{read,write}_ns".
+  uint64_t reads() const { return reads_.Value(); }
+  uint64_t writes() const { return writes_.Value(); }
   void ResetCounters();
 
  private:
@@ -65,8 +68,10 @@ class PageStore {
   std::unordered_map<SpaceId, std::unique_ptr<Space>> spaces_;
   std::unordered_map<uint64_t, std::unique_ptr<char[]>> pages_;
 
-  mutable std::atomic<uint64_t> reads_{0};
-  std::atomic<uint64_t> writes_{0};
+  mutable obs::Counter reads_{"page_store.reads"};
+  obs::Counter writes_{"page_store.writes"};
+  mutable obs::LatencyHistogram read_ns_{"page_store.read_ns"};
+  obs::LatencyHistogram write_ns_{"page_store.write_ns"};
 };
 
 }  // namespace polarmp

@@ -1,5 +1,7 @@
 #include "txn/tit.h"
 
+#include "obs/trace.h"
+
 namespace polarmp {
 
 Tit::Tit(Fabric* fabric, uint32_t slots_per_node)
@@ -66,6 +68,7 @@ StatusOr<GTrxId> Tit::AllocSlot(NodeId node, TrxId trx_local_id) {
         slot.version.fetch_add(1, std::memory_order_release) + 1;
     slot.cts.store(kCsnInit, std::memory_order_release);
     slot.ref.store(0, std::memory_order_release);
+    slot_allocs_.Inc();
     return MakeGTrxId(node, idx, static_cast<uint32_t>(version));
   }
   return Status::Internal("TIT exhausted on node " + std::to_string(node));
@@ -129,7 +132,10 @@ StatusOr<Tit::SlotRead> Tit::ReadSlot(EndpointId from, GTrxId trx) const {
     // the node's registered memory.
   }
   POLARMP_ASSIGN_OR_RETURN(Table* table, FindTable(owner));
-  if (from != static_cast<EndpointId>(owner)) {
+  const bool remote = from != static_cast<EndpointId>(owner);
+  obs::TraceSpan span(remote ? &remote_read_ns_ : nullptr);
+  if (remote) {
+    remote_slot_reads_.Inc();
     SimDelay(fabric_->profile().rdma_read_ns);
   }
   const Slot& slot = table->slots[GTrxSlot(trx)];
@@ -150,10 +156,18 @@ Status Tit::SetRefRemote(EndpointId from, GTrxId trx) const {
   }
   POLARMP_ASSIGN_OR_RETURN(Table* table, FindTable(owner));
   if (from != static_cast<EndpointId>(owner)) {
+    remote_ref_sets_.Inc();
     SimDelay(fabric_->profile().rdma_write_ns);
   }
   table->slots[GTrxSlot(trx)].ref.store(1, std::memory_order_release);
   return Status::OK();
+}
+
+void Tit::ResetCounters() {
+  slot_allocs_.Reset();
+  remote_slot_reads_.Reset();
+  remote_ref_sets_.Reset();
+  remote_read_ns_.Reset();
 }
 
 }  // namespace polarmp

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "rdma/fabric.h"
 
 namespace polarmp {
@@ -96,6 +97,14 @@ class Tit {
 
   uint32_t slots_per_node() const { return slots_per_node_; }
 
+  // ---- telemetry ------------------------------------------------------------
+  // Shims over this instance's registry handles ("tit.*" families); the
+  // cross-node read-latency distribution is "tit.remote_read_ns".
+  uint64_t slot_allocs() const { return slot_allocs_.Value(); }
+  uint64_t remote_slot_reads() const { return remote_slot_reads_.Value(); }
+  uint64_t remote_ref_sets() const { return remote_ref_sets_.Value(); }
+  void ResetCounters();
+
  private:
   struct Table {
     std::unique_ptr<Slot[]> slots;
@@ -109,6 +118,11 @@ class Tit {
   mutable std::mutex mu_;
   std::map<NodeId, std::unique_ptr<Table>> tables_;
   std::map<NodeId, bool> departed_;
+
+  obs::Counter slot_allocs_{"tit.slot_allocs"};
+  mutable obs::Counter remote_slot_reads_{"tit.remote_slot_reads"};
+  mutable obs::Counter remote_ref_sets_{"tit.remote_ref_sets"};
+  mutable obs::LatencyHistogram remote_read_ns_{"tit.remote_read_ns"};
 };
 
 }  // namespace polarmp

@@ -1,5 +1,7 @@
 #include "txn/transaction.h"
 
+#include "obs/trace.h"
+
 #include <algorithm>
 #include <thread>
 
@@ -45,7 +47,7 @@ Status TrxManager::RefreshView(Transaction* trx) {
     return Status::OK();  // snapshot fixed at first statement
   }
   POLARMP_ASSIGN_OR_RETURN(Csn cts, tso_->ReadTimestamp());
-  trx->view_.cts = cts;
+  std::atomic_ref<Csn>(trx->view_.cts).store(cts, std::memory_order_release);
   return Status::OK();
 }
 
@@ -135,14 +137,14 @@ Status TrxManager::ScanRows(
 }
 
 Status TrxManager::WaitForRowLock(Transaction* trx, GTrxId holder) {
-  lock_waits_.fetch_add(1, std::memory_order_relaxed);
+  lock_waits_.Inc();
   // Fig. 6: (1) register the wait-for edge, (2) raise the holder's ref flag,
   // (3) re-check the holder (it may have finished between our row check and
   // the flag write), (4) block until notified. The register-before-recheck
   // order closes the missed-wakeup race.
   const Status reg = lock_fusion_->RegisterWait(trx->gid(), holder);
   if (reg.IsAborted()) {
-    deadlock_aborts_.fetch_add(1, std::memory_order_relaxed);
+    deadlock_aborts_.Inc();
     return reg;
   }
   POLARMP_RETURN_IF_ERROR(reg);
@@ -162,6 +164,7 @@ Status TrxManager::WriteRow(Transaction* trx, BTree* tree, int64_t key,
   POLARMP_RETURN_IF_ERROR(RefreshView(trx));
   const uint8_t flags = tombstone ? kRowTombstone : 0;
 
+  GTrxId waited_for = kInvalidGTrxId;
   for (int attempt = 0; attempt < options_.write_retry_limit; ++attempt) {
     GTrxId conflict_holder = kInvalidGTrxId;
     {
@@ -191,8 +194,16 @@ Status TrxManager::WriteRow(Transaction* trx, BTree* tree, int64_t key,
         } else {
           if (trx->iso_ == IsolationLevel::kSnapshotIsolation &&
               row.g_trx_id != trx->gid() &&
-              !trx->view().VisibleCts(row_commit_cts)) {
-            // First-committer-wins under snapshot isolation.
+              (!trx->view().VisibleCts(row_commit_cts) ||
+               row.g_trx_id == waited_for)) {
+            // First-committer-wins under snapshot isolation. The waited_for
+            // arm is first-UPDATER-wins: a holder we blocked on overlapped
+            // this transaction in real time, so its commit must conflict even
+            // when its CTS was allocated before our view (the CTS is fetched
+            // before the log force but published to the TIT after it, so a
+            // view created inside that window resolved the holder as active
+            // and read around its version; letting the write through here
+            // would lose that update).
             return Status::Aborted("write-write conflict (SI)");
           }
           if (must_not_exist && !row.tombstone()) {
@@ -227,10 +238,14 @@ Status TrxManager::WriteRow(Transaction* trx, BTree* tree, int64_t key,
                                             undo_res.ptr, flags, value);
         POLARMP_RETURN_IF_ERROR(mtr.LogWriteRow(pos.guard, image));
         mtr.Commit();
-        if (trx->first_lsn_ == 0) trx->first_lsn_ = mtr.commit_start_lsn();
+        if (trx->first_lsn_ == 0) {
+          std::atomic_ref<Lsn>(trx->first_lsn_)
+              .store(mtr.commit_start_lsn(), std::memory_order_release);
+        }
         trx->last_undo_ = undo_res.ptr;
-        trx->first_undo_offset_ =
-            std::min(trx->first_undo_offset_, undo_res.offset);
+        std::atomic_ref<uint64_t>(trx->first_undo_offset_)
+            .store(std::min(trx->first_undo_offset_, undo_res.offset),
+                   std::memory_order_release);
         trx->touched_.push_back(Transaction::TouchedRow{
             mtr.PageIdAt(pos.guard), key, tree->space(), tombstone});
         return Status::OK();
@@ -240,6 +255,7 @@ Status TrxManager::WriteRow(Transaction* trx, BTree* tree, int64_t key,
     }
     const Status wait = WaitForRowLock(trx, conflict_holder);
     if (!wait.ok()) return wait;
+    waited_for = conflict_holder;
   }
   return Status::Busy("row write did not converge");
 }
@@ -253,21 +269,29 @@ Status TrxManager::Commit(Transaction* trx) {
     FinishWaiters(trx);
     return Status::OK();
   }
+  commits_.Inc();
+  obs::TraceSpan commit_span(&commit_ns_);
   // 1. Commit timestamp from the TSO (one-sided RDMA fetch-add).
+  obs::TraceSpan tso_span(&commit_tso_ns_);
   POLARMP_ASSIGN_OR_RETURN(Csn cts, tso_->CommitTimestamp());
+  tso_span.Finish();
   trx->cts_ = cts;
   // 2. Durability: commit record + force ("before committing a transaction,
   //    the corresponding redo logs are synchronized to the storage", §4.4).
+  obs::TraceSpan log_span(&commit_log_ns_);
   const Lsn end =
       engine_->log->Add({MakeTrxCommit(node(), trx->gid(), cts)});
   POLARMP_RETURN_IF_ERROR(engine_->log->ForceTo(end));
+  log_span.Finish();
   // 3. Visibility: publish the CTS in the TIT.
+  obs::TraceSpan publish_span(&commit_publish_ns_);
   tit_->PublishCts(trx->gid(), cts);
   trx->state_ = TrxState::kCommitted;
   // 4. Best-effort CTS backfill into still-buffered rows (§4.1).
   BackfillCts(trx);
   // 5. Wake cross-node waiters if any flagged themselves (§4.3.2).
   FinishWaiters(trx);
+  publish_span.Finish();
   // 6. Hand the slot to the recycler once globally visible; tombstoned
   //    rows join the purge queue for physical removal.
   std::lock_guard lock(mu_);
@@ -388,7 +412,7 @@ void TrxManager::BackgroundTick() {
     std::lock_guard lock(mu_);
     for (const auto& [id, trx] : active_) {
       if (trx->state_ == TrxState::kActive && trx->has_view()) {
-        min_view = std::min(min_view, trx->view().cts);
+        min_view = std::min(min_view, trx->view_cts());
       }
     }
   }
@@ -470,7 +494,7 @@ Status TrxManager::PurgeRow(SpaceId space, int64_t key, Csn gmin) {
   if (cts == kCsnMax || cts >= gmin) return Status::OK();
   POLARMP_RETURN_IF_ERROR(mtr.LogRemoveRow(pos.guard, key));
   mtr.Commit();
-  purged_rows_.fetch_add(1, std::memory_order_relaxed);
+  purged_rows_.Inc();
   return Status::OK();
 }
 

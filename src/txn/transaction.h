@@ -11,6 +11,7 @@
 
 #include "engine/btree.h"
 #include "engine/undo.h"
+#include "obs/metrics.h"
 #include "pmfs/lock_fusion.h"
 #include "pmfs/transaction_fusion.h"
 #include "txn/read_view.h"
@@ -30,18 +31,35 @@ class Transaction {
   TrxId local_id() const { return local_id_; }
   GTrxId gid() const { return gid_; }
   IsolationLevel isolation() const { return iso_; }
-  TrxState state() const { return state_; }
+  TrxState state() const { return state_.load(std::memory_order_acquire); }
   Csn cts() const { return cts_; }
 
   const ReadView& view() const { return view_; }
-  bool has_view() const { return view_.cts != kCsnInit; }
+  // view_.cts is written by the owner thread (RefreshView) while the
+  // TrxManager background thread scans it for the minimum view, so the
+  // cross-thread accesses go through std::atomic_ref.
+  bool has_view() const { return view_cts() != kCsnInit; }
+  Csn view_cts() const {
+    return std::atomic_ref<Csn>(const_cast<Csn&>(view_.cts))
+        .load(std::memory_order_acquire);
+  }
 
   UndoPtr last_undo() const { return last_undo_; }
-  uint64_t first_undo_offset() const { return first_undo_offset_; }
+  // Owner-written, scanned by the background purge pass (atomic_ref, like
+  // view_cts() and first_lsn()).
+  uint64_t first_undo_offset() const {
+    return std::atomic_ref<uint64_t>(const_cast<uint64_t&>(first_undo_offset_))
+        .load(std::memory_order_acquire);
+  }
   bool has_writes() const { return last_undo_ != kNullUndoPtr; }
   // LSN of the transaction's first redo byte (checkpoints must not pass it
-  // while the transaction is active); 0 if it has not written.
-  Lsn first_lsn() const { return first_lsn_; }
+  // while the transaction is active); 0 if it has not written. Written by
+  // the owner thread, scanned by the background checkpoint pass — same
+  // atomic_ref discipline as view_cts().
+  Lsn first_lsn() const {
+    return std::atomic_ref<Lsn>(const_cast<Lsn&>(first_lsn_))
+        .load(std::memory_order_acquire);
+  }
 
  private:
   friend class TrxManager;
@@ -56,7 +74,7 @@ class Transaction {
   const TrxId local_id_;
   const GTrxId gid_;
   const IsolationLevel iso_;
-  TrxState state_ = TrxState::kActive;
+  std::atomic<TrxState> state_{TrxState::kActive};
   ReadView view_;
   Csn cts_ = kCsnInit;
 
@@ -137,13 +155,11 @@ class TrxManager {
   // Crash support: forget all volatile transaction state.
   void DropAll();
 
-  uint64_t purged_rows() const {
-    return purged_rows_.load(std::memory_order_relaxed);
-  }
-  uint64_t lock_waits() const { return lock_waits_.load(std::memory_order_relaxed); }
-  uint64_t deadlock_aborts() const {
-    return deadlock_aborts_.load(std::memory_order_relaxed);
-  }
+  // Telemetry shims over this node's registry handles ("txn.*" counters;
+  // the commit-path decomposition feeds "txn_fusion.commit*_ns").
+  uint64_t purged_rows() const { return purged_rows_.Value(); }
+  uint64_t lock_waits() const { return lock_waits_.Value(); }
+  uint64_t deadlock_aborts() const { return deadlock_aborts_.Value(); }
 
  private:
   // Refreshes the statement view per the isolation level.
@@ -200,10 +216,18 @@ class TrxManager {
     Csn delete_cts;
   };
   std::vector<PurgeCandidate> purge_queue_;
-  std::atomic<uint64_t> purged_rows_{0};
+  obs::Counter purged_rows_{"txn.purged_rows"};
 
-  std::atomic<uint64_t> lock_waits_{0};
-  std::atomic<uint64_t> deadlock_aborts_{0};
+  obs::Counter lock_waits_{"txn.lock_waits"};
+  obs::Counter deadlock_aborts_{"txn.deadlock_aborts"};
+  obs::Counter commits_{"txn_fusion.commits"};
+
+  // Commit-path segments (§4.1/§4.4): CTS fetch (one-sided TSO fetch-add),
+  // redo force to storage, TIT publish + waiter wakeup, and the whole path.
+  obs::LatencyHistogram commit_ns_{"txn_fusion.commit_ns"};
+  obs::LatencyHistogram commit_tso_ns_{"txn_fusion.commit_tso_ns"};
+  obs::LatencyHistogram commit_log_ns_{"txn_fusion.commit_log_ns"};
+  obs::LatencyHistogram commit_publish_ns_{"txn_fusion.commit_publish_ns"};
 };
 
 }  // namespace polarmp

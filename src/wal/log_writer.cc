@@ -1,5 +1,7 @@
 #include "wal/log_writer.h"
 
+#include "obs/trace.h"
+
 namespace polarmp {
 
 LogWriter::LogWriter(NodeId node, LogStore* store)
@@ -21,6 +23,7 @@ Lsn LogWriter::Add(const std::vector<LogRecord>& records) {
 }
 
 Lsn LogWriter::AddEncoded(const std::string& encoded) {
+  appends_.Inc();
   std::lock_guard lock(mu_);
   buffer_ += encoded;
   return buffer_start_ + buffer_.size();
@@ -28,6 +31,10 @@ Lsn LogWriter::AddEncoded(const std::string& encoded) {
 
 Status LogWriter::ForceTo(Lsn lsn) {
   std::unique_lock lock(mu_);
+  if (durable_ >= lsn) return Status::OK();
+  // Span covers the whole wait, including piggybacking on a force already
+  // in flight — that is the latency a committer actually observes.
+  obs::TraceSpan span(&force_ns_);
   while (durable_ < lsn) {
     if (force_in_flight_) {
       // Another committer's force will cover us; wait for it to land.
@@ -43,6 +50,7 @@ Status LogWriter::ForceTo(Lsn lsn) {
     const Lsn batch_start = buffer_start_;
     buffer_start_ += batch.size();
     force_in_flight_ = true;
+    forces_.Inc();
     lock.unlock();
 
     const auto appended = store_->Append(node_, batch);
@@ -71,6 +79,12 @@ Status LogWriter::ForceAll() {
     target = buffer_start_ + buffer_.size();
   }
   return ForceTo(target);
+}
+
+void LogWriter::ResetCounters() {
+  appends_.Reset();
+  forces_.Reset();
+  force_ns_.Reset();
 }
 
 Lsn LogWriter::durable_lsn() const {

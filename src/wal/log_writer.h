@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/log_store.h"
 #include "wal/log_record.h"
 
@@ -35,6 +36,14 @@ class LogWriter {
   Lsn durable_lsn() const;
   Lsn buffered_lsn() const;
 
+  // ---- telemetry ------------------------------------------------------------
+  // Shims over this instance's registry handles ("log_writer.*");
+  // "log_writer.force_ns" is the commit path's durability segment
+  // (including time spent piggybacking on another committer's force).
+  uint64_t appends() const { return appends_.Value(); }
+  uint64_t forces() const { return forces_.Value(); }
+  void ResetCounters();
+
  private:
   const NodeId node_;
   LogStore* const store_;
@@ -45,6 +54,10 @@ class LogWriter {
   Lsn buffer_start_ = 0;     // LSN of buffer_[0]
   Lsn durable_ = 0;
   bool force_in_flight_ = false;
+
+  obs::Counter appends_{"log_writer.appends"};
+  obs::Counter forces_{"log_writer.forces"};
+  obs::LatencyHistogram force_ns_{"log_writer.force_ns"};
 };
 
 }  // namespace polarmp

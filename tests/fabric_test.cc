@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "dsm/dsm.h"
+#include "obs/metrics.h"
 #include "rdma/fabric.h"
 #include "rdma/rpc.h"
 
@@ -27,6 +28,29 @@ TEST_F(FabricTest, RegisterReadWrite) {
   EXPECT_EQ(buf[3], 99u);
   EXPECT_EQ(fabric_.remote_reads(), 1u);
   EXPECT_EQ(fabric_.remote_writes(), 1u);
+}
+
+// The fabric's counters are registry handles: the process-wide
+// "fabric.*" families see every instance's traffic (delta-based — other
+// tests' fabrics contribute to the same families).
+TEST_F(FabricTest, CountersVisibleThroughRegistry) {
+  auto& reg = obs::MetricsRegistry::Global();
+  const uint64_t reads0 = reg.CounterTotal("fabric.remote_reads");
+  const uint64_t writes0 = reg.CounterTotal("fabric.remote_writes");
+  const uint64_t read_samples0 = reg.HistogramTotal("fabric.read_ns").count();
+
+  uint64_t buf[2] = {11, 22};
+  ASSERT_TRUE(fabric_.RegisterRegion(5, 0, buf, sizeof(buf)).ok());
+  uint64_t out = 0;
+  ASSERT_TRUE(fabric_.Read(6, 5, 0, 0, &out, 8).ok());
+  ASSERT_TRUE(fabric_.Write(6, 5, 0, 8, &out, 8).ok());
+  // Local access stays invisible to the remote families.
+  ASSERT_TRUE(fabric_.Read(5, 5, 0, 0, &out, 8).ok());
+
+  EXPECT_EQ(reg.CounterTotal("fabric.remote_reads"), reads0 + 1);
+  EXPECT_EQ(reg.CounterTotal("fabric.remote_writes"), writes0 + 1);
+  // Each remote read lands one latency sample in fabric.read_ns.
+  EXPECT_EQ(reg.HistogramTotal("fabric.read_ns").count(), read_samples0 + 1);
 }
 
 TEST_F(FabricTest, LocalAccessNotCountedRemote) {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "pmfs/lock_fusion.h"
 
 namespace polarmp {
@@ -11,11 +12,27 @@ namespace {
 class LockFusionTest : public ::testing::Test {
  protected:
   LockFusionTest() : fabric_(ZeroLatencyProfile()), fusion_(&fabric_) {
-    fusion_.AddNode(1, [this](PageId p) { negotiations_1_.push_back(p); });
-    fusion_.AddNode(2, [this](PageId p) { negotiations_2_.push_back(p); });
+    fusion_.AddNode(1, [this](PageId p) { Push(&negotiations_1_, p); });
+    fusion_.AddNode(2, [this](PageId p) { Push(&negotiations_2_, p); });
   }
+
+  // Negotiation handlers run on waiter threads while test bodies poll, so
+  // the vectors are mutex-guarded.
+  void Push(std::vector<PageId>* v, PageId p) {
+    std::lock_guard lock(neg_mu_);
+    v->push_back(p);
+  }
+  std::vector<PageId> Negotiations(const std::vector<PageId>& v) {
+    std::lock_guard lock(neg_mu_);
+    return v;
+  }
+  void AwaitNegotiation(const std::vector<PageId>& v) {
+    while (Negotiations(v).empty()) std::this_thread::yield();
+  }
+
   Fabric fabric_;
   LockFusion fusion_;
+  std::mutex neg_mu_;
   std::vector<PageId> negotiations_1_;
   std::vector<PageId> negotiations_2_;
 };
@@ -26,8 +43,8 @@ TEST_F(LockFusionTest, SharedLocksCompatible) {
   ASSERT_TRUE(fusion_.AcquirePLock(2, page, LockMode::kShared, 1000).ok());
   EXPECT_TRUE(fusion_.HoldsPLock(1, page, LockMode::kShared));
   EXPECT_TRUE(fusion_.HoldsPLock(2, page, LockMode::kShared));
-  EXPECT_TRUE(negotiations_1_.empty());
-  EXPECT_TRUE(negotiations_2_.empty());
+  EXPECT_TRUE(Negotiations(negotiations_1_).empty());
+  EXPECT_TRUE(Negotiations(negotiations_2_).empty());
 }
 
 TEST_F(LockFusionTest, ExclusiveConflictNegotiates) {
@@ -40,8 +57,8 @@ TEST_F(LockFusionTest, ExclusiveConflictNegotiates) {
     granted = true;
   });
   // The waiter's conflict sends node 1 a negotiation message.
-  while (negotiations_1_.empty()) std::this_thread::yield();
-  EXPECT_EQ(negotiations_1_[0], page);
+  AwaitNegotiation(negotiations_1_);
+  EXPECT_EQ(Negotiations(negotiations_1_)[0], page);
   EXPECT_FALSE(granted.load());
   ASSERT_TRUE(fusion_.ReleasePLock(1, page).ok());
   waiter.join();
@@ -68,7 +85,7 @@ TEST_F(LockFusionTest, UpgradeWaitsForOtherSharers) {
     ASSERT_TRUE(fusion_.AcquirePLock(1, page, LockMode::kExclusive, 5000).ok());
     upgraded = true;
   });
-  while (negotiations_2_.empty()) std::this_thread::yield();
+  AwaitNegotiation(negotiations_2_);
   EXPECT_FALSE(upgraded.load());
   ASSERT_TRUE(fusion_.ReleasePLock(2, page).ok());
   upgrader.join();
@@ -101,7 +118,7 @@ TEST_F(LockFusionTest, FifoOrdering) {
     }
     ASSERT_TRUE(fusion_.ReleasePLock(2, page).ok());
   });
-  while (negotiations_1_.empty()) std::this_thread::yield();
+  AwaitNegotiation(negotiations_1_);
   std::thread t3([&] {
     ASSERT_TRUE(fusion_.AcquirePLock(3, page, LockMode::kExclusive, 5000).ok());
     std::lock_guard lock(mu);
@@ -178,6 +195,51 @@ TEST_F(LockFusionTest, DeadlockDetected) {
   fusion_.CancelWait(a);
   fusion_.CancelWait(b);
   fusion_.CancelWait(c);
+}
+
+
+// Acquire/release traffic flows through the process-wide registry
+// families (deltas: other tests' LockFusion instances share them), and
+// the blocking acquire records a wait-latency sample.
+TEST_F(LockFusionTest, CountersVisibleThroughRegistry) {
+  auto& reg = obs::MetricsRegistry::Global();
+  const uint64_t acq0 = reg.CounterTotal("lock_fusion.plock_acquire_rpcs");
+  const uint64_t rel0 = reg.CounterTotal("lock_fusion.plock_release_rpcs");
+  const uint64_t waits0 = reg.HistogramTotal("lock_fusion.plock_wait_ns").count();
+
+  const PageId page{1, 77};
+  ASSERT_TRUE(fusion_.AcquirePLock(1, page, LockMode::kExclusive, 1000).ok());
+  ASSERT_TRUE(fusion_.ReleasePLock(1, page).ok());
+
+  EXPECT_EQ(reg.CounterTotal("lock_fusion.plock_acquire_rpcs"), acq0 + 1);
+  EXPECT_EQ(reg.CounterTotal("lock_fusion.plock_release_rpcs"), rel0 + 1);
+  EXPECT_EQ(reg.HistogramTotal("lock_fusion.plock_wait_ns").count(),
+            waits0 + 1);
+  // Registry totals agree with the instance's own shim getters for the
+  // traffic this test added.
+  EXPECT_GE(reg.CounterTotal("lock_fusion.plock_acquire_rpcs"),
+            fusion_.plock_acquire_rpcs());
+}
+
+// ResetCounters must be callable while another thread hammers the
+// counters (the original implementation read them lock-free but reset
+// under the mutex; with registry handles both sides are atomic).
+TEST_F(LockFusionTest, ResetRacesWithAcquisitionsSafely) {
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    const PageId page{1, 88};
+    while (!stop.load(std::memory_order_acquire)) {
+      fusion_.AcquirePLock(1, page, LockMode::kShared, 1000).ok();
+      fusion_.ReleasePLock(1, page).ok();
+    }
+  });
+  for (int i = 0; i < 1000; ++i) {
+    fusion_.ResetCounters();
+    (void)fusion_.plock_acquire_rpcs();
+    (void)fusion_.plock_release_rpcs();
+  }
+  stop.store(true, std::memory_order_release);
+  worker.join();
 }
 
 }  // namespace

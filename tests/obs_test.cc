@@ -1,0 +1,194 @@
+// Unit tests for the observability subsystem (src/obs): registry/handle
+// lifecycle, family aggregation across handles, concurrent
+// snapshot-while-writing, JSON shape and TraceSpan recording.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace polarmp {
+namespace {
+
+// Every test uses its own registry so nothing leaks into (or depends on)
+// the process-wide Global() that production components attach to.
+TEST(MetricsRegistryTest, FamilyRegistrationAndTotals) {
+  obs::MetricsRegistry reg;
+  obs::Counter a("comp.ops", &reg);
+  obs::Counter b("comp.ops", &reg);  // second handle, same family
+  obs::Counter other("other.ops", &reg);
+
+  a.Inc();
+  a.Inc(4);
+  b.Inc(10);
+  other.Inc();
+
+  EXPECT_EQ(a.Value(), 5u);
+  EXPECT_EQ(b.Value(), 10u);
+  EXPECT_EQ(reg.CounterTotal("comp.ops"), 15u);
+  EXPECT_EQ(reg.CounterTotal("other.ops"), 1u);
+  EXPECT_EQ(reg.CounterTotal("never.registered"), 0u);
+
+  const std::vector<std::string> families = reg.CounterFamilies();
+  EXPECT_EQ(families, (std::vector<std::string>{"comp.ops", "other.ops"}));
+}
+
+TEST(MetricsRegistryTest, DestroyedHandleFoldsIntoRetiredTotal) {
+  obs::MetricsRegistry reg;
+  obs::Counter keep("comp.ops", &reg);
+  keep.Inc(7);
+  {
+    obs::Counter scoped("comp.ops", &reg);
+    scoped.Inc(100);
+    EXPECT_EQ(reg.CounterTotal("comp.ops"), 107u);
+  }
+  // The handle is gone but the family total is cumulative.
+  EXPECT_EQ(reg.CounterTotal("comp.ops"), 107u);
+  keep.Inc();
+  EXPECT_EQ(reg.CounterTotal("comp.ops"), 108u);
+}
+
+TEST(MetricsRegistryTest, HistogramFamiliesMergeHandlesAndRetired) {
+  obs::MetricsRegistry reg;
+  obs::LatencyHistogram keep("comp.wait_ns", &reg);
+  keep.Record(100);
+  {
+    obs::LatencyHistogram scoped("comp.wait_ns", &reg);
+    scoped.Record(200);
+    scoped.Record(300);
+  }
+  const Histogram total = reg.HistogramTotal("comp.wait_ns");
+  EXPECT_EQ(total.count(), 3u);
+  EXPECT_GE(total.max(), 300u);
+  EXPECT_EQ(reg.HistogramFamilies(),
+            std::vector<std::string>{"comp.wait_ns"});
+  EXPECT_EQ(reg.HistogramTotal("never.registered").count(), 0u);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesLiveAndRetired) {
+  obs::MetricsRegistry reg;
+  obs::Counter c("comp.ops", &reg);
+  obs::LatencyHistogram h("comp.wait_ns", &reg);
+  c.Inc(3);
+  h.Record(42);
+  { obs::Counter dead("comp.ops", &reg); dead.Inc(9); }
+
+  reg.ResetAll();
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(reg.CounterTotal("comp.ops"), 0u);
+  EXPECT_EQ(reg.HistogramTotal("comp.wait_ns").count(), 0u);
+  // Families survive a reset (zeroed, not deleted).
+  EXPECT_EQ(reg.CounterFamilies(), std::vector<std::string>{"comp.ops"});
+}
+
+TEST(MetricsRegistryTest, SnapshotWhileWritingFromManyThreads) {
+  obs::MetricsRegistry reg;
+  obs::Counter c("comp.ops", &reg);
+  obs::LatencyHistogram h("comp.wait_ns", &reg);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5'000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < kIters; ++i) {
+        c.Inc();
+        h.Record(static_cast<uint64_t>(i) + 1);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Snapshot concurrently with the writers; totals must be internally
+  // consistent (monotone, no torn values) and the final total exact.
+  uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t now = reg.CounterTotal("comp.ops");
+    EXPECT_GE(now, last);
+    last = now;
+    (void)reg.SnapshotJson();
+    (void)reg.HistogramTotal("comp.wait_ns");
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(reg.CounterTotal("comp.ops"),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.HistogramTotal("comp.wait_ns").count(),
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonShape) {
+  obs::MetricsRegistry reg;
+  obs::Counter c("fabric.rpcs", &reg);
+  obs::LatencyHistogram h("fabric.rpc_ns", &reg);
+  c.Inc(3);
+  h.Record(1000);
+  h.Record(2000);
+
+  const std::string json = reg.SnapshotJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"fabric.rpcs\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"fabric.rpc_ns\""), std::string::npos) << json;
+  for (const char* key : {"count", "min", "max", "mean", "p50", "p90", "p99"}) {
+    EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
+        << "missing histogram key " << key << " in " << json;
+  }
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, GlobalIsSingletonAndUsedByDefault) {
+  obs::MetricsRegistry& g1 = obs::MetricsRegistry::Global();
+  obs::MetricsRegistry& g2 = obs::MetricsRegistry::Global();
+  EXPECT_EQ(&g1, &g2);
+
+  const uint64_t before = g1.CounterTotal("obs_test.default_attach");
+  obs::Counter c("obs_test.default_attach");  // no registry arg -> Global()
+  c.Inc();
+  EXPECT_EQ(g1.CounterTotal("obs_test.default_attach"), before + 1);
+}
+
+TEST(TraceSpanTest, RecordsIntoSinkOnDestruction) {
+  obs::MetricsRegistry reg;
+  obs::LatencyHistogram h("span.test_ns", &reg);
+  { obs::TraceSpan span(&h); }
+  EXPECT_EQ(reg.HistogramTotal("span.test_ns").count(), 1u);
+}
+
+TEST(TraceSpanTest, FinishIsIdempotentAndCancelDrops) {
+  obs::MetricsRegistry reg;
+  obs::LatencyHistogram h("span.test_ns", &reg);
+  {
+    obs::TraceSpan span(&h);
+    span.Finish();
+    span.Finish();  // no double-record
+  }
+  EXPECT_EQ(reg.HistogramTotal("span.test_ns").count(), 1u);
+  {
+    obs::TraceSpan span(&h);
+    span.Cancel();
+  }
+  EXPECT_EQ(reg.HistogramTotal("span.test_ns").count(), 1u);
+}
+
+TEST(TraceSpanTest, NullSinkIsNoOpAndMoveTransfersOwnership) {
+  obs::TraceSpan null_span(nullptr);
+  null_span.Finish();  // must not crash
+
+  obs::MetricsRegistry reg;
+  obs::LatencyHistogram h("span.test_ns", &reg);
+  {
+    obs::TraceSpan a(&h);
+    obs::TraceSpan b(std::move(a));
+    // Only `b` records; the moved-from span is inert.
+  }
+  EXPECT_EQ(reg.HistogramTotal("span.test_ns").count(), 1u);
+}
+
+}  // namespace
+}  // namespace polarmp
