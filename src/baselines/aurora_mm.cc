@@ -32,7 +32,7 @@ class AuroraConnection : public Connection {
     // ...which validates page versions and aborts on any concurrent
     // modification of the same pages (OCC, page granularity).
     if (!store_->ValidateAndBump(write_pages_, node_)) {
-      db_->occ_aborts_.fetch_add(1, std::memory_order_relaxed);
+      db_->occ_aborts_.Inc();
       Clear();
       return Status::Aborted("deadlock error (Aurora-MM write conflict)");
     }

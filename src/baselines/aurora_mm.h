@@ -5,6 +5,8 @@
 
 #include "baselines/database.h"
 #include "baselines/sim_store.h"
+#include "common/lock_rank.h"
+#include "obs/metrics.h"
 
 namespace polarmp {
 
@@ -32,15 +34,14 @@ class AuroraMmDatabase : public Database {
   Status CreateTable(const std::string& name, uint32_t num_indexes) override;
   StatusOr<std::unique_ptr<Connection>> Connect(int node_index) override;
 
-  uint64_t occ_aborts() const {
-    return occ_aborts_.load(std::memory_order_relaxed);
-  }
+  uint64_t occ_aborts() const { return occ_aborts_.Value(); }
 
  private:
   friend class AuroraConnection;
 
   struct NodeCache {
-    std::mutex mu;
+    // Held while reading store page versions (SimStore mu_, kSimStore).
+    RankedMutex mu{LockRank::kBaselineNode, "aurora.node_cache"};
     std::unordered_map<SimPageKey, uint64_t, SimPageKeyHash> versions;
   };
 
@@ -51,7 +52,8 @@ class AuroraMmDatabase : public Database {
   SimStore store_;
   int nodes_;
   std::vector<std::unique_ptr<NodeCache>> node_caches_;
-  std::atomic<uint64_t> occ_aborts_{0};
+  obs::Counter occ_aborts_{"aurora_mm.occ_aborts"};
+  // polarlint: allow(raw-atomic) transaction-id allocator, not a counter
   std::atomic<uint64_t> next_trx_{1};
 };
 

@@ -47,7 +47,7 @@ class SharedNothingConnection : public Connection {
       SimDelay(store_->profile().baseline_commit_overhead_ns);
       if (participants_.size() <= 1) {
         SimDelay(store_->profile().log_append_ns);
-        db_->single_partition_commits_.fetch_add(1, std::memory_order_relaxed);
+        db_->single_partition_commits_.Inc();
       } else {
         // Two-phase commit across participants: prepare round (RPC +
         // forced prepare record each), then the coordinator's decision
@@ -60,7 +60,7 @@ class SharedNothingConnection : public Connection {
         for (size_t i = 0; i < participants_.size(); ++i) {
           SimDelay(store_->profile().rpc_ns);
         }
-        db_->two_phase_commits_.fetch_add(1, std::memory_order_relaxed);
+        db_->two_phase_commits_.Inc();
       }
       for (const auto& [row, value] : writes_) {
         if (value.has_value()) {

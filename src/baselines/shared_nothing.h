@@ -5,6 +5,8 @@
 
 #include "baselines/database.h"
 #include "baselines/sim_store.h"
+#include "common/lock_rank.h"
+#include "obs/metrics.h"
 
 namespace polarmp {
 
@@ -41,11 +43,9 @@ class SharedNothingDatabase : public Database {
   Status CreateTable(const std::string& name, uint32_t num_indexes) override;
   StatusOr<std::unique_ptr<Connection>> Connect(int node_index) override;
 
-  uint64_t two_phase_commits() const {
-    return two_phase_commits_.load(std::memory_order_relaxed);
-  }
+  uint64_t two_phase_commits() const { return two_phase_commits_.Value(); }
   uint64_t single_partition_commits() const {
-    return single_partition_commits_.load(std::memory_order_relaxed);
+    return single_partition_commits_.Value();
   }
 
   // Number of partitioned GSIs on `table` (0 if unknown).
@@ -70,9 +70,11 @@ class SharedNothingDatabase : public Database {
   SimStore store_;
   SimLockTable locks_;
   std::map<std::string, uint32_t> table_indexes_;  // name -> #GSIs
-  std::mutex meta_mu_;
-  std::atomic<uint64_t> two_phase_commits_{0};
-  std::atomic<uint64_t> single_partition_commits_{0};
+  RankedMutex meta_mu_{LockRank::kBaselineNode, "shared_nothing.meta"};
+  obs::Counter two_phase_commits_{"shared_nothing.two_phase_commits"};
+  obs::Counter single_partition_commits_{
+      "shared_nothing.single_partition_commits"};
+  // polarlint: allow(raw-atomic) transaction-id allocator, not a counter
   std::atomic<uint64_t> next_trx_{1};
 };
 

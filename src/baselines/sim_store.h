@@ -1,7 +1,6 @@
 #ifndef POLARMP_BASELINES_SIM_STORE_H_
 #define POLARMP_BASELINES_SIM_STORE_H_
 
-#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -10,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/sim_latency.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -106,7 +106,7 @@ class SimStore {
   };
 
   LatencyProfile profile_;
-  mutable std::mutex mu_;
+  mutable RankedMutex mu_{LockRank::kSimStore, "sim_store.rows"};
   std::map<std::string, uint32_t> table_ids_;
   // (table, key) -> value
   std::map<std::pair<uint32_t, int64_t>, std::string> rows_;
@@ -147,8 +147,8 @@ class SimLockTable {
   bool CanGrant(const Entry& e, uint64_t owner, LockMode mode) const;
 
   LatencyProfile profile_;
-  std::mutex mu_;
-  std::condition_variable cv_;
+  RankedMutex mu_{LockRank::kSimLockTable, "sim_store.lock_table"};
+  CondVar cv_;
   std::unordered_map<uint64_t, Entry> locks_;
   std::unordered_map<uint64_t, std::set<uint64_t>> by_owner_;
   obs::Counter acquires_{"sim_store.lock_acquires"};

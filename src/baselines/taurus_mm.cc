@@ -131,7 +131,7 @@ class TaurusConnection : public Connection {
     if (s.IsBusy()) {
       // Timeout-based deadlock resolution: the transaction is the victim
       // and has been rolled back per the Connection contract.
-      db_->lock_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      db_->lock_timeouts_.Inc();
       locks_->ReleaseAll(trx_, /*charge_rpc=*/true);
       Clear();
       return Status::Busy("lock timeout (Taurus-MM)");
@@ -195,7 +195,7 @@ void TaurusMmDatabase::RefreshPage(int node, SimPageKey page) {
     // stores, and then apply the logs" — storage I/O plus replay CPU.
     SimDelay(store_.profile().storage_read_ns);
     const uint64_t behind = current - cached;
-    replayed_records_.fetch_add(behind, std::memory_order_relaxed);
+    replayed_records_.Inc(behind);
     SimDelay(behind * store_.profile().log_replay_per_record_ns);
   }
 }

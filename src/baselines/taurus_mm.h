@@ -5,6 +5,8 @@
 
 #include "baselines/database.h"
 #include "baselines/sim_store.h"
+#include "common/lock_rank.h"
+#include "obs/metrics.h"
 
 namespace polarmp {
 
@@ -42,18 +44,15 @@ class TaurusMmDatabase : public Database {
   Status CreateTable(const std::string& name, uint32_t num_indexes) override;
   StatusOr<std::unique_ptr<Connection>> Connect(int node_index) override;
 
-  uint64_t replayed_records() const {
-    return replayed_records_.load(std::memory_order_relaxed);
-  }
-  uint64_t lock_timeouts() const {
-    return lock_timeouts_.load(std::memory_order_relaxed);
-  }
+  uint64_t replayed_records() const { return replayed_records_.Value(); }
+  uint64_t lock_timeouts() const { return lock_timeouts_.Value(); }
 
  private:
   friend class TaurusConnection;
 
   struct NodeCache {
-    std::mutex mu;
+    // Held while reading store page versions (SimStore mu_, kSimStore).
+    RankedMutex mu{LockRank::kBaselineNode, "taurus.node_cache"};
     std::unordered_map<SimPageKey, uint64_t, SimPageKeyHash> versions;
     uint64_t scalar_clock = 0;  // vector-scalar clock, scalar component
   };
@@ -67,8 +66,9 @@ class TaurusMmDatabase : public Database {
   SimLockTable locks_;
   int nodes_;
   std::vector<std::unique_ptr<NodeCache>> node_caches_;
-  std::atomic<uint64_t> replayed_records_{0};
-  std::atomic<uint64_t> lock_timeouts_{0};
+  obs::Counter replayed_records_{"taurus_mm.replayed_records"};
+  obs::Counter lock_timeouts_{"taurus_mm.lock_timeouts"};
+  // polarlint: allow(raw-atomic) transaction-id allocator, not a counter
   std::atomic<uint64_t> next_trx_{1};
 };
 

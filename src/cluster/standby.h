@@ -1,7 +1,6 @@
 #ifndef POLARMP_CLUSTER_STANDBY_H_
 #define POLARMP_CLUSTER_STANDBY_H_
 
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
@@ -9,6 +8,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/lock_rank.h"
 #include "engine/row.h"
 #include "storage/log_store.h"
 #include "wal/log_record.h"
@@ -72,8 +72,8 @@ class StandbyReplicator {
   LogStore* primary_log_;
   const Options options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable RankedMutex mu_{LockRank::kStandby, "standby.apply"};
+  CondVar cv_;
   std::map<NodeId, Lsn> cursors_;
   std::map<NodeId, std::string> partial_;  // undecoded tails per stream
   std::map<NodeId, Llsn> high_llsn_;       // decoded LLSN horizon per stream
@@ -81,8 +81,8 @@ class StandbyReplicator {
   uint64_t records_applied_ = 0;
 
   std::thread replicator_;
-  std::mutex stop_mu_;
-  std::condition_variable stop_cv_;
+  RankedMutex stop_mu_{LockRank::kStandbyStop, "standby.stop"};
+  CondVar stop_cv_;
   bool stop_ = false;
   bool started_ = false;
 };

@@ -1,0 +1,289 @@
+#ifndef POLARMP_COMMON_LOCK_RANK_H_
+#define POLARMP_COMMON_LOCK_RANK_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if !defined(POLARMP_LOCK_RANK_CHECKS)
+// CMake normally supplies this (option POLARMP_LOCK_RANK_CHECKS, default ON);
+// standalone inclusion gets checks unless NDEBUG says otherwise.
+#ifdef NDEBUG
+#define POLARMP_LOCK_RANK_CHECKS 0
+#else
+#define POLARMP_LOCK_RANK_CHECKS 1
+#endif
+#endif
+
+#if POLARMP_LOCK_RANK_CHECKS
+#include <cstdio>
+#include <cstdlib>
+#if defined(__GLIBC__) || defined(__linux__)
+#include <execinfo.h>
+#define POLARMP_LOCK_RANK_HAS_BACKTRACE 1
+#else
+#define POLARMP_LOCK_RANK_HAS_BACKTRACE 0
+#endif
+#endif
+
+namespace polarmp {
+
+// Global latch order. Every mutex in the tree is a RankedMutex (or
+// RankedSharedMutex) carrying one of these ranks; a thread may acquire a
+// mutex only if its rank is STRICTLY LOWER than the rank of every mutex the
+// thread already holds (equal ranks are allowed only for ranks explicitly
+// marked same-rank reentrant, e.g. page latches during B-tree crabbing).
+// Acquisition therefore always descends: outermost structures carry the
+// highest numbers, the fabric and the observability registry the lowest.
+//
+// The derivation of this order from the code's real acquisition DAG — and
+// why the log writer sits BELOW the page latches even though the issue that
+// introduced ranking sketched it above them — is documented in DESIGN.md
+// ("Static analysis & lock ranking"). Do not renumber casually: polarlint
+// enforces that every mutex declares a rank, and the runtime checker aborts
+// on the first inversion it sees.
+enum class LockRank : unsigned {
+  // ---- innermost: observability (recordable while holding anything) ----
+  kObsHistogram = 10,  // obs::LatencyHistogram shard
+  kObsRegistry = 20,   // obs::MetricsRegistry family map (merges shards)
+
+  // ---- fabric / DSM / storage tiers ----
+  kFabric = 30,      // Fabric region table
+  kRpc = 35,         // Rpc handler registry (resolves liveness via kFabric)
+  kDsm = 40,         // Dsm bump allocator
+  kStorage = 50,     // PageStore / LogStore maps
+  kUndoSegment = 60, // UndoStore per-segment append lock
+  kUndoTable = 65,   // UndoStore segment map
+
+  // ---- PMFS services ----
+  kPmfsService = 70, // LockFusion / TransactionFusion / BufferFusion / TSO
+  kPmfsFlusher = 75, // BufferFusion flusher lifecycle
+  kTit = 80,         // TIT table map
+
+  // ---- node engine ----
+  kPlock = 90,        // PLockManager entry table
+  kBufferPool = 100,  // LBP frame table
+  kLogWriter = 110,   // redo log buffer
+  kLlsnOrder = 120,   // LLSN-assignment/append atomicity
+  kCommitGate = 130,  // mtr-commit vs checkpoint-snapshot gate
+  kPageLatch = 140,   // per-frame page latch (same-rank: crabbing holds
+                      // several at once; see DESIGN.md on why this is safe)
+  kTrxManager = 150,  // active-transaction table
+
+  // ---- node/cluster control plane ----
+  kCatalog = 160,
+  kNodeTrees = 165,
+  kNodeBackground = 170,
+  kStandby = 175,
+  kStandbyStop = 178,
+
+  // ---- baseline cost models (disjoint subsystem) ----
+  kSimLockTable = 183,
+  kSimStore = 185,
+  kBaselineNode = 190,  // per-node caches / metadata in the MM baselines
+
+  // ---- test-only ranks (outermost; free for harness scaffolding) ----
+  kTestLow = 200,
+  kTestMid = 210,
+  kTestHigh = 220,
+};
+
+// Ranks whose mutexes may be held several at a time by one thread (page
+// latches during descent/crabbing). Deadlock freedom among same-rank holds
+// comes from a structural discipline the rank checker cannot model (the
+// B-tree's top-down, left-right descent), which is also why TSan runs with
+// detect_deadlocks=0 — see scripts/check.sh.
+enum class SameRank : bool { kForbid = false, kAllow = true };
+
+namespace lock_rank_internal {
+
+struct Held {
+  const void* mu;
+  LockRank rank;
+  const char* name;
+  bool allow_same;
+};
+
+inline constexpr int kMaxHeld = 32;
+
+struct HeldStack {
+  Held entries[kMaxHeld];
+  int depth = 0;
+};
+
+inline HeldStack& TlsStack() {
+  thread_local HeldStack stack;
+  return stack;
+}
+
+#if POLARMP_LOCK_RANK_CHECKS
+[[noreturn]] inline void Die(const HeldStack& held, LockRank rank,
+                             const char* name, const char* why) {
+  std::fprintf(stderr,
+               "\n==== polarmp lock-rank violation ====\n"
+               "%s while acquiring '%s' (rank %u)\n"
+               "locks held by this thread (outermost first):\n",
+               why, name, static_cast<unsigned>(rank));
+  for (int i = 0; i < held.depth; ++i) {
+    std::fprintf(stderr, "  #%d  '%s' (rank %u)\n", i, held.entries[i].name,
+                 static_cast<unsigned>(held.entries[i].rank));
+  }
+#if POLARMP_LOCK_RANK_HAS_BACKTRACE
+  std::fprintf(stderr, "acquisition stack:\n");
+  void* frames[32];
+  const int n = backtrace(frames, 32);
+  backtrace_symbols_fd(frames, n, /*stderr*/ 2);
+#endif
+  std::fprintf(stderr, "=====================================\n");
+  std::fflush(stderr);
+  std::abort();
+}
+#endif
+
+inline void NoteAcquire(const void* mu, LockRank rank, const char* name,
+                        bool allow_same) {
+#if POLARMP_LOCK_RANK_CHECKS
+  HeldStack& s = TlsStack();
+  for (int i = 0; i < s.depth; ++i) {
+    const Held& h = s.entries[i];
+    if (h.mu == mu) {
+      Die(s, rank, name, "recursive acquisition of the same mutex");
+    }
+    if (rank > h.rank) {
+      Die(s, rank, name, "rank inversion (acquiring a higher rank)");
+    }
+    if (rank == h.rank && !(allow_same && h.allow_same)) {
+      Die(s, rank, name, "same-rank acquisition without a same-rank policy");
+    }
+  }
+  if (s.depth >= kMaxHeld) {
+    Die(s, rank, name, "lock-rank stack overflow");
+  }
+  s.entries[s.depth++] = Held{mu, rank, name, allow_same};
+#else
+  (void)mu;
+  (void)rank;
+  (void)name;
+  (void)allow_same;
+#endif
+}
+
+inline void NoteRelease(const void* mu) {
+#if POLARMP_LOCK_RANK_CHECKS
+  HeldStack& s = TlsStack();
+  // Releases are not always LIFO (scoped locks interleave); drop the most
+  // recent entry for this mutex.
+  for (int i = s.depth - 1; i >= 0; --i) {
+    if (s.entries[i].mu == mu) {
+      for (int j = i; j + 1 < s.depth; ++j) s.entries[j] = s.entries[j + 1];
+      --s.depth;
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "==== polarmp lock-rank violation ====\n"
+               "release of a mutex this thread does not hold\n");
+  std::fflush(stderr);
+  std::abort();
+#else
+  (void)mu;
+#endif
+}
+
+}  // namespace lock_rank_internal
+
+// std::mutex with a declared place in the global latch order. Drop-in for
+// std::lock_guard / std::unique_lock / CondVar (condition_variable_any).
+class RankedMutex {
+ public:
+  explicit RankedMutex(LockRank rank, const char* name,
+                       SameRank same = SameRank::kForbid)
+      : rank_(rank), name_(name), allow_same_(same == SameRank::kAllow) {}
+
+  RankedMutex(const RankedMutex&) = delete;
+  RankedMutex& operator=(const RankedMutex&) = delete;
+
+  void lock() {
+    lock_rank_internal::NoteAcquire(this, rank_, name_, allow_same_);
+    mu_.lock();
+  }
+  bool try_lock() {
+    lock_rank_internal::NoteAcquire(this, rank_, name_, allow_same_);
+    if (mu_.try_lock()) return true;
+    lock_rank_internal::NoteRelease(this);
+    return false;
+  }
+  void unlock() {
+    mu_.unlock();
+    lock_rank_internal::NoteRelease(this);
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+  const bool allow_same_;
+};
+
+// std::shared_mutex with a declared rank. Shared and exclusive acquisitions
+// count identically against the order (a shared hold still forbids
+// acquiring higher-ranked mutexes).
+class RankedSharedMutex {
+ public:
+  explicit RankedSharedMutex(LockRank rank, const char* name,
+                             SameRank same = SameRank::kForbid)
+      : rank_(rank), name_(name), allow_same_(same == SameRank::kAllow) {}
+
+  RankedSharedMutex(const RankedSharedMutex&) = delete;
+  RankedSharedMutex& operator=(const RankedSharedMutex&) = delete;
+
+  void lock() {
+    lock_rank_internal::NoteAcquire(this, rank_, name_, allow_same_);
+    mu_.lock();
+  }
+  bool try_lock() {
+    lock_rank_internal::NoteAcquire(this, rank_, name_, allow_same_);
+    if (mu_.try_lock()) return true;
+    lock_rank_internal::NoteRelease(this);
+    return false;
+  }
+  void unlock() {
+    mu_.unlock();
+    lock_rank_internal::NoteRelease(this);
+  }
+
+  void lock_shared() {
+    lock_rank_internal::NoteAcquire(this, rank_, name_, allow_same_);
+    mu_.lock_shared();
+  }
+  bool try_lock_shared() {
+    lock_rank_internal::NoteAcquire(this, rank_, name_, allow_same_);
+    if (mu_.try_lock_shared()) return true;
+    lock_rank_internal::NoteRelease(this);
+    return false;
+  }
+  void unlock_shared() {
+    mu_.unlock_shared();
+    lock_rank_internal::NoteRelease(this);
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+  const bool allow_same_;
+};
+
+// Condition variable usable with RankedMutex (waits release and re-acquire
+// through the wrapper, so the held-rank stack stays exact across blocks).
+using CondVar = std::condition_variable_any;
+
+}  // namespace polarmp
+
+#endif  // POLARMP_COMMON_LOCK_RANK_H_

@@ -7,7 +7,13 @@ namespace polarmp {
 
 namespace {
 std::atomic<double> g_scale{1.0};
+// Process totals for the simulated-latency budget. These are counters, but
+// obs::Counter would register them with the global metrics registry whose
+// construction order we cannot depend on here (SimDelay runs from static
+// initializers in some benches).
+// polarlint: allow(raw-atomic) pre-registry process totals
 std::atomic<uint64_t> g_total_ns{0};
+// polarlint: allow(raw-atomic) pre-registry process totals
 std::atomic<uint64_t> g_total_count{0};
 
 // Linux sleeps overshoot by 60-90us (timer slack) and spinning to a

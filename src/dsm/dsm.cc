@@ -79,10 +79,7 @@ Status Dsm::WriteSeqlocked(EndpointId from, DsmPtr frame, const void* src,
   if (from != ServerEndpoint(frame.server)) {
     SimDelay(fabric_->profile().rdma_write_ns);
   }
-  auto* seq = reinterpret_cast<std::atomic<uint64_t>*>(HostPtr(frame));
-  seq->fetch_add(1, std::memory_order_acq_rel);  // odd: write in progress
-  std::memcpy(HostPtr(DsmPtr{frame.server, frame.offset + 8}), src, len);
-  seq->fetch_add(1, std::memory_order_acq_rel);  // even: stable
+  HostWriteSeqlocked(frame, src, len);
   return Status::OK();
 }
 
@@ -113,6 +110,19 @@ char* Dsm::HostPtr(DsmPtr ptr) const {
   POLARMP_CHECK_LT(ptr.server, num_servers_);
   POLARMP_CHECK_LT(ptr.offset, bytes_per_server_);
   return memory_[ptr.server].get() + ptr.offset;
+}
+
+void Dsm::HostWrite(DsmPtr ptr, const void* src, uint64_t len) const {
+  POLARMP_CHECK_LE(ptr.offset + len, bytes_per_server_);
+  std::memcpy(HostPtr(ptr), src, len);
+}
+
+void Dsm::HostWriteSeqlocked(DsmPtr frame, const void* src,
+                             uint64_t len) const {
+  auto* seq = reinterpret_cast<std::atomic<uint64_t>*>(HostPtr(frame));
+  seq->fetch_add(1, std::memory_order_acq_rel);  // odd: write in progress
+  std::memcpy(HostPtr(DsmPtr{frame.server, frame.offset + 8}), src, len);
+  seq->fetch_add(1, std::memory_order_acq_rel);  // even: stable
 }
 
 void Dsm::Reset() {

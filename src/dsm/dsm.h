@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "rdma/fabric.h"
 
 namespace polarmp {
@@ -72,6 +72,17 @@ class Dsm {
   // Direct host access for components co-located with the memory servers.
   char* HostPtr(DsmPtr ptr) const;
 
+  // Host-side (latency-free) write into a segment by a co-located component
+  // — the undo store's local image, the DBP flusher. Writes into
+  // fabric-registered memory must go through the Dsm so torn-access
+  // disciplines stay in one place (polarlint rule no-hostptr-memcpy bans
+  // raw memcpy into HostPtr memory outside src/dsm + src/rdma).
+  void HostWrite(DsmPtr ptr, const void* src, uint64_t len) const;
+
+  // Host-side seqlock-framed page write; same layout as WriteSeqlocked
+  // ([seq u64][payload...]) with no latency charge.
+  void HostWriteSeqlocked(DsmPtr frame, const void* src, uint64_t len) const;
+
   // Drops all contents (simulates losing the DSM tier); allocations reset.
   void Reset();
 
@@ -90,7 +101,7 @@ class Dsm {
   uint32_t num_servers_;
   uint64_t bytes_per_server_;
   std::vector<std::unique_ptr<char[]>> memory_;
-  mutable std::mutex alloc_mu_;
+  mutable RankedMutex alloc_mu_{LockRank::kDsm, "dsm.alloc"};
   std::vector<uint64_t> next_free_;
 };
 

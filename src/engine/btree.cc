@@ -64,6 +64,29 @@ StatusOr<BTree::LeafPos> BTree::SearchLeaf(Mtr* mtr, int64_t key,
     for (;;) {
       Page page = mtr->PageAt(cur);
       if (page.is_leaf()) {
+        if (page.nslots() > 0 && key > page.KeyAt(page.nslots() - 1) &&
+            page.next() != kInvalidPageNo) {
+          // The key is beyond this leaf but the leaf has a right sibling:
+          // the parent image this node routed through may be stale against
+          // a concurrent remote split that moved the upper half right. Page
+          // coherence is per page, so a two-page (parent, child) read is
+          // never atomic cluster-wide; the leaf chain is the B-link-style
+          // escape hatch. Walk right only if the sibling's low key admits
+          // the key — otherwise the key's home is this leaf and walking
+          // would desynchronize from SplitOnce's structure-ordered descent
+          // (writers would probe the sibling while splits land here).
+          // Left-to-right matches the split's own acquisition order, so
+          // the peek cannot deadlock.
+          POLARMP_ASSIGN_OR_RETURN(
+              size_t sib, mtr->GetPage(PageId{space_, page.next()}, mode));
+          Page right = mtr->PageAt(sib);
+          if (right.nslots() > 0 && key >= right.KeyAt(0)) {
+            mtr->ReleasePage(cur);
+            cur = sib;
+            continue;
+          }
+          mtr->ReleasePage(sib);
+        }
         LeafPos pos;
         pos.guard = cur;
         pos.slot = page.LowerBound(key);
@@ -272,34 +295,77 @@ Status BTree::SplitRoot(Mtr* smo, size_t root_guard) {
 Status BTree::ScanRange(int64_t lo, int64_t hi,
                         const std::function<bool(const RowView&)>& fn) {
   POLARMP_CHECK_GT(lo, INT64_MIN);
-  Mtr mtr(ctx_);
-  POLARMP_ASSIGN_OR_RETURN(LeafPos pos,
-                           SearchLeaf(&mtr, lo, LockMode::kShared));
-  size_t cur = pos.guard;
-  int slot = pos.slot;
+  // The callback must never run under a leaf latch: point reads from inside
+  // a scan callback are common (Session::Scan resolves visibility that way)
+  // and would re-latch the leaf the scan is parked on — a second shared
+  // acquisition of the same latch, which deadlocks the moment a writer
+  // queues between the two (and which the lock-rank checker rejects as a
+  // recursive acquisition). So the scan copies out one batch of rows per
+  // latch hold, releases everything, invokes the callback, then re-descends
+  // from the next key.
+  struct RowCopy {
+    int64_t key;
+    GTrxId g_trx_id;
+    Csn cts;
+    UndoPtr undo_ptr;
+    uint8_t flags;
+    std::string value;
+  };
+  constexpr size_t kBatchRows = 128;
+
+  int64_t cursor = lo;
   for (;;) {
-    Page page = mtr.PageAt(cur);
-    for (; slot < page.nslots(); ++slot) {
-      if (page.KeyAt(slot) > hi) {
-        mtr.Commit();
-        return Status::OK();
+    std::vector<RowCopy> batch;
+    bool range_done = false;
+    {
+      Mtr mtr(ctx_);
+      POLARMP_ASSIGN_OR_RETURN(LeafPos pos,
+                               SearchLeaf(&mtr, cursor, LockMode::kShared));
+      size_t cur = pos.guard;
+      int slot = pos.slot;
+      while (batch.size() < kBatchRows) {
+        Page page = mtr.PageAt(cur);
+        for (; slot < page.nslots() && batch.size() < kBatchRows; ++slot) {
+          if (page.KeyAt(slot) > hi) {
+            range_done = true;
+            break;
+          }
+          POLARMP_ASSIGN_OR_RETURN(RowView row, page.RowAt(slot));
+          batch.push_back(RowCopy{row.key, row.g_trx_id, row.cts,
+                                  row.undo_ptr, row.flags,
+                                  row.value.ToString()});
+        }
+        if (range_done || slot < page.nslots()) break;
+        const PageNo next = page.next();
+        if (next == kInvalidPageNo) {
+          range_done = true;
+          break;
+        }
+        POLARMP_ASSIGN_OR_RETURN(
+            size_t next_guard,
+            mtr.GetPage(PageId{space_, next}, LockMode::kShared));
+        mtr.ReleasePage(cur);
+        cur = next_guard;
+        slot = 0;
       }
-      POLARMP_ASSIGN_OR_RETURN(RowView row, page.RowAt(slot));
-      if (!fn(row)) {
-        mtr.Commit();
-        return Status::OK();
-      }
+      mtr.Commit();
     }
-    const PageNo next = page.next();
-    if (next == kInvalidPageNo) break;
-    POLARMP_ASSIGN_OR_RETURN(
-        size_t next_guard, mtr.GetPage(PageId{space_, next}, LockMode::kShared));
-    mtr.ReleasePage(cur);
-    cur = next_guard;
-    slot = 0;
+
+    for (const RowCopy& c : batch) {
+      RowView row;
+      row.key = c.key;
+      row.g_trx_id = c.g_trx_id;
+      row.cts = c.cts;
+      row.undo_ptr = c.undo_ptr;
+      row.flags = c.flags;
+      row.value = Slice(c.value);
+      if (!fn(row)) return Status::OK();
+    }
+    if (range_done) return Status::OK();
+    const int64_t last = batch.back().key;
+    if (last >= hi || last == INT64_MAX) return Status::OK();
+    cursor = last + 1;
   }
-  mtr.Commit();
-  return Status::OK();
 }
 
 void BTree::ResetCounters() {

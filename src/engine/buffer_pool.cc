@@ -17,6 +17,7 @@ BufferPool::BufferPool(NodeId node, Fabric* fabric,
       page_store_(page_store),
       llsn_clock_(llsn_clock),
       options_(options),
+      // polarlint: allow(raw-atomic) one-sided RDMA target (kLbpFlagsRegion)
       invalid_flags_(new std::atomic<uint64_t>[options.frames]) {
   frames_.reserve(options_.frames);
   for (uint32_t i = 0; i < options_.frames; ++i) {
@@ -146,7 +147,7 @@ Status BufferPool::PushFrame(uint32_t idx, bool clean_load) {
 }
 
 StatusOr<uint32_t> BufferPool::AllocFrameLocked(
-    std::unique_lock<std::mutex>& lock) {
+    std::unique_lock<RankedMutex>& lock) {
   for (int attempt = 0; attempt < kEvictionAttempts; ++attempt) {
     // Free frame?
     uint32_t victim = UINT32_MAX;
@@ -170,7 +171,7 @@ StatusOr<uint32_t> BufferPool::AllocFrameLocked(
   return Status::Internal("LBP exhausted: no evictable frame");
 }
 
-Status BufferPool::EvictLocked(std::unique_lock<std::mutex>& lock,
+Status BufferPool::EvictLocked(std::unique_lock<RankedMutex>& lock,
                                uint32_t idx) {
   Frame& f = *frames_[idx];
   POLARMP_CHECK_EQ(f.pins, 0u);

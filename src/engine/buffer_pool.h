@@ -2,14 +2,13 @@
 #define POLARMP_ENGINE_BUFFER_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "engine/page.h"
 #include "obs/metrics.h"
 #include "pmfs/buffer_fusion.h"
@@ -120,16 +119,20 @@ class BufferPool {
     Lsn newest_lsn = 0;
     uint32_t pins = 0;
     uint64_t last_used = 0;
-    std::shared_mutex latch;
+    // Same-rank: a descent latches parent and child simultaneously
+    // (crabbing); ordering among page latches comes from the B-tree
+    // discipline, not the rank checker.
+    RankedSharedMutex latch{LockRank::kPageLatch, "buffer_pool.page_latch",
+                            SameRank::kAllow};
   };
 
   // Finds a victim frame (unpinned), evicting its current page. Caller
   // holds mu_ via `lock`; may release and reacquire it. Returns frame index.
-  StatusOr<uint32_t> AllocFrameLocked(std::unique_lock<std::mutex>& lock);
+  StatusOr<uint32_t> AllocFrameLocked(std::unique_lock<RankedMutex>& lock);
 
   // Evicts frame `idx` (pins==0): flush if dirty, release PLock, unregister
   // the DBP copy. Caller holds mu_ via `lock`; releases it around RPCs.
-  Status EvictLocked(std::unique_lock<std::mutex>& lock, uint32_t idx);
+  Status EvictLocked(std::unique_lock<RankedMutex>& lock, uint32_t idx);
 
   // Loads content into an installing frame. Called without mu_.
   Status LoadFrame(uint32_t idx, PageId page_id, bool create);
@@ -151,9 +154,10 @@ class BufferPool {
   std::function<Status(Lsn)> force_log_;
   std::function<Status(PageId)> release_plock_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable RankedMutex mu_{LockRank::kBufferPool, "buffer_pool.frames"};
+  CondVar cv_;
   std::vector<std::unique_ptr<Frame>> frames_;
+  // polarlint: allow(raw-atomic) one-sided RDMA target (kLbpFlagsRegion)
   std::unique_ptr<std::atomic<uint64_t>[]> invalid_flags_;
   std::unordered_map<uint64_t, uint32_t> page_to_frame_;
   uint64_t tick_ = 0;

@@ -1,9 +1,9 @@
 #ifndef POLARMP_ENGINE_MTR_H_
 #define POLARMP_ENGINE_MTR_H_
 
-#include <shared_mutex>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "engine/buffer_pool.h"
 #include "engine/plock_manager.h"
 #include "wal/log_writer.h"
@@ -19,13 +19,13 @@ struct EngineContext {
   LlsnClock* llsn = nullptr;
   // Serializes mtr commits against checkpoint snapshots (shared for mtr
   // commit, exclusive for the checkpoint's dirty-set capture).
-  std::shared_mutex* commit_mu = nullptr;
+  RankedSharedMutex* commit_mu = nullptr;
   // Makes (LLSN assignment, log-buffer append) one atomic step per node, so
   // LLSNs are monotone WITHIN the node's log stream — the property §4.4
   // states ("LLSNs within a single log file are always incremental") and
   // every LLSN_bound merge (recovery, standby) depends on. Heartbeat marks
   // take it too.
-  std::mutex* llsn_order_mu = nullptr;
+  RankedMutex* llsn_order_mu = nullptr;
   uint64_t plock_timeout_ms = 10'000;
 };
 

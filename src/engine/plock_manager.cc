@@ -139,7 +139,7 @@ Status PLockManager::ForceRelease(PageId page) {
   return Status::OK();
 }
 
-void PLockManager::ReleaseLocked(std::unique_lock<std::mutex>& lock,
+void PLockManager::ReleaseLocked(std::unique_lock<RankedMutex>& lock,
                                  PageId page, bool run_hook) {
   negotiated_releases_.Inc();
   lock.unlock();
@@ -159,7 +159,7 @@ void PLockManager::ReleaseLocked(std::unique_lock<std::mutex>& lock,
   cv_.notify_all();
 }
 
-void PLockManager::PartialReleaseLocked(std::unique_lock<std::mutex>& lock,
+void PLockManager::PartialReleaseLocked(std::unique_lock<RankedMutex>& lock,
                                         PageId page) {
   Entry& e = entries_[page.Pack()];
   e.releasing = true;

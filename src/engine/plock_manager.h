@@ -2,11 +2,11 @@
 #define POLARMP_ENGINE_PLOCK_MANAGER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <mutex>
 #include <unordered_map>
 
+#include "common/lock_rank.h"
 #include "obs/metrics.h"
 #include "pmfs/lock_fusion.h"
 
@@ -96,7 +96,7 @@ class PLockManager {
   // `run_hook` the dirty page is pushed first (negotiated releases);
   // eviction already flushed and must skip it (the frame is mid-eviction
   // and the hook would deadlock waiting on it).
-  void ReleaseLocked(std::unique_lock<std::mutex>& lock, PageId page,
+  void ReleaseLocked(std::unique_lock<RankedMutex>& lock, PageId page,
                      bool run_hook);
 
   // Gives the held mode back to Lock Fusion while an acquire for a
@@ -105,15 +105,15 @@ class PLockManager {
   // negotiated release requested while refs==0 and acquiring==true would
   // never run — the lazily-retained weak hold then deadlocks the fusion
   // FIFO (our own queued upgrade waits behind the waiter our hold blocks).
-  void PartialReleaseLocked(std::unique_lock<std::mutex>& lock, PageId page);
+  void PartialReleaseLocked(std::unique_lock<RankedMutex>& lock, PageId page);
 
   const NodeId node_;
   LockFusion* const fusion_;
   const bool lazy_release_;
   std::function<Status(PageId)> before_release_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable RankedMutex mu_{LockRank::kPlock, "plock.entries"};
+  CondVar cv_;
   std::unordered_map<uint64_t, Entry> entries_;
 
   obs::Counter local_grants_{"plock.local_grants"};

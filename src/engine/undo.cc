@@ -156,8 +156,8 @@ Status UndoStore::WriteRaw(NodeId node, uint64_t offset, Slice bytes) {
   }
   std::lock_guard lock(seg->append_mu);
   POLARMP_CHECK_LE(offset % capacity_ + bytes.size(), capacity_);
-  std::memcpy(dsm_->HostPtr(seg->base) + offset % capacity_, bytes.data(),
-              bytes.size());
+  dsm_->HostWrite(DsmPtr{seg->base.server, seg->base.offset + offset % capacity_},
+                  bytes.data(), bytes.size());
   uint64_t head = seg->head.load(std::memory_order_relaxed);
   const uint64_t end = offset + bytes.size();
   while (end > head && !seg->head.compare_exchange_weak(

@@ -3,9 +3,9 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/lock_rank.h"
 #include "dsm/dsm.h"
 #include "engine/row.h"
 
@@ -83,9 +83,13 @@ class UndoStore {
  private:
   struct Segment {
     DsmPtr base;
-    std::atomic<uint64_t> head{8};  // logical append offset; 0..7 reserved
-    std::atomic<uint64_t> tail{8};  // purge watermark
-    std::mutex append_mu;
+    // Logical append offset (0..7 reserved) and purge watermark; lock-free
+    // readers on the history-walk path.
+    // polarlint: allow(raw-atomic) ring cursors, not counters
+    std::atomic<uint64_t> head{8};
+    // polarlint: allow(raw-atomic) ring cursors, not counters
+    std::atomic<uint64_t> tail{8};
+    RankedMutex append_mu{LockRank::kUndoSegment, "undo.segment_append"};
   };
 
   // Maps a logical offset + length to a non-wrapping physical range,
@@ -94,7 +98,7 @@ class UndoStore {
 
   Dsm* dsm_;
   const uint64_t capacity_;
-  mutable std::mutex mu_;
+  mutable RankedMutex mu_{LockRank::kUndoTable, "undo.segments"};
   std::map<NodeId, std::unique_ptr<Segment>> segments_;
 };
 

@@ -2,10 +2,10 @@
 #define POLARMP_NODE_CATALOG_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/status.h"
 #include "common/types.h"
 
@@ -40,7 +40,7 @@ class Catalog {
   std::vector<TableInfo> AllTables() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable RankedMutex mu_{LockRank::kCatalog, "catalog.tables"};
   TableId next_table_id_ = 1;
   SpaceId next_space_id_ = 1;
   std::map<std::string, TableInfo> by_name_;

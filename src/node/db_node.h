@@ -1,11 +1,11 @@
 #ifndef POLARMP_NODE_DB_NODE_H_
 #define POLARMP_NODE_DB_NODE_H_
 
-#include <condition_variable>
 #include <map>
 #include <memory>
 #include <thread>
 
+#include "common/lock_rank.h"
 #include "engine/btree.h"
 #include "node/catalog.h"
 #include "txn/transaction.h"
@@ -113,21 +113,21 @@ class DbNode {
   const NodeOptions options_;
 
   LlsnClock llsn_;
-  std::mutex llsn_order_mu_;
+  RankedMutex llsn_order_mu_{LockRank::kLlsnOrder, "db_node.llsn_order"};
   LogWriter log_writer_;
   BufferPool lbp_;
   PLockManager plock_;
-  std::shared_mutex commit_mu_;
+  RankedSharedMutex commit_mu_{LockRank::kCommitGate, "db_node.commit_gate"};
   EngineContext engine_ctx_;
   TsoClient tso_client_;
   TrxManager trx_mgr_;
 
-  std::mutex trees_mu_;
+  RankedMutex trees_mu_{LockRank::kNodeTrees, "db_node.trees"};
   std::map<SpaceId, std::unique_ptr<BTree>> trees_;
 
   std::thread background_;
-  std::mutex bg_mu_;
-  std::condition_variable bg_cv_;
+  RankedMutex bg_mu_{LockRank::kNodeBackground, "db_node.background"};
+  CondVar bg_cv_;
   bool bg_stop_ = false;
   bool running_ = false;
   bool crashed_ = false;

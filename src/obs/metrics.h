@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/lock_rank.h"
 
 namespace polarmp {
 namespace obs {
@@ -78,7 +78,7 @@ class LatencyHistogram {
  private:
   static constexpr int kShards = 16;
   struct alignas(64) Shard {
-    mutable std::mutex mu;
+    mutable RankedMutex mu{LockRank::kObsHistogram, "obs.histogram_shard"};
     Histogram hist;
   };
 
@@ -150,7 +150,7 @@ class MetricsRegistry {
   void Attach(LatencyHistogram* h);
   void Detach(LatencyHistogram* h);
 
-  mutable std::mutex mu_;
+  mutable RankedMutex mu_{LockRank::kObsRegistry, "obs.registry"};
   std::map<std::string, CounterFamily> counters_;
   std::map<std::string, HistogramFamily> histograms_;
 };

@@ -150,7 +150,7 @@ Status BufferFusion::PushPage(EndpointId from, DsmPtr frame,
   return dsm_->WriteSeqlocked(from, frame, src, options_.page_size);
 }
 
-Status BufferFusion::FlushEntryLocked(std::unique_lock<std::mutex>& lock,
+Status BufferFusion::FlushEntryLocked(std::unique_lock<RankedMutex>& lock,
                                       PageId page) {
   auto it = directory_.find(page.Pack());
   if (it == directory_.end() || !it->second.dirty || !it->second.present) {
@@ -163,6 +163,7 @@ Status BufferFusion::FlushEntryLocked(std::unique_lock<std::mutex>& lock,
   // Host-side stable read (the flusher is co-located with the DSM servers,
   // so no fabric charge; the storage write below charges I/O latency).
   std::string buf(options_.page_size, '\0');
+  // polarlint: allow(raw-atomic) seqlock word view, not a counter
   auto* seq = reinterpret_cast<std::atomic<uint64_t>*>(dsm_->HostPtr(frame));
   const char* data = dsm_->HostPtr(DsmPtr{frame.server, frame.offset + 8});
   for (;;) {
@@ -269,11 +270,7 @@ Status BufferFusion::HostWritePage(PageId page, const char* data, Llsn llsn,
       to_invalidate.emplace_back(copy_node, offset);
     }
   }
-  auto* seq = reinterpret_cast<std::atomic<uint64_t>*>(dsm_->HostPtr(frame));
-  seq->fetch_add(1, std::memory_order_acq_rel);
-  std::memcpy(dsm_->HostPtr(DsmPtr{frame.server, frame.offset + 8}), data,
-              options_.page_size);
-  seq->fetch_add(1, std::memory_order_acq_rel);
+  dsm_->HostWriteSeqlocked(frame, data, options_.page_size);
   for (const auto& [copy_node, offset] : to_invalidate) {
     const Status s = fabric_->Store64(kPmfsEndpoint, copy_node,
                                       kLbpFlagsRegion, offset, 1);

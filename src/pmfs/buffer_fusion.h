@@ -2,7 +2,6 @@
 #define POLARMP_PMFS_BUFFER_FUSION_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <mutex>
@@ -10,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "dsm/dsm.h"
 #include "storage/page_store.h"
 #include "obs/metrics.h"
@@ -137,7 +137,7 @@ class BufferFusion {
   // Evicts one clean, copy-free entry to the free list. Caller holds mu_.
   bool EvictOneLocked();
   // Flushes one entry to storage (releases/reacquires mu_ around I/O).
-  Status FlushEntryLocked(std::unique_lock<std::mutex>& lock, PageId page);
+  Status FlushEntryLocked(std::unique_lock<RankedMutex>& lock, PageId page);
 
   void FlusherLoop();
 
@@ -148,14 +148,14 @@ class BufferFusion {
   PageStore* page_store_;
   const Options options_;
 
-  mutable std::mutex mu_;
+  mutable RankedMutex mu_{LockRank::kPmfsService, "buffer_fusion.directory"};
   std::unordered_map<uint64_t, Entry> directory_;  // key: PageId::Pack()
   std::vector<DsmPtr> free_frames_;
   uint64_t frames_allocated_ = 0;
 
   std::thread flusher_;
-  std::mutex flusher_mu_;
-  std::condition_variable flusher_cv_;
+  RankedMutex flusher_mu_{LockRank::kPmfsFlusher, "buffer_fusion.flusher"};
+  CondVar flusher_cv_;
   bool stop_ = false;
   bool started_ = false;
 

@@ -1,7 +1,6 @@
 #ifndef POLARMP_PMFS_LOCK_FUSION_H_
 #define POLARMP_PMFS_LOCK_FUSION_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
@@ -10,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "obs/metrics.h"
@@ -133,8 +133,8 @@ class LockFusion {
 
   Fabric* fabric_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable RankedMutex mu_{LockRank::kPmfsService, "lock_fusion.state"};
+  CondVar cv_;
   std::unordered_map<uint64_t, PLockEntry> plocks_;  // key: PageId::Pack()
   std::map<NodeId, NegotiateHandler> nodes_;
 

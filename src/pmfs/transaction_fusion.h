@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 
+#include "common/lock_rank.h"
 #include "obs/metrics.h"
 #include "pmfs/tso.h"
 
@@ -71,11 +72,13 @@ class TransactionFusion {
   Fabric* fabric_;
   Tso tso_;
 
-  mutable std::mutex mu_;
+  mutable RankedMutex mu_{LockRank::kPmfsService, "txn_fusion.reported"};
   std::map<NodeId, Csn> reported_;  // kCsnInit = registered, not yet reported
 
   // Fabric-registered broadcast cells.
+  // polarlint: allow(raw-atomic) one-sided RDMA target (broadcast cell)
   std::atomic<uint64_t> global_min_;
+  // polarlint: allow(raw-atomic) one-sided RDMA target (broadcast cell)
   std::atomic<uint64_t> global_llsn_{0};
 
   obs::Counter min_view_reports_{"txn_fusion.min_view_reports"};

@@ -3,9 +3,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 
+#include "common/lock_rank.h"
 #include "common/types.h"
 #include "obs/metrics.h"
 #include "rdma/fabric.h"
@@ -39,6 +38,7 @@ class Tso {
  private:
   Fabric* fabric_;
   // counter_ holds the last CTS handed out; starts at kCsnFirst - 1.
+  // polarlint: allow(raw-atomic) one-sided RDMA fetch-add target (kTsoRegion)
   std::atomic<uint64_t> counter_;
 };
 
@@ -79,12 +79,13 @@ class TsoClient {
 
   std::atomic<Csn> cached_ts_{0};
   // Start time of the last *completed* fetch (published after the value).
+  // polarlint: allow(raw-atomic) publication timestamp, not a counter
   std::atomic<uint64_t> fetch_started_at_{0};  // ns; 0 = never fetched
 
   // Fetch coalescing: one thread fetches, concurrent requesters whose
   // arrival predates that fetch's start reuse its result.
-  std::mutex fetch_mu_;
-  std::condition_variable fetch_cv_;
+  RankedMutex fetch_mu_{LockRank::kPmfsService, "tso.fetch"};
+  CondVar fetch_cv_;
   bool fetch_in_flight_ = false;
 
   obs::Counter fetches_{"tso.fetches"};

@@ -3,9 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <shared_mutex>
 #include <unordered_map>
 
+#include "common/lock_rank.h"
 #include "common/sim_latency.h"
 #include "common/status.h"
 #include "obs/metrics.h"
@@ -103,7 +103,7 @@ class Fabric {
   }
 
   LatencyProfile profile_;
-  mutable std::shared_mutex mu_;
+  mutable RankedSharedMutex mu_{LockRank::kFabric, "fabric.regions"};
   std::unordered_map<uint64_t, Region> regions_;
   std::unordered_map<EndpointId, bool> endpoint_alive_;
 

@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/lock_rank.h"
 #include "rdma/fabric.h"
 
 namespace polarmp {
@@ -41,7 +41,7 @@ class Rpc {
   }
 
   Fabric* fabric_;
-  mutable std::shared_mutex mu_;
+  mutable RankedSharedMutex mu_{LockRank::kRpc, "rpc.handlers"};
   std::unordered_map<uint64_t, Handler> handlers_;
 };
 

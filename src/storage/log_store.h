@@ -2,10 +2,10 @@
 #define POLARMP_STORAGE_LOG_STORE_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/sim_latency.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -67,7 +67,7 @@ class LogStore {
   };
 
   LatencyProfile profile_;
-  mutable std::mutex mu_;
+  mutable RankedMutex mu_{LockRank::kStorage, "log_store.streams"};
   std::map<NodeId, Stream> streams_;
 };
 

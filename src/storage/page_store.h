@@ -3,9 +3,9 @@
 
 #include <atomic>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 
+#include "common/lock_rank.h"
 #include "common/sim_latency.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -64,7 +64,7 @@ class PageStore {
   LatencyProfile profile_;
   uint32_t page_size_;
 
-  mutable std::shared_mutex mu_;
+  mutable RankedSharedMutex mu_{LockRank::kStorage, "page_store.spaces"};
   std::unordered_map<SpaceId, std::unique_ptr<Space>> spaces_;
   std::unordered_map<uint64_t, std::unique_ptr<char[]>> pages_;
 

@@ -71,7 +71,11 @@ StatusOr<GTrxId> Tit::AllocSlot(NodeId node, TrxId trx_local_id) {
     slot_allocs_.Inc();
     return MakeGTrxId(node, idx, static_cast<uint32_t>(version));
   }
-  return Status::Internal("TIT exhausted on node " + std::to_string(node));
+  // Transient backpressure, not a fault: slot recycling (min-view advance)
+  // lags the commit rate. Busy tells clients to retry, matching lock-wait
+  // timeouts — Begin() already runs on-demand recycle passes before giving
+  // up, so by here the table is genuinely saturated.
+  return Status::Busy("TIT exhausted on node " + std::to_string(node));
 }
 
 void Tit::PublishCts(GTrxId trx, Csn cts) {

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 
+#include "common/lock_rank.h"
 #include "common/types.h"
 #include "obs/metrics.h"
 #include "rdma/fabric.h"
@@ -41,9 +42,15 @@ inline constexpr uint32_t kTitRegion = 1;
 class Tit {
  public:
   struct alignas(64) Slot {
+    // Slot fields are targets of one-sided RDMA reads/CASes from remote
+    // nodes, so they must stay raw per-field atomics (Fig. 3's layout).
+    // polarlint: allow(raw-atomic) one-sided RDMA target
     std::atomic<uint64_t> version{0};
+    // polarlint: allow(raw-atomic) one-sided RDMA target
     std::atomic<uint64_t> cts{kCsnInit};
+    // polarlint: allow(raw-atomic) one-sided RDMA target
     std::atomic<uint64_t> ref{0};
+    // polarlint: allow(raw-atomic) one-sided RDMA target
     std::atomic<uint64_t> trx_ptr{0};  // local trx id; 0 = free slot
   };
 
@@ -115,7 +122,7 @@ class Tit {
 
   Fabric* fabric_;
   const uint32_t slots_per_node_;
-  mutable std::mutex mu_;
+  mutable RankedMutex mu_{LockRank::kTit, "tit.tables"};
   std::map<NodeId, std::unique_ptr<Table>> tables_;
   std::map<NodeId, bool> departed_;
 

@@ -83,8 +83,18 @@ StatusOr<std::optional<RowVersion>> TrxManager::VisibleVersion(
       return std::optional(version);
     }
     if (version.undo_ptr == kNullUndoPtr) return std::optional<RowVersion>();
-    POLARMP_ASSIGN_OR_RETURN(UndoRecord rec,
-                             undo_->Read(node(), version.undo_ptr));
+    auto rec_or = undo_->Read(node(), version.undo_ptr);
+    if (!rec_or.ok()) {
+      if (rec_or.status().IsNotFound()) {
+        // The history this snapshot needs was purged (or its owner's
+        // segment is gone): the classic "snapshot too old". Abort so the
+        // client restarts with a fresh view — the row itself is intact.
+        return Status::Aborted("snapshot too old: " +
+                               std::string(rec_or.status().message()));
+      }
+      return rec_or.status();
+    }
+    UndoRecord rec = std::move(rec_or).value();
     if (rec.type == UndoType::kInsert) {
       // The row did not exist before this insert.
       return std::optional<RowVersion>();

@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "engine/btree.h"
 #include "engine/undo.h"
 #include "obs/metrics.h"
@@ -195,7 +196,7 @@ class TrxManager {
   const Options options_;
   std::function<BTree*(SpaceId)> tree_resolver_;
 
-  mutable std::mutex mu_;
+  mutable RankedMutex mu_{LockRank::kTrxManager, "txn.active"};
   TrxId next_local_id_ = 1;
   std::map<TrxId, std::unique_ptr<Transaction>> active_;
 

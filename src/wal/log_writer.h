@@ -1,11 +1,11 @@
 #ifndef POLARMP_WAL_LOG_WRITER_H_
 #define POLARMP_WAL_LOG_WRITER_H_
 
-#include <condition_variable>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "obs/metrics.h"
 #include "storage/log_store.h"
 #include "wal/log_record.h"
@@ -48,8 +48,8 @@ class LogWriter {
   const NodeId node_;
   LogStore* const store_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable RankedMutex mu_{LockRank::kLogWriter, "log_writer.buffer"};
+  CondVar cv_;
   std::string buffer_;       // encoded bytes not yet durable
   Lsn buffer_start_ = 0;     // LSN of buffer_[0]
   Lsn durable_ = 0;

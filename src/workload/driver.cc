@@ -23,6 +23,7 @@ DriverResult RunWorkload(Database* db, Workload* workload,
 
   std::atomic<bool> stop{false};
   std::atomic<bool> measuring{false};
+  // polarlint: allow(raw-atomic) per-second throughput bins, stack-local
   std::vector<std::atomic<uint64_t>> per_second(seconds);
   for (auto& s : per_second) s.store(0);
 

@@ -145,7 +145,7 @@ Status TpccWorkload::NewOrder(Connection* conn, int warehouse, Random* rng) {
                              static_cast<char>('a' + o_id % 26)));
   if (!st.ok()) return st;
   st = conn->Commit();
-  if (st.ok()) new_orders_.fetch_add(1, std::memory_order_relaxed);
+  if (st.ok()) new_orders_.Inc();
   return st;
 }
 

@@ -1,8 +1,7 @@
 #ifndef POLARMP_WORKLOAD_TPCC_H_
 #define POLARMP_WORKLOAD_TPCC_H_
 
-#include <atomic>
-
+#include "obs/metrics.h"
 #include "workload/driver.h"
 
 namespace polarmp {
@@ -37,10 +36,8 @@ class TpccWorkload : public Workload {
   Status RunOne(Connection* conn, int node, int worker, Random* rng) override;
 
   // New-Order commits (the figure reports tpmC, not total commits).
-  uint64_t new_orders() const {
-    return new_orders_.load(std::memory_order_relaxed);
-  }
-  void ResetNewOrders() { new_orders_.store(0, std::memory_order_relaxed); }
+  uint64_t new_orders() const { return new_orders_.Value(); }
+  void ResetNewOrders() { new_orders_.Reset(); }
 
  private:
   int TotalWarehouses() const {
@@ -51,7 +48,7 @@ class TpccWorkload : public Workload {
   Status Payment(Connection* conn, int warehouse, Random* rng);
 
   TpccOptions options_;
-  std::atomic<uint64_t> new_orders_{0};
+  obs::Counter new_orders_{"tpcc.new_orders"};
 };
 
 }  // namespace polarmp

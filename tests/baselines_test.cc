@@ -241,6 +241,13 @@ class WorkloadSmokeTest : public ::testing::Test {
     opts.threads_per_node = 2;
     opts.warmup_ms = 100;
     opts.duration_ms = 500;
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+    // A single transaction can take hundreds of milliseconds under TSan on a
+    // loaded host; a 500 ms window then flakily commits nothing. Widen the
+    // windows so the smoke assertion measures the workload, not the tool.
+    opts.warmup_ms *= 4;
+    opts.duration_ms *= 8;
+#endif
     const DriverResult result = RunWorkload(db_.get(), workload, opts);
     EXPECT_GT(result.committed, 0u) << result.ToString();
     EXPECT_EQ(result.errors, 0u) << result.ToString();

@@ -1,0 +1,143 @@
+// The runtime lock-rank checker (common/lock_rank.h): in-order descent
+// passes; inversions, recursive acquisition and unpolicied same-rank
+// acquisition abort the process with both lock stacks printed.
+//
+// Death tests fork, so they run with the "threadsafe" style to stay valid
+// in the multi-threaded gtest process.
+
+#include "common/lock_rank.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace polarmp {
+namespace {
+
+#if POLARMP_LOCK_RANK_CHECKS
+
+class LockRankDeathTest : public ::testing::Test {
+ protected:
+  LockRankDeathTest() {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+
+  RankedMutex low_{LockRank::kTestLow, "test.low"};
+  RankedMutex mid_{LockRank::kTestMid, "test.mid"};
+  RankedMutex high_{LockRank::kTestHigh, "test.high"};
+};
+
+TEST_F(LockRankDeathTest, DescendingAcquisitionPasses) {
+  // high -> mid -> low is the declared order; releases may interleave.
+  std::lock_guard h(high_);
+  std::lock_guard m(mid_);
+  std::lock_guard l(low_);
+  SUCCEED();
+}
+
+TEST_F(LockRankDeathTest, ReacquireAfterReleasePasses) {
+  {
+    std::lock_guard m(mid_);
+  }
+  std::lock_guard h(high_);
+  std::lock_guard m(mid_);
+  SUCCEED();
+}
+
+TEST_F(LockRankDeathTest, InversionDies) {
+  EXPECT_DEATH(
+      {
+        std::lock_guard l(low_);
+        std::lock_guard h(high_);  // acquiring a higher rank while holding low
+      },
+      "rank inversion");
+}
+
+TEST_F(LockRankDeathTest, InversionAcrossOneLevelDies) {
+  EXPECT_DEATH(
+      {
+        std::lock_guard m(mid_);
+        std::lock_guard h(high_);
+      },
+      "rank inversion");
+}
+
+TEST_F(LockRankDeathTest, RecursiveAcquisitionDies) {
+  EXPECT_DEATH(
+      {
+        std::lock_guard a(mid_);
+        mid_.lock();  // same mutex again: deadlock at runtime, abort here
+      },
+      "recursive acquisition");
+}
+
+TEST_F(LockRankDeathTest, SameRankWithoutPolicyDies) {
+  RankedMutex peer{LockRank::kTestMid, "test.mid_peer"};
+  EXPECT_DEATH(
+      {
+        std::lock_guard a(mid_);
+        std::lock_guard b(peer);  // equal rank, neither marked SameRank::kAllow
+      },
+      "same-rank acquisition");
+}
+
+TEST_F(LockRankDeathTest, SameRankWithPolicyPasses) {
+  // Page-latch style: multiple holds of one rank are legal when every
+  // participant declares SameRank::kAllow (B-tree crabbing).
+  RankedSharedMutex latch_a{LockRank::kTestMid, "test.latch_a",
+                            SameRank::kAllow};
+  RankedSharedMutex latch_b{LockRank::kTestMid, "test.latch_b",
+                            SameRank::kAllow};
+  std::lock_guard h(high_);
+  latch_a.lock_shared();
+  latch_b.lock_shared();
+  latch_b.unlock_shared();
+  latch_a.unlock_shared();
+  SUCCEED();
+}
+
+TEST_F(LockRankDeathTest, SharedHoldStillOrdersDies) {
+  RankedSharedMutex rw{LockRank::kTestLow, "test.low_rw"};
+  EXPECT_DEATH(
+      {
+        rw.lock_shared();  // shared holds count fully against the order
+        std::lock_guard h(high_);
+      },
+      "rank inversion");
+}
+
+TEST_F(LockRankDeathTest, HeldStackIsPerThread) {
+  // A lock held here must not constrain another thread's acquisitions.
+  std::lock_guard l(low_);
+  std::thread t([] {
+    RankedMutex other_high{LockRank::kTestHigh, "test.other_high"};
+    std::lock_guard h(other_high);
+  });
+  t.join();
+  SUCCEED();
+}
+
+TEST_F(LockRankDeathTest, TryLockFailurePopsStack) {
+  std::thread holder([&] {
+    std::lock_guard m(mid_);
+    // Hold mid_ long enough for the main thread's try_lock to fail.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::lock_guard h(high_);
+  if (!mid_.try_lock()) {
+    // The failed try_lock must leave no phantom entry: acquiring low_ (and
+    // later mid_ again) would abort if mid_ were still recorded as held.
+    std::lock_guard l(low_);
+  } else {
+    mid_.unlock();
+  }
+  holder.join();
+  std::lock_guard m(mid_);
+  SUCCEED();
+}
+
+#endif  // POLARMP_LOCK_RANK_CHECKS
+
+}  // namespace
+}  // namespace polarmp

@@ -1,0 +1,23 @@
+// polarlint-fixture-path: src/engine/bad_hostptr_memcpy.cc
+//
+// memcpy whose destination resolves through HostPtr bypasses the DSM's
+// bounds check and seqlock protocol; reads FROM fabric memory into a local
+// buffer are fine.
+
+#include <cstring>
+
+#include "dsm/dsm.h"
+
+namespace polarmp {
+
+void BadHostPtrCopy(Dsm* dsm, DsmPtr ptr, const char* src, char* local,
+                    uint64_t n) {
+  std::memcpy(dsm->HostPtr(ptr), src, n);  // polarlint-fixture-expect: no-hostptr-memcpy
+  memcpy(dsm->HostPtr(ptr) + 8, src, n);  // polarlint-fixture-expect: no-hostptr-memcpy
+  // Reading out of the fabric region into a local buffer is allowed.
+  std::memcpy(local, dsm->HostPtr(ptr), n);
+  // The blessed write path.
+  dsm->HostWrite(ptr, src, n);
+}
+
+}  // namespace polarmp

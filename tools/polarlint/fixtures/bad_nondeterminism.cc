@@ -1,0 +1,26 @@
+// polarlint-fixture-path: src/engine/bad_nondeterminism.cc
+//
+// Unseedable randomness and wall-clock seeding outside common/random.h.
+
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace polarmp {
+
+unsigned BadEntropy() {
+  const auto seed = time(nullptr);  // polarlint-fixture-expect: nondeterminism
+  srand(static_cast<unsigned>(seed));  // polarlint-fixture-expect: nondeterminism
+  std::random_device rd;  // polarlint-fixture-expect: nondeterminism
+  std::mt19937 gen(rd()); // polarlint-fixture-expect: nondeterminism
+  return rand() + gen();  // polarlint-fixture-expect: nondeterminism
+}
+
+// Identifiers merely containing the banned names are fine.
+struct Operand {
+  int strand = 0;
+  int randomize_later = 0;
+  uint64_t timestamp(int x) { return static_cast<uint64_t>(x); }
+};
+
+}  // namespace polarmp

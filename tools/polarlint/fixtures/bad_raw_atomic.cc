@@ -1,0 +1,20 @@
+// polarlint-fixture-path: src/engine/bad_raw_atomic.h
+//
+// Literal std::atomic<uint64_t> outside src/obs (and the fabric/DSM)
+// without an allow() annotation: counters belong in obs::Counter.
+
+#include <atomic>
+
+namespace polarmp {
+
+class BadRawAtomic {
+ private:
+  std::atomic<uint64_t> hits_{0};  // polarlint-fixture-expect: raw-atomic
+  // A typed alias escapes the literal-token rule on purpose (the rule
+  // targets counter-shaped declarations, not every 64-bit atomic).
+  std::atomic<unsigned long long> not_literal_{0};
+  // polarlint: allow(raw-atomic) seqlock word, not a counter
+  std::atomic<uint64_t> annotated_ok_{0};
+};
+
+}  // namespace polarmp

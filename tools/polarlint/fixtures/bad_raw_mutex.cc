@@ -1,0 +1,22 @@
+// polarlint-fixture-path: src/engine/bad_raw_mutex.h
+//
+// Raw standard-library lock types outside common/lock_rank.h: every one of
+// these must be a RankedMutex/RankedSharedMutex/CondVar with a declared
+// LockRank.
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace polarmp {
+
+class BadRawMutex {
+ private:
+  mutable std::mutex mu_;              // polarlint-fixture-expect: raw-mutex
+  std::shared_mutex rw_;               // polarlint-fixture-expect: raw-mutex
+  std::condition_variable cv_;         // polarlint-fixture-expect: raw-mutex
+  std::condition_variable_any any_cv_; // polarlint-fixture-expect: raw-mutex
+  std::recursive_mutex rec_;           // polarlint-fixture-expect: raw-mutex
+};
+
+}  // namespace polarmp

@@ -1,0 +1,24 @@
+// polarlint-fixture-path: src/engine/bad_unranked_mutex.h
+//
+// RankedMutex declarations must name their LockRank:: rank; references,
+// pointers and template arguments are not declarations and must not be
+// flagged.
+
+#include "common/lock_rank.h"
+
+namespace polarmp {
+
+class BadUnrankedMutex {
+ public:
+  // Not declarations: no findings expected on these.
+  void Use(RankedMutex& by_ref, RankedSharedMutex* by_ptr);
+  void Wait(std::unique_lock<RankedMutex>& lock);
+
+ private:
+  RankedMutex unranked_;  // polarlint-fixture-expect: unranked-mutex
+  RankedSharedMutex also_unranked_;  // polarlint-fixture-expect: unranked-mutex
+  RankedMutex ranked_{LockRank::kTestLow, "fixture.ranked"};
+  RankedSharedMutex ranked_rw_{LockRank::kTestMid, "fixture.ranked_rw"};
+};
+
+}  // namespace polarmp

@@ -1,0 +1,20 @@
+// polarlint-fixture-path: src/dsm/exempt_example.cc
+//
+// src/dsm (like src/rdma) implements the host-side write path and the
+// remote atomics, so raw-atomic and no-hostptr-memcpy do not apply there.
+// Zero findings expected.
+
+#include <atomic>
+#include <cstring>
+
+#include "dsm/dsm.h"
+
+namespace polarmp {
+
+void DsmInternals(Dsm* dsm, DsmPtr ptr, const char* src, uint64_t n) {
+  std::memcpy(dsm->HostPtr(ptr), src, n);
+  auto* cell = reinterpret_cast<std::atomic<uint64_t>*>(dsm->HostPtr(ptr));
+  cell->fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace polarmp

@@ -1,0 +1,42 @@
+// polarlint-fixture-path: src/engine/good_example.cc
+//
+// A file that does everything the project way: ranked locks, obs counters,
+// annotated non-counter atomics, HostWrite for fabric memory, seedable
+// randomness. Must produce zero findings — including for the banned
+// spellings that appear only inside comments and string literals below.
+//
+// Mentioning std::mutex, rand() or std::mt19937 in a comment is fine.
+
+#include <atomic>
+#include <cstring>
+
+#include "common/lock_rank.h"
+#include "common/random.h"
+#include "obs/metrics.h"
+
+namespace polarmp {
+
+class GoodExample {
+ public:
+  void Touch(const char* src, char* local_buf, uint64_t n) {
+    std::lock_guard lock(mu_);
+    // Copies between host-local buffers are unconstrained.
+    std::memcpy(local_buf, src, n);
+    ops_.Inc();
+  }
+
+  uint64_t Draw(Random* rng) { return rng->Next(); }
+
+  const char* Describe() const {
+    return "uses std::mutex and time(nullptr) only in this string";
+  }
+
+ private:
+  mutable RankedMutex mu_{LockRank::kTestLow, "good_example.state"};
+  CondVar cv_;
+  obs::Counter ops_{"good_example.ops"};
+  // polarlint: allow(raw-atomic) one-sided RDMA target, not a counter
+  std::atomic<uint64_t> rdma_cell_{0};
+};
+
+}  // namespace polarmp

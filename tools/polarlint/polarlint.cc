@@ -1,0 +1,547 @@
+// polarlint: project-specific static checks for the polardb-mp tree.
+//
+// The toolchain has no libclang, so this is a deliberate token-level
+// checker: it scrubs comments and string literals out of each translation
+// unit, then pattern-matches the residue. False positives are silenced with
+// an annotation that doubles as documentation:
+//
+//   // polarlint: allow(<rule>) <reason>
+//
+// on the same line as the match or the line immediately above it.
+//
+// Rules (ids as used in allow() and fixtures):
+//
+//   raw-mutex          std::mutex / std::shared_mutex / std::recursive_mutex /
+//                      std::timed_mutex / std::condition_variable[_any]
+//                      anywhere but src/common/lock_rank.h. Every lock in the
+//                      tree is a RankedMutex/RankedSharedMutex with a declared
+//                      LockRank; waiting goes through polarmp::CondVar.
+//
+//   unranked-mutex     a RankedMutex/RankedSharedMutex member or variable
+//                      declaration whose initializer does not name a
+//                      LockRank:: rank.
+//
+//   raw-atomic         the literal type std::atomic<uint64_t> outside
+//                      src/obs (which implements counters), src/rdma and
+//                      src/dsm (which implement the remote atomics those
+//                      cells are targets of). Counters belong in
+//                      obs::Counter; genuine non-counter cells carry an
+//                      allow() with the reason.
+//
+//   no-hostptr-memcpy  a memcpy whose destination argument mentions
+//                      HostPtr, outside src/dsm and src/rdma. Host-side
+//                      writes into fabric-registered memory must go through
+//                      Dsm::HostWrite / Dsm::HostWriteSeqlocked so the
+//                      bounds check and seqlock protocol cannot be skipped.
+//
+//   nondeterminism     rand() / srand() / std::random_device / std::mt19937 /
+//                      time(nullptr) outside src/common/random.h. Simulation
+//                      code draws from polarmp::Random so runs are seedable
+//                      and reproducible.
+//
+// Usage:
+//   polarlint [--root <repo-root>] <file-or-dir>...
+//   polarlint --self-test <fixtures-dir>
+//
+// Exit status: 0 clean, 1 findings (or self-test mismatch), 2 usage/IO
+// error. Rules key off the path relative to --root (default: cwd); only
+// paths under src/ are checked, so tests and benches stay unconstrained.
+//
+// Self-test mode lints each fixture file under the path it declares with
+//   // polarlint-fixture-path: src/engine/whatever.h
+// and requires the produced findings to exactly match the lines marked
+//   <violating code>  // polarlint-fixture-expect: <rule>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;  // path as reported (relative to root when possible)
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// Source text with comments and string/char literals blanked out (replaced
+// by spaces, newlines preserved), plus the comment text per line so
+// allow() annotations can be looked up after scrubbing.
+struct Scrubbed {
+  std::string text;
+  std::vector<std::string> comment_on_line;  // index 0 unused; 1-based
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+Scrubbed Scrub(const std::string& src) {
+  Scrubbed out;
+  out.text.assign(src.size(), ' ');
+  const size_t lines = 2 + std::count(src.begin(), src.end(), '\n');
+  out.comment_on_line.assign(lines + 1, std::string());
+
+  size_t i = 0;
+  int line = 1;
+  auto copy = [&](size_t n) {
+    for (size_t k = 0; k < n && i < src.size(); ++k, ++i) {
+      out.text[i] = src[i];
+      if (src[i] == '\n') ++line;
+    }
+  };
+  auto blank = [&](size_t n, bool record_comment) {
+    for (size_t k = 0; k < n && i < src.size(); ++k, ++i) {
+      if (src[i] == '\n') {
+        out.text[i] = '\n';
+        ++line;
+      } else {
+        out.text[i] = ' ';
+        if (record_comment) out.comment_on_line[line].push_back(src[i]);
+      }
+    }
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '/' && next == '/') {
+      size_t end = src.find('\n', i);
+      if (end == std::string::npos) end = src.size();
+      blank(end - i, /*record_comment=*/true);
+    } else if (c == '/' && next == '*') {
+      size_t end = src.find("*/", i + 2);
+      end = end == std::string::npos ? src.size() : end + 2;
+      blank(end - i, /*record_comment=*/true);
+    } else if (c == 'R' && next == '"' && !(i > 0 && IsIdentChar(src[i - 1]))) {
+      // Raw string: R"delim( ... )delim"
+      size_t open = src.find('(', i + 2);
+      if (open == std::string::npos) {
+        copy(src.size() - i);
+        break;
+      }
+      const std::string delim = src.substr(i + 2, open - (i + 2));
+      const std::string closer = ")" + delim + "\"";
+      size_t end = src.find(closer, open + 1);
+      end = end == std::string::npos ? src.size() : end + closer.size();
+      blank(end - i, /*record_comment=*/false);
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < src.size() && src[j] != quote) {
+        if (src[j] == '\\') ++j;
+        ++j;
+      }
+      blank(std::min(j + 1, src.size()) - i, /*record_comment=*/false);
+    } else {
+      copy(1);
+    }
+  }
+  return out;
+}
+
+int LineOf(const std::string& text, size_t pos) {
+  return 1 + static_cast<int>(std::count(text.begin(), text.begin() + pos, '\n'));
+}
+
+bool LineAllows(const Scrubbed& s, int line, const std::string& rule) {
+  const std::string needle = "polarlint: allow(" + rule + ")";
+  for (int l = std::max(1, line - 1); l <= line; ++l) {
+    if (l < static_cast<int>(s.comment_on_line.size()) &&
+        s.comment_on_line[l].find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Occurrences of `token` in scrubbed text with identifier boundaries on
+// both sides.
+std::vector<size_t> TokenHits(const std::string& text,
+                              const std::string& token) {
+  std::vector<size_t> hits;
+  size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    const size_t after = pos + token.size();
+    const bool right_ok = after >= text.size() || !IsIdentChar(text[after]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = after;
+  }
+  return hits;
+}
+
+size_t SkipSpaces(const std::string& text, size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+class Linter {
+ public:
+  // `rel` is the repo-relative path (forward slashes) used for rule
+  // scoping; `display` is what findings print.
+  void LintFile(const std::string& rel, const std::string& display,
+                const std::string& content) {
+    if (!StartsWith(rel, "src/")) return;
+    const Scrubbed s = Scrub(content);
+    CheckRawMutex(rel, display, s);
+    CheckUnrankedMutex(rel, display, s);
+    CheckRawAtomic(rel, display, s);
+    CheckHostPtrMemcpy(rel, display, s);
+    CheckNondeterminism(rel, display, s);
+  }
+
+  const std::vector<Finding>& findings() const { return findings_; }
+
+ private:
+  void Report(const std::string& display, const Scrubbed& s, size_t pos,
+              const std::string& rule, const std::string& message) {
+    const int line = LineOf(s.text, pos);
+    if (LineAllows(s, line, rule)) return;
+    findings_.push_back(Finding{display, line, rule, message});
+  }
+
+  void CheckRawMutex(const std::string& rel, const std::string& display,
+                     const Scrubbed& s) {
+    if (rel == "src/common/lock_rank.h") return;
+    static const char* kBanned[] = {
+        "std::mutex",          "std::shared_mutex",
+        "std::recursive_mutex", "std::timed_mutex",
+        "std::condition_variable", "std::condition_variable_any",
+    };
+    for (const char* token : kBanned) {
+      for (size_t pos : TokenHits(s.text, token)) {
+        Report(display, s, pos, "raw-mutex",
+               std::string(token) +
+                   " is banned: use RankedMutex/RankedSharedMutex/CondVar "
+                   "from common/lock_rank.h with a declared LockRank");
+      }
+    }
+  }
+
+  void CheckUnrankedMutex(const std::string& rel, const std::string& display,
+                          const Scrubbed& s) {
+    if (rel == "src/common/lock_rank.h") return;
+    for (const char* token : {"RankedMutex", "RankedSharedMutex"}) {
+      for (size_t pos : TokenHits(s.text, token)) {
+        const size_t after = SkipSpaces(s.text, pos + std::string(token).size());
+        if (after >= s.text.size()) continue;
+        const char c = s.text[after];
+        // Only declarations introduce a new lock: `RankedMutex name{...};`.
+        // References, pointers, template arguments and parameter lists
+        // (`&`, `*`, `>`, `(`, `)`, `,`, `;`) do not.
+        if (!(std::isalpha(static_cast<unsigned char>(c)) || c == '_')) {
+          continue;
+        }
+        const size_t stmt_end = s.text.find(';', after);
+        const std::string stmt =
+            s.text.substr(after, stmt_end == std::string::npos
+                                     ? std::string::npos
+                                     : stmt_end - after);
+        if (stmt.find("LockRank::") == std::string::npos) {
+          Report(display, s, pos, "unranked-mutex",
+                 std::string(token) +
+                     " declaration must name its LockRank:: rank in the "
+                     "initializer");
+        }
+      }
+    }
+  }
+
+  void CheckRawAtomic(const std::string& rel, const std::string& display,
+                      const Scrubbed& s) {
+    if (StartsWith(rel, "src/obs/") || StartsWith(rel, "src/rdma/") ||
+        StartsWith(rel, "src/dsm/")) {
+      return;
+    }
+    for (size_t pos : TokenHits(s.text, "std::atomic<uint64_t>")) {
+      Report(display, s, pos, "raw-atomic",
+             "hand-rolled std::atomic<uint64_t>: counters belong in "
+             "obs::Counter; non-counter cells need "
+             "`// polarlint: allow(raw-atomic) <reason>`");
+    }
+  }
+
+  void CheckHostPtrMemcpy(const std::string& rel, const std::string& display,
+                          const Scrubbed& s) {
+    if (StartsWith(rel, "src/dsm/") || StartsWith(rel, "src/rdma/")) return;
+    for (size_t pos : TokenHits(s.text, "memcpy")) {
+      size_t open = SkipSpaces(s.text, pos + 6);
+      if (open >= s.text.size() || s.text[open] != '(') continue;
+      // First argument: up to the top-level comma.
+      int depth = 1;
+      size_t j = open + 1;
+      const size_t arg_begin = j;
+      while (j < s.text.size() && depth > 0) {
+        const char c = s.text[j];
+        if (c == '(') ++depth;
+        if (c == ')') --depth;
+        if (c == ',' && depth == 1) break;
+        ++j;
+      }
+      const std::string arg = s.text.substr(arg_begin, j - arg_begin);
+      if (arg.find("HostPtr") != std::string::npos) {
+        Report(display, s, pos, "no-hostptr-memcpy",
+               "raw memcpy into fabric-registered memory: use "
+               "Dsm::HostWrite / Dsm::HostWriteSeqlocked");
+      }
+    }
+  }
+
+  void CheckNondeterminism(const std::string& rel, const std::string& display,
+                           const Scrubbed& s) {
+    if (rel == "src/common/random.h") return;
+    auto call_of = [&](const char* name) {
+      std::vector<size_t> calls;
+      for (size_t pos : TokenHits(s.text, name)) {
+        const size_t open = SkipSpaces(s.text, pos + std::string(name).size());
+        if (open < s.text.size() && s.text[open] == '(') calls.push_back(pos);
+      }
+      return calls;
+    };
+    for (size_t pos : call_of("rand")) {
+      Report(display, s, pos, "nondeterminism",
+             "rand(): draw from polarmp::Random (common/random.h) so runs "
+             "are seedable");
+    }
+    for (size_t pos : call_of("srand")) {
+      Report(display, s, pos, "nondeterminism",
+             "srand(): seed a polarmp::Random instance instead");
+    }
+    for (const char* token :
+         {"std::random_device", "std::mt19937", "std::mt19937_64"}) {
+      for (size_t pos : TokenHits(s.text, token)) {
+        Report(display, s, pos, "nondeterminism",
+               std::string(token) +
+                   ": use polarmp::Random (common/random.h) so runs are "
+                   "seedable");
+      }
+    }
+    for (size_t pos : call_of("time")) {
+      const size_t open = SkipSpaces(s.text, pos + 4);
+      const size_t close = s.text.find(')', open);
+      if (close == std::string::npos) continue;
+      std::string arg = s.text.substr(open + 1, close - open - 1);
+      arg.erase(std::remove_if(arg.begin(), arg.end(),
+                               [](unsigned char c) { return std::isspace(c); }),
+                arg.end());
+      if (arg == "nullptr" || arg == "NULL" || arg == "0") {
+        Report(display, s, pos, "nondeterminism",
+               "time(nullptr): wall-clock seeding breaks reproducibility; "
+               "use polarmp::Random");
+      }
+    }
+  }
+
+  std::vector<Finding> findings_;
+};
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+bool ReadFile(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+std::string RelativeTo(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel =
+      fs::relative(fs::absolute(file), fs::absolute(root), ec);
+  if (ec || rel.empty()) return file.generic_string();
+  return rel.generic_string();
+}
+
+int RunLint(const fs::path& root, const std::vector<fs::path>& inputs) {
+  std::vector<fs::path> files;
+  for (const fs::path& p : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p, ec)) {
+        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "polarlint: no such file or directory: %s\n",
+                   p.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  Linter linter;
+  for (const fs::path& f : files) {
+    std::string content;
+    if (!ReadFile(f, &content)) {
+      std::fprintf(stderr, "polarlint: cannot read %s\n", f.string().c_str());
+      return 2;
+    }
+    const std::string rel = RelativeTo(f, root);
+    linter.LintFile(rel, rel, content);
+  }
+
+  for (const Finding& f : linter.findings()) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!linter.findings().empty()) {
+    std::printf("polarlint: %zu finding(s)\n", linter.findings().size());
+    return 1;
+  }
+  return 0;
+}
+
+// ---- self-test ------------------------------------------------------------
+
+std::string FixtureDecl(const std::string& content, const std::string& key) {
+  const size_t pos = content.find(key);
+  if (pos == std::string::npos) return "";
+  size_t begin = pos + key.size();
+  while (begin < content.size() && (content[begin] == ' ')) ++begin;
+  size_t end = begin;
+  while (end < content.size() && !std::isspace(static_cast<unsigned char>(
+                                     content[end]))) {
+    ++end;
+  }
+  return content.substr(begin, end - begin);
+}
+
+int RunSelfTest(const fs::path& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    std::fprintf(stderr, "polarlint: fixtures dir not found: %s\n",
+                 dir.string().c_str());
+    return 2;
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "polarlint: no fixtures in %s\n",
+                 dir.string().c_str());
+    return 2;
+  }
+
+  bool ok = true;
+  for (const fs::path& f : files) {
+    std::string content;
+    if (!ReadFile(f, &content)) {
+      std::fprintf(stderr, "polarlint: cannot read %s\n", f.string().c_str());
+      return 2;
+    }
+    std::string rel = FixtureDecl(content, "polarlint-fixture-path:");
+    if (rel.empty()) rel = "src/fixtures/" + f.filename().string();
+
+    // Expected findings: every line tagged `polarlint-fixture-expect: rule`.
+    std::multiset<std::pair<int, std::string>> expected;
+    {
+      std::istringstream lines(content);
+      std::string line_text;
+      int line_no = 0;
+      while (std::getline(lines, line_text)) {
+        ++line_no;
+        size_t pos = 0;
+        const std::string key = "polarlint-fixture-expect:";
+        while ((pos = line_text.find(key, pos)) != std::string::npos) {
+          const std::string rule = FixtureDecl(line_text.substr(pos), key);
+          if (!rule.empty()) expected.emplace(line_no, rule);
+          pos += key.size();
+        }
+      }
+    }
+
+    Linter linter;
+    linter.LintFile(rel, f.filename().string(), content);
+    std::multiset<std::pair<int, std::string>> got;
+    for (const Finding& finding : linter.findings()) {
+      got.emplace(finding.line, finding.rule);
+    }
+
+    if (got != expected) {
+      ok = false;
+      std::printf("FAIL %s (as %s)\n", f.filename().string().c_str(),
+                  rel.c_str());
+      for (const auto& [line, rule] : expected) {
+        if (!got.count({line, rule})) {
+          std::printf("  missing expected finding: line %d [%s]\n", line,
+                      rule.c_str());
+        }
+      }
+      for (const auto& [line, rule] : got) {
+        if (!expected.count({line, rule})) {
+          std::printf("  unexpected finding: line %d [%s]\n", line,
+                      rule.c_str());
+        }
+      }
+    } else {
+      std::printf("OK   %s (%zu expectation(s))\n",
+                  f.filename().string().c_str(), expected.size());
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  fs::path selftest_dir;
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--self-test" && i + 1 < argc) {
+      selftest_dir = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: polarlint [--root <repo-root>] <file-or-dir>...\n"
+          "       polarlint --self-test <fixtures-dir>\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "polarlint: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+
+  if (!selftest_dir.empty()) return RunSelfTest(selftest_dir);
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "polarlint: no inputs (try --help)\n");
+    return 2;
+  }
+  return RunLint(root, inputs);
+}
