@@ -9,6 +9,8 @@
 #   scripts/check.sh tsan       # ThreadSanitizer build + tests
 #   scripts/check.sh asan       # AddressSanitizer build + tests
 #   scripts/check.sh ubsan      # UBSan build + tests (no-recover: hard fail)
+#   scripts/check.sh wthread    # clang -Werror=thread-safety build + tests
+#                               # (SKIP if clang is missing)
 #   scripts/check.sh --all      # every mode above, in order; fail fast
 #
 # (legacy spellings `thread`/`address` are accepted for tsan/asan.)
@@ -79,8 +81,21 @@ run_mode() {
     ubsan)
       build_and_test build-ubsan -DPOLARMP_SANITIZE=undefined
       ;;
+    wthread)
+      # Clang's thread-safety analysis over the capability annotations
+      # (common/thread_annotations.h). The annotations are no-ops under gcc,
+      # so this is the one mode that actually proves them.
+      if ! command -v clang++ >/dev/null 2>&1; then
+        echo "SKIP: clang++ not installed (thread-safety analysis needs clang)"
+        return 0
+      fi
+      CC=clang CXX=clang++ cmake -B build-wthread -S . \
+        -DPOLARMP_THREAD_SAFETY=ON
+      cmake --build build-wthread -j "${JOBS}"
+      ctest --test-dir build-wthread --output-on-failure -j "${JOBS}"
+      ;;
     *)
-      echo "usage: $0 [plain|lint|format|tidy|tsan|asan|ubsan|--all]" >&2
+      echo "usage: $0 [plain|lint|format|tidy|tsan|asan|ubsan|wthread|--all]" >&2
       return 2
       ;;
   esac
@@ -93,7 +108,7 @@ case "${MODE}" in
 esac
 
 if [[ "${MODE}" == "--all" ]]; then
-  for m in format lint plain ubsan asan tsan tidy; do
+  for m in format lint plain wthread ubsan asan tsan tidy; do
     run_mode "${m}"
   done
   echo "==== check.sh: all modes passed ===="

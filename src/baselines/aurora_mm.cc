@@ -45,7 +45,7 @@ class AuroraConnection : public Connection {
     }
     // Our own cache is current for the pages we just bumped.
     auto& cache = *db_->node_caches_[node_];
-    std::lock_guard lock(cache.mu);
+    MutexLock lock(cache.mu);
     for (const auto& [page, version] : write_pages_) {
       cache.versions[page] = version + 1;
     }
@@ -170,7 +170,7 @@ uint64_t AuroraMmDatabase::TouchPage(int node, SimPageKey page) {
   NodeCache& cache = *node_caches_[node];
   bool stale;
   {
-    std::lock_guard lock(cache.mu);
+    MutexLock lock(cache.mu);
     auto it = cache.versions.find(page);
     stale = it == cache.versions.end() || it->second < current;
     cache.versions[page] = current;

@@ -42,7 +42,8 @@ class AuroraMmDatabase : public Database {
   struct NodeCache {
     // Held while reading store page versions (SimStore mu_, kSimStore).
     RankedMutex mu{LockRank::kBaselineNode, "aurora.node_cache"};
-    std::unordered_map<SimPageKey, uint64_t, SimPageKeyHash> versions;
+    std::unordered_map<SimPageKey, uint64_t, SimPageKeyHash> versions
+        GUARDED_BY(mu);
   };
 
   // Charges a storage read iff the node's cached page version is stale

@@ -219,13 +219,13 @@ Status SharedNothingDatabase::CreateTable(const std::string& name,
     POLARMP_RETURN_IF_ERROR(
         store_.CreateTable(IndexTableName(name, i)).status());
   }
-  std::lock_guard lock(meta_mu_);
+  MutexLock lock(meta_mu_);
   table_indexes_[name] = num_indexes;
   return Status::OK();
 }
 
 uint32_t SharedNothingDatabase::IndexesOf(const std::string& table) {
-  std::lock_guard lock(meta_mu_);
+  MutexLock lock(meta_mu_);
   auto it = table_indexes_.find(table);
   return it == table_indexes_.end() ? 0 : it->second;
 }

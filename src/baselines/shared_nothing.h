@@ -67,14 +67,18 @@ class SharedNothingDatabase : public Database {
   }
 
   const Options options_;
+  // polarlint: unguarded(internally synchronized)
   SimStore store_;
+  // polarlint: unguarded(internally synchronized)
   SimLockTable locks_;
-  std::map<std::string, uint32_t> table_indexes_;  // name -> #GSIs
   RankedMutex meta_mu_{LockRank::kBaselineNode, "shared_nothing.meta"};
+  // name -> #GSIs
+  std::map<std::string, uint32_t> table_indexes_ GUARDED_BY(meta_mu_);
   obs::Counter two_phase_commits_{"shared_nothing.two_phase_commits"};
   obs::Counter single_partition_commits_{
       "shared_nothing.single_partition_commits"};
   // polarlint: allow(raw-atomic) transaction-id allocator, not a counter
+  // polarlint: unguarded(lock-free id allocator)
   std::atomic<uint64_t> next_trx_{1};
 };
 

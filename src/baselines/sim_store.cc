@@ -5,7 +5,7 @@
 namespace polarmp {
 
 StatusOr<uint32_t> SimStore::CreateTable(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (table_ids_.count(name) != 0) {
     return Status::AlreadyExists("table exists: " + name);
   }
@@ -15,7 +15,7 @@ StatusOr<uint32_t> SimStore::CreateTable(const std::string& name) {
 }
 
 StatusOr<uint32_t> SimStore::TableId(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = table_ids_.find(name);
   if (it == table_ids_.end()) {
     return Status::NotFound("table missing: " + name);
@@ -25,26 +25,26 @@ StatusOr<uint32_t> SimStore::TableId(const std::string& name) const {
 
 StatusOr<std::string> SimStore::GetRow(uint32_t table, int64_t key) const {
   row_reads_.Inc();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = rows_.find({table, key});
   if (it == rows_.end()) return Status::NotFound("row missing");
   return it->second;
 }
 
 bool SimStore::RowExists(uint32_t table, int64_t key) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return rows_.count({table, key}) != 0;
 }
 
 void SimStore::PutRow(uint32_t table, int64_t key, const std::string& value) {
   row_writes_.Inc();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   rows_[{table, key}] = value;
 }
 
 void SimStore::EraseRow(uint32_t table, int64_t key) {
   row_writes_.Inc();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   rows_.erase({table, key});
 }
 
@@ -55,7 +55,7 @@ Status SimStore::ScanRows(
   // acquisition) and must not run under mu_.
   std::vector<std::pair<int64_t, std::string>> snapshot;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (auto it = rows_.lower_bound({table, lo});
          it != rows_.end() && it->first.first == table &&
          it->first.second <= hi;
@@ -70,20 +70,20 @@ Status SimStore::ScanRows(
 }
 
 uint64_t SimStore::PageVersion(SimPageKey page) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = page_versions_.find(page);
   return it == page_versions_.end() ? 0 : it->second.version;
 }
 
 void SimStore::BumpPageVersion(SimPageKey page) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++page_versions_[page].version;
 }
 
 bool SimStore::ValidateAndBump(
     const std::map<SimPageKey, uint64_t>& observed, int node) {
   occ_validations_.Inc();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [page, version] : observed) {
     auto it = page_versions_.find(page);
     if (it == page_versions_.end()) continue;
@@ -119,7 +119,7 @@ bool SimLockTable::CanGrant(const Entry& e, uint64_t owner,
 Status SimLockTable::Acquire(uint64_t resource, uint64_t owner, LockMode mode,
                              uint64_t timeout_ms, bool charge_rpc) {
   if (charge_rpc) SimDelay(profile_.rpc_ns);
-  std::unique_lock lock(mu_);
+  UniqueLock lock(mu_);
   acquires_.Inc();
   Entry& e = locks_[resource];
   auto held = e.holders.find(owner);
@@ -149,7 +149,7 @@ Status SimLockTable::Acquire(uint64_t resource, uint64_t owner, LockMode mode,
 
 void SimLockTable::ReleaseAll(uint64_t owner, bool charge_rpc) {
   if (charge_rpc) SimDelay(profile_.rpc_ns);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = by_owner_.find(owner);
   if (it == by_owner_.end()) return;
   for (uint64_t resource : it->second) {

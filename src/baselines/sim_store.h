@@ -3,7 +3,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -105,12 +104,13 @@ class SimStore {
     int last_writer = -1;
   };
 
-  LatencyProfile profile_;
+  const LatencyProfile profile_;
   mutable RankedMutex mu_{LockRank::kSimStore, "sim_store.rows"};
-  std::map<std::string, uint32_t> table_ids_;
+  std::map<std::string, uint32_t> table_ids_ GUARDED_BY(mu_);
   // (table, key) -> value
-  std::map<std::pair<uint32_t, int64_t>, std::string> rows_;
-  std::unordered_map<SimPageKey, PageState, SimPageKeyHash> page_versions_;
+  std::map<std::pair<uint32_t, int64_t>, std::string> rows_ GUARDED_BY(mu_);
+  std::unordered_map<SimPageKey, PageState, SimPageKeyHash> page_versions_
+      GUARDED_BY(mu_);
 
   mutable obs::Counter row_reads_{"sim_store.row_reads"};
   obs::Counter row_writes_{"sim_store.row_writes"};
@@ -144,13 +144,14 @@ class SimLockTable {
     std::map<uint64_t, LockMode> holders;
     uint64_t waiters = 0;
   };
-  bool CanGrant(const Entry& e, uint64_t owner, LockMode mode) const;
+  bool CanGrant(const Entry& e, uint64_t owner, LockMode mode) const
+      REQUIRES(mu_);
 
-  LatencyProfile profile_;
+  const LatencyProfile profile_;
   RankedMutex mu_{LockRank::kSimLockTable, "sim_store.lock_table"};
   CondVar cv_;
-  std::unordered_map<uint64_t, Entry> locks_;
-  std::unordered_map<uint64_t, std::set<uint64_t>> by_owner_;
+  std::unordered_map<uint64_t, Entry> locks_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::set<uint64_t>> by_owner_ GUARDED_BY(mu_);
   obs::Counter acquires_{"sim_store.lock_acquires"};
   obs::Counter waits_{"sim_store.lock_waits"};
 };

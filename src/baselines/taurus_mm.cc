@@ -48,7 +48,7 @@ class TaurusConnection : public Connection {
       }
       // Our cache stays current for the pages we hold locked.
       auto& cache = *db_->node_caches_[node_];
-      std::lock_guard lock(cache.mu);
+      MutexLock lock(cache.mu);
       ++cache.scalar_clock;
       for (const auto& [row, value] : writes_) {
         const SimPageKey page = store_->PageOf(row.first, row.second);
@@ -185,7 +185,7 @@ void TaurusMmDatabase::RefreshPage(int node, SimPageKey page) {
   NodeCache& cache = *node_caches_[node];
   uint64_t cached;
   {
-    std::lock_guard lock(cache.mu);
+    MutexLock lock(cache.mu);
     auto it = cache.versions.find(page);
     cached = it == cache.versions.end() ? 0 : it->second;
     cache.versions[page] = current;

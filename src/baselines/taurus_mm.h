@@ -53,8 +53,10 @@ class TaurusMmDatabase : public Database {
   struct NodeCache {
     // Held while reading store page versions (SimStore mu_, kSimStore).
     RankedMutex mu{LockRank::kBaselineNode, "taurus.node_cache"};
-    std::unordered_map<SimPageKey, uint64_t, SimPageKeyHash> versions;
-    uint64_t scalar_clock = 0;  // vector-scalar clock, scalar component
+    std::unordered_map<SimPageKey, uint64_t, SimPageKeyHash> versions
+        GUARDED_BY(mu);
+    // Vector-scalar clock, scalar component.
+    uint64_t scalar_clock GUARDED_BY(mu) = 0;
   };
 
   // Refreshes the node's copy of `page`: stale copies pay a storage read

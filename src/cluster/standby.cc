@@ -18,7 +18,7 @@ StandbyReplicator::StandbyReplicator(LogStore* primary_log,
 StandbyReplicator::~StandbyReplicator() { Stop(); }
 
 void StandbyReplicator::Start() {
-  std::lock_guard lock(stop_mu_);
+  MutexLock lock(stop_mu_);
   if (started_) return;
   started_ = true;
   stop_ = false;
@@ -27,20 +27,20 @@ void StandbyReplicator::Start() {
 
 void StandbyReplicator::Stop() {
   {
-    std::lock_guard lock(stop_mu_);
+    MutexLock lock(stop_mu_);
     if (!started_) return;
     stop_ = true;
     stop_cv_.notify_all();
   }
   replicator_.join();
-  std::lock_guard lock(stop_mu_);
+  MutexLock lock(stop_mu_);
   started_ = false;
 }
 
 void StandbyReplicator::ReplicationLoop() {
   for (;;) {
     {
-      std::unique_lock lock(stop_mu_);
+      UniqueLock lock(stop_mu_);
       stop_cv_.wait_for(lock,
                         std::chrono::milliseconds(options_.poll_interval_ms),
                         [&] { return stop_; });
@@ -105,7 +105,7 @@ Status StandbyReplicator::ApplyRecord(const LogRecord& rec) {
 }
 
 StatusOr<uint64_t> StandbyReplicator::ApplyAvailable() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   struct Stream {
     NodeId node;
     std::deque<LogRecord> pending;
@@ -187,7 +187,7 @@ bool StandbyReplicator::WaitForCatchUp(uint64_t timeout_ms) {
   }
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
-  std::unique_lock lock(mu_);
+  UniqueLock lock(mu_);
   return cv_.wait_until(lock, deadline, [&] {
     for (const auto& [node, target] : targets) {
       auto it = cursors_.find(node);
@@ -200,7 +200,7 @@ bool StandbyReplicator::WaitForCatchUp(uint64_t timeout_ms) {
 }
 
 uint64_t StandbyReplicator::LagBytes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   uint64_t lag = 0;
   for (NodeId node : primary_log_->AllLogs()) {
     auto end = primary_log_->DurableLsn(node);
@@ -215,13 +215,13 @@ uint64_t StandbyReplicator::LagBytes() const {
 }
 
 uint64_t StandbyReplicator::records_applied() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return records_applied_;
 }
 
 Status StandbyReplicator::ScanTable(
     SpaceId space, const std::function<bool(const RowView&)>& fn) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto root_it = cache_.find(PageId{space, 0}.Pack());
   if (root_it == cache_.end()) {
     return Status::NotFound("space not replicated: " + std::to_string(space));

@@ -4,7 +4,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
@@ -65,26 +64,31 @@ class StandbyReplicator {
  private:
   void ReplicationLoop();
   // Drains whatever is durable beyond our cursors; returns records applied.
-  StatusOr<uint64_t> ApplyAvailable();
-  Status ApplyRecord(const LogRecord& rec);
-  StatusOr<char*> PageFor(PageId page_id);
+  StatusOr<uint64_t> ApplyAvailable() EXCLUDES(mu_);
+  Status ApplyRecord(const LogRecord& rec) REQUIRES(mu_);
+  StatusOr<char*> PageFor(PageId page_id) REQUIRES(mu_);
 
-  LogStore* primary_log_;
+  LogStore* const primary_log_;
   const Options options_;
 
   mutable RankedMutex mu_{LockRank::kStandby, "standby.apply"};
   CondVar cv_;
-  std::map<NodeId, Lsn> cursors_;
-  std::map<NodeId, std::string> partial_;  // undecoded tails per stream
-  std::map<NodeId, Llsn> high_llsn_;       // decoded LLSN horizon per stream
-  std::unordered_map<uint64_t, std::unique_ptr<char[]>> cache_;
-  uint64_t records_applied_ = 0;
+  std::map<NodeId, Lsn> cursors_ GUARDED_BY(mu_);
+  // Undecoded tails per stream.
+  std::map<NodeId, std::string> partial_ GUARDED_BY(mu_);
+  // Decoded LLSN horizon per stream.
+  std::map<NodeId, Llsn> high_llsn_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::unique_ptr<char[]>> cache_ GUARDED_BY(mu_);
+  uint64_t records_applied_ GUARDED_BY(mu_) = 0;
 
+  // Set in Start under stop_mu_; joined in Stop after the stop_ handshake,
+  // necessarily outside the lock.
+  // polarlint: unguarded(lifecycle thread; Start/Stop are serialized)
   std::thread replicator_;
   RankedMutex stop_mu_{LockRank::kStandbyStop, "standby.stop"};
   CondVar stop_cv_;
-  bool stop_ = false;
-  bool started_ = false;
+  bool stop_ GUARDED_BY(stop_mu_) = false;
+  bool started_ GUARDED_BY(stop_mu_) = false;
 };
 
 }  // namespace polarmp

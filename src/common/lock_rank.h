@@ -5,6 +5,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/thread_annotations.h"
+
 #if !defined(POLARMP_LOCK_RANK_CHECKS)
 // CMake normally supplies this (option POLARMP_LOCK_RANK_CHECKS, default ON);
 // standalone inclusion gets checks unless NDEBUG says otherwise.
@@ -168,6 +170,30 @@ inline void NoteAcquire(const void* mu, LockRank rank, const char* name,
 #endif
 }
 
+inline bool IsHeld(const void* mu) {
+#if POLARMP_LOCK_RANK_CHECKS
+  const HeldStack& s = TlsStack();
+  for (int i = 0; i < s.depth; ++i) {
+    if (s.entries[i].mu == mu) return true;
+  }
+  return false;
+#else
+  (void)mu;
+  return true;  // checks compiled out: AssertHeld() degrades to a no-op
+#endif
+}
+
+#if POLARMP_LOCK_RANK_CHECKS
+[[noreturn]] inline void DieNotHeld(const char* name) {
+  std::fprintf(stderr,
+               "==== polarmp lock-rank violation ====\n"
+               "AssertHeld: '%s' is not held by this thread\n",
+               name);
+  std::fflush(stderr);
+  std::abort();
+}
+#endif
+
 inline void NoteRelease(const void* mu) {
 #if POLARMP_LOCK_RANK_CHECKS
   HeldStack& s = TlsStack();
@@ -192,9 +218,12 @@ inline void NoteRelease(const void* mu) {
 
 }  // namespace lock_rank_internal
 
-// std::mutex with a declared place in the global latch order. Drop-in for
-// std::lock_guard / std::unique_lock / CondVar (condition_variable_any).
-class RankedMutex {
+// std::mutex with a declared place in the global latch order. A Clang
+// `capability` for the static thread-safety analysis, and still a
+// BasicLockable, so CondVar (condition_variable_any) can wait on it
+// directly — waits release and re-acquire through the wrapper, keeping the
+// held-rank stack exact across blocks.
+class CAPABILITY("mutex") RankedMutex {
  public:
   explicit RankedMutex(LockRank rank, const char* name,
                        SameRank same = SameRank::kForbid)
@@ -203,19 +232,30 @@ class RankedMutex {
   RankedMutex(const RankedMutex&) = delete;
   RankedMutex& operator=(const RankedMutex&) = delete;
 
-  void lock() {
+  void lock() ACQUIRE() {
     lock_rank_internal::NoteAcquire(this, rank_, name_, allow_same_);
     mu_.lock();
   }
-  bool try_lock() {
+  bool try_lock() TRY_ACQUIRE(true) {
     lock_rank_internal::NoteAcquire(this, rank_, name_, allow_same_);
     if (mu_.try_lock()) return true;
     lock_rank_internal::NoteRelease(this);
     return false;
   }
-  void unlock() {
+  void unlock() RELEASE() {
     mu_.unlock();
     lock_rank_internal::NoteRelease(this);
+  }
+
+  // Runtime check (via the thread-local held stack) plus a static assertion
+  // teaching the analysis that this mutex is held — the primitive for latch
+  // handoffs the analysis cannot follow lexically (crabbing, frame caches).
+  void AssertHeld() const ASSERT_CAPABILITY(this) {
+#if POLARMP_LOCK_RANK_CHECKS
+    if (!lock_rank_internal::IsHeld(this)) {
+      lock_rank_internal::DieNotHeld(name_);
+    }
+#endif
   }
 
   LockRank rank() const { return rank_; }
@@ -231,7 +271,7 @@ class RankedMutex {
 // std::shared_mutex with a declared rank. Shared and exclusive acquisitions
 // count identically against the order (a shared hold still forbids
 // acquiring higher-ranked mutexes).
-class RankedSharedMutex {
+class CAPABILITY("shared_mutex") RankedSharedMutex {
  public:
   explicit RankedSharedMutex(LockRank rank, const char* name,
                              SameRank same = SameRank::kForbid)
@@ -240,34 +280,54 @@ class RankedSharedMutex {
   RankedSharedMutex(const RankedSharedMutex&) = delete;
   RankedSharedMutex& operator=(const RankedSharedMutex&) = delete;
 
-  void lock() {
+  void lock() ACQUIRE() {
     lock_rank_internal::NoteAcquire(this, rank_, name_, allow_same_);
     mu_.lock();
   }
-  bool try_lock() {
+  bool try_lock() TRY_ACQUIRE(true) {
     lock_rank_internal::NoteAcquire(this, rank_, name_, allow_same_);
     if (mu_.try_lock()) return true;
     lock_rank_internal::NoteRelease(this);
     return false;
   }
-  void unlock() {
+  void unlock() RELEASE() {
     mu_.unlock();
     lock_rank_internal::NoteRelease(this);
   }
 
-  void lock_shared() {
+  void lock_shared() ACQUIRE_SHARED() {
     lock_rank_internal::NoteAcquire(this, rank_, name_, allow_same_);
     mu_.lock_shared();
   }
-  bool try_lock_shared() {
+  bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
     lock_rank_internal::NoteAcquire(this, rank_, name_, allow_same_);
     if (mu_.try_lock_shared()) return true;
     lock_rank_internal::NoteRelease(this);
     return false;
   }
-  void unlock_shared() {
+  void unlock_shared() RELEASE_SHARED() {
     mu_.unlock_shared();
     lock_rank_internal::NoteRelease(this);
+  }
+
+  // Exclusive-hold assertion. The rank stack does not distinguish shared
+  // from exclusive holds, so the runtime side checks "held at all"; the
+  // static side asserts the exclusive capability.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {
+#if POLARMP_LOCK_RANK_CHECKS
+    if (!lock_rank_internal::IsHeld(this)) {
+      lock_rank_internal::DieNotHeld(name_);
+    }
+#endif
+  }
+
+  // Any-mode assertion: the crabbing handoff primitive for readers.
+  void AssertAnyHeld() const ASSERT_SHARED_CAPABILITY(this) {
+#if POLARMP_LOCK_RANK_CHECKS
+    if (!lock_rank_internal::IsHeld(this)) {
+      lock_rank_internal::DieNotHeld(name_);
+    }
+#endif
   }
 
   LockRank rank() const { return rank_; }
@@ -282,7 +342,87 @@ class RankedSharedMutex {
 
 // Condition variable usable with RankedMutex (waits release and re-acquire
 // through the wrapper, so the held-rank stack stays exact across blocks).
+// Inside a REQUIRES(mu) helper, wait on the mutex itself — `cv.wait(mu)` —
+// so the analysis's view (mutex held on entry and exit) matches the code;
+// at top level, wait on the UniqueLock guard.
 using CondVar = std::condition_variable_any;
+
+// RAII guards over the ranked mutexes. These replace std::lock_guard /
+// std::unique_lock / std::shared_lock in annotated code: the libstdc++
+// guards carry no capability attributes, so locks taken through them are
+// invisible to the analysis. SCOPED_CAPABILITY makes acquisition and
+// release lexical facts the analysis can discharge.
+
+// lock_guard-style: exclusive, held for the full scope.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(RankedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+ private:
+  RankedMutex& mu_;
+};
+
+// unique_lock-style: exclusive, relockable (CondVar waits, and top-level
+// code that opens an unlocked window mid-scope). `*Locked()` helpers that
+// drop and retake the lock internally operate on the RankedMutex directly
+// under a REQUIRES contract instead of taking one of these by reference —
+// scoped objects passed by reference are opaque to the analysis.
+class SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(RankedMutex& mu) ACQUIRE(mu) : mu_(mu), owned_(true) {
+    mu_.lock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+  ~UniqueLock() RELEASE() {
+    if (owned_) mu_.unlock();
+  }
+
+  void lock() ACQUIRE() {
+    mu_.lock();
+    owned_ = true;
+  }
+  void unlock() RELEASE() {
+    owned_ = false;
+    mu_.unlock();
+  }
+  bool owns_lock() const { return owned_; }
+
+ private:
+  RankedMutex& mu_;
+  bool owned_;
+};
+
+// shared_lock-style: shared mode, held for the full scope.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(RankedSharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+  ~ReaderLock() RELEASE() { mu_.unlock_shared(); }
+
+ private:
+  RankedSharedMutex& mu_;
+};
+
+// lock_guard-style over a RankedSharedMutex: exclusive mode.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(RankedSharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+  ~WriterLock() RELEASE() { mu_.unlock(); }
+
+ private:
+  RankedSharedMutex& mu_;
+};
 
 }  // namespace polarmp
 

@@ -1,0 +1,87 @@
+#ifndef POLARMP_COMMON_THREAD_ANNOTATIONS_H_
+#define POLARMP_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety (capability) analysis macros.
+//
+// These expand to Clang's `capability` attribute family when the compiler
+// supports it and to nothing elsewhere (GCC, MSVC), so annotated headers stay
+// warning-free on every toolchain. `scripts/check.sh wthread` builds the tree
+// with `-Werror=thread-safety` under clang so the annotations are *proofs*,
+// not comments; DESIGN.md §7 documents the conventions for when to use
+// GUARDED_BY vs REQUIRES vs a `// polarlint: unguarded(...)` escape.
+//
+// The macro set mirrors the de-facto standard spelling (abseil / LevelDB):
+//   CAPABILITY(x)          - class is a capability (a mutex)
+//   SCOPED_CAPABILITY      - RAII class acquiring in ctor, releasing in dtor
+//   GUARDED_BY(mu)         - field may only be read/written while holding mu
+//   PT_GUARDED_BY(mu)      - pointee (not the pointer) is guarded by mu
+//   REQUIRES(mu)           - function pre+postcondition: mu held exclusively
+//   REQUIRES_SHARED(mu)    - function pre+postcondition: mu held (any mode)
+//   ACQUIRE(mu)/RELEASE(mu)        - function acquires/releases mu
+//   ACQUIRE_SHARED/RELEASE_SHARED  - shared-mode variants
+//   RELEASE_GENERIC(mu)    - releases mu whatever the held mode
+//   TRY_ACQUIRE(ok, mu)    - returns `ok` iff mu was acquired
+//   EXCLUDES(mu)           - caller must NOT hold mu (deadlock guard)
+//   ASSERT_CAPABILITY(mu)  - runtime assertion teaching the analysis mu is
+//                            held (the crabbing handoff primitive)
+//   RETURN_CAPABILITY(mu)  - function returns a reference to mu
+//   NO_THREAD_SAFETY_ANALYSIS - opt a function body out of the analysis
+
+#if defined(__clang__) && (!defined(SWIG))
+#define POLARMP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define POLARMP_THREAD_ANNOTATION(x)  // no-op on GCC/MSVC
+#endif
+
+#define CAPABILITY(x) POLARMP_THREAD_ANNOTATION(capability(x))
+
+#define SCOPED_CAPABILITY POLARMP_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) POLARMP_THREAD_ANNOTATION(guarded_by(x))
+
+#define PT_GUARDED_BY(x) POLARMP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  POLARMP_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  POLARMP_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  POLARMP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  POLARMP_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) POLARMP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  POLARMP_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) POLARMP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  POLARMP_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  POLARMP_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  POLARMP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  POLARMP_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) POLARMP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) POLARMP_THREAD_ANNOTATION(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  POLARMP_THREAD_ANNOTATION(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) POLARMP_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  POLARMP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // POLARMP_COMMON_THREAD_ANNOTATIONS_H_

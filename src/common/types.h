@@ -30,6 +30,24 @@ inline constexpr Csn kCsnMax = UINT64_MAX;  // visible to no one (active trx)
 // First CTS the TSO hands out (must be > kCsnMin).
 inline constexpr Csn kCsnFirst = 2;
 
+// Provisional-CTS flag (bit 63), stored only in TIT slots. A committer
+// publishes `cts | kCsnProvisionalBit` BEFORE its log force and finalizes
+// the slot with a CTS fetched AFTER the force. A reader that observes the
+// provisional bit therefore knows its view CTS predates the committer's
+// final CTS, and resolves the transaction as active (kCsnMax) without
+// waiting — closing the SI commit-publication lost-update window (DESIGN.md
+// §6). The bit can never collide with a real timestamp: the TSO counts up
+// from kCsnFirst and would need 2^63 commits to reach it, and neither
+// kCsnInit nor row CTSes ever carry it.
+inline constexpr Csn kCsnProvisionalBit = 1ull << 63;
+
+inline constexpr bool CsnIsProvisional(Csn slot_cts) {
+  return slot_cts != kCsnMax && (slot_cts & kCsnProvisionalBit) != 0;
+}
+inline constexpr Csn MakeProvisionalCsn(Csn cts) {
+  return cts | kCsnProvisionalBit;
+}
+
 // ---------------------------------------------------------------------------
 // PageId: (space, page_no) packed into 64 bits so the lock/buffer fusion
 // tables key on a single integer.

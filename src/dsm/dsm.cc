@@ -31,7 +31,7 @@ Dsm::~Dsm() {
 
 StatusOr<DsmPtr> Dsm::Allocate(uint64_t size) {
   const uint64_t aligned = (size + 7) & ~uint64_t{7};
-  std::lock_guard lock(alloc_mu_);
+  MutexLock lock(alloc_mu_);
   // Least-loaded server keeps the pool balanced like a real allocator would.
   uint32_t best = 0;
   for (uint32_t i = 1; i < num_servers_; ++i) {
@@ -126,7 +126,7 @@ void Dsm::HostWriteSeqlocked(DsmPtr frame, const void* src,
 }
 
 void Dsm::Reset() {
-  std::lock_guard lock(alloc_mu_);
+  MutexLock lock(alloc_mu_);
   for (uint32_t i = 0; i < num_servers_; ++i) {
     std::memset(memory_[i].get(), 0, bytes_per_server_);
     next_free_[i] = 0;
@@ -134,7 +134,7 @@ void Dsm::Reset() {
 }
 
 uint64_t Dsm::allocated_bytes() const {
-  std::lock_guard lock(alloc_mu_);
+  MutexLock lock(alloc_mu_);
   uint64_t total = 0;
   for (uint64_t v : next_free_) total += v;
   return total;

@@ -97,12 +97,16 @@ class Dsm {
   }
 
  private:
-  Fabric* fabric_;
-  uint32_t num_servers_;
-  uint64_t bytes_per_server_;
+  Fabric* const fabric_;
+  const uint32_t num_servers_;
+  const uint64_t bytes_per_server_;
+  // Sized in the constructor and never resized; segment contents are
+  // synchronized by the fabric's access disciplines (seqlock framing,
+  // remote atomics), not by alloc_mu_.
+  // polarlint: unguarded(vector frozen after construction)
   std::vector<std::unique_ptr<char[]>> memory_;
   mutable RankedMutex alloc_mu_{LockRank::kDsm, "dsm.alloc"};
-  std::vector<uint64_t> next_free_;
+  std::vector<uint64_t> next_free_ GUARDED_BY(alloc_mu_);
 };
 
 }  // namespace polarmp

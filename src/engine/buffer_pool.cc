@@ -38,7 +38,7 @@ BufferPool::~BufferPool() {
 
 StatusOr<BufferPool::Handle> BufferPool::GetPage(PageId page_id, bool create) {
   const uint64_t key = page_id.Pack();
-  std::unique_lock lock(mu_);
+  UniqueLock lock(mu_);
   for (;;) {
     auto it = page_to_frame_.find(key);
     if (it != page_to_frame_.end()) {
@@ -54,18 +54,21 @@ StatusOr<BufferPool::Handle> BufferPool::GetPage(PageId page_id, bool create) {
       if (invalid_flags_[idx].load(std::memory_order_acquire) != 0) {
         // Another node pushed a newer version while we held no PLock on the
         // page; fetch the latest from the DBP (Fig. 4 invalid + r_addr path).
-        std::unique_lock frame_latch(f.latch);
-        if (invalid_flags_[idx].load(std::memory_order_acquire) != 0) {
-          invalid_refetches_.Inc();
-          const Status s =
-              buffer_fusion_->FetchPage(node_, f.r_addr, f.data.get());
-          if (!s.ok()) {
-            frame_latch.unlock();
-            Unpin(Handle{idx, f.data.get()});
-            return s;
+        Status refetch = Status::OK();
+        {
+          WriterLock frame_latch(f.latch);
+          if (invalid_flags_[idx].load(std::memory_order_acquire) != 0) {
+            invalid_refetches_.Inc();
+            refetch = buffer_fusion_->FetchPage(node_, f.r_addr, f.data.get());
+            if (refetch.ok()) {
+              invalid_flags_[idx].store(0, std::memory_order_release);
+              llsn_clock_->Observe(Page::PeekLlsn(f.data.get()));
+            }
           }
-          invalid_flags_[idx].store(0, std::memory_order_release);
-          llsn_clock_->Observe(Page::PeekLlsn(f.data.get()));
+        }
+        if (!refetch.ok()) {
+          Unpin(Handle{idx, f.data.get()});
+          return refetch;
         }
       } else {
         hits_.Inc();
@@ -73,7 +76,7 @@ StatusOr<BufferPool::Handle> BufferPool::GetPage(PageId page_id, bool create) {
       return Handle{idx, f.data.get()};
     }
 
-    POLARMP_ASSIGN_OR_RETURN(uint32_t idx, AllocFrameLocked(lock));
+    POLARMP_ASSIGN_OR_RETURN(uint32_t idx, AllocFrameLocked());
     // The eviction inside AllocFrameLocked may have dropped mu_; someone
     // else could have installed the page meanwhile.
     if (page_to_frame_.count(key) != 0) {
@@ -146,8 +149,7 @@ Status BufferPool::PushFrame(uint32_t idx, bool clean_load) {
   return buffer_fusion_->NotifyPush(node_, f.page_id, llsn, clean_load);
 }
 
-StatusOr<uint32_t> BufferPool::AllocFrameLocked(
-    std::unique_lock<RankedMutex>& lock) {
+StatusOr<uint32_t> BufferPool::AllocFrameLocked() {
   for (int attempt = 0; attempt < kEvictionAttempts; ++attempt) {
     // Free frame?
     uint32_t victim = UINT32_MAX;
@@ -161,24 +163,23 @@ StatusOr<uint32_t> BufferPool::AllocFrameLocked(
       }
     }
     if (victim == UINT32_MAX) {
-      cv_.wait_for(lock, std::chrono::milliseconds(10));
+      cv_.wait_for(mu_, std::chrono::milliseconds(10));
       continue;
     }
-    const Status s = EvictLocked(lock, victim);
+    const Status s = EvictLocked(victim);
     if (s.ok()) return victim;
     // Busy victim (e.g., its PLock is mid-acquire): try another.
   }
   return Status::Internal("LBP exhausted: no evictable frame");
 }
 
-Status BufferPool::EvictLocked(std::unique_lock<RankedMutex>& lock,
-                               uint32_t idx) {
+Status BufferPool::EvictLocked(uint32_t idx) {
   Frame& f = *frames_[idx];
   POLARMP_CHECK_EQ(f.pins, 0u);
   const PageId old_page = f.page_id;
   f.installing = true;
   const bool was_dirty = f.dirty;
-  lock.unlock();
+  mu_.unlock();
 
   Status st = Status::OK();
   if (was_dirty) {
@@ -191,7 +192,7 @@ Status BufferPool::EvictLocked(std::unique_lock<RankedMutex>& lock,
     st = buffer_fusion_->UnregisterCopy(node_, old_page);
   }
 
-  lock.lock();
+  mu_.lock();
   f.installing = false;
   cv_.notify_all();
   if (!st.ok()) return st;
@@ -202,7 +203,7 @@ Status BufferPool::EvictLocked(std::unique_lock<RankedMutex>& lock,
 }
 
 BufferPool::Handle BufferPool::TryGetCached(PageId page_id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = page_to_frame_.find(page_id.Pack());
   if (it == page_to_frame_.end()) return Handle{};
   Frame& f = *frames_[it->second];
@@ -216,7 +217,7 @@ BufferPool::Handle BufferPool::TryGetCached(PageId page_id) {
 }
 
 void BufferPool::Unpin(const Handle& handle) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Frame& f = *frames_[handle.frame];
   POLARMP_CHECK_GT(f.pins, 0u);
   --f.pins;
@@ -241,15 +242,28 @@ void BufferPool::Unlatch(const Handle& handle, LockMode mode) {
   }
 }
 
+void BufferPool::AssertLatched(const Handle& handle, LockMode mode) const {
+  const Frame& f = *frames_[handle.frame];
+  if (mode == LockMode::kExclusive) {
+    f.latch.AssertHeld();
+  } else {
+    f.latch.AssertAnyHeld();
+  }
+}
+
 void BufferPool::MarkDirty(const Handle& handle, Lsn newest_lsn) {
-  std::lock_guard lock(mu_);
+  // The mini-transaction must still hold the frame exclusively: a dirty
+  // marking outside the X latch could interleave with a concurrent push and
+  // publish a torn page.
+  frames_[handle.frame]->latch.AssertHeld();
+  MutexLock lock(mu_);
   Frame& f = *frames_[handle.frame];
   f.dirty = true;
   if (newest_lsn > f.newest_lsn) f.newest_lsn = newest_lsn;
 }
 
 Status BufferPool::FlushPageForRelease(PageId page_id) {
-  std::unique_lock lock(mu_);
+  UniqueLock lock(mu_);
   for (;;) {
     auto it = page_to_frame_.find(page_id.Pack());
     if (it == page_to_frame_.end()) return Status::OK();
@@ -268,7 +282,7 @@ Status BufferPool::FlushPageForRelease(PageId page_id) {
     f.latch.lock_shared();
     const Status st = PushFrame(idx, /*clean_load=*/false);
     if (st.ok()) {
-      std::lock_guard relock(mu_);
+      MutexLock relock(mu_);
       f.dirty = false;
     }
     f.latch.unlock_shared();
@@ -282,7 +296,7 @@ Status BufferPool::FlushPageForRelease(PageId page_id) {
 }
 
 void BufferPool::DropAll() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   page_to_frame_.clear();
   for (uint32_t i = 0; i < frames_.size(); ++i) {
     Frame& f = *frames_[i];
@@ -296,7 +310,7 @@ void BufferPool::DropAll() {
 }
 
 std::vector<PageId> BufferPool::DirtyPages() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<PageId> out;
   for (const auto& f : frames_) {
     if (f->used && f->dirty) out.push_back(f->page_id);

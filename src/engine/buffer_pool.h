@@ -4,7 +4,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -81,8 +80,16 @@ class BufferPool {
 
   // Thread-level page latch (intra-node concurrency, §4.3.1: "internal page
   // concurrency control within a single node is still the same as before").
-  void Latch(const Handle& handle, LockMode mode);
-  void Unlatch(const Handle& handle, LockMode mode);
+  // Which frame's latch is taken — and in which mode — is decided at
+  // runtime, which the static analysis cannot follow; the crabbing handoff
+  // is checked dynamically instead (Unlatch asserts the hold via the
+  // rank-checker's held stack, and Mtr asserts it when guards transfer).
+  void Latch(const Handle& handle, LockMode mode) NO_THREAD_SAFETY_ANALYSIS;
+  void Unlatch(const Handle& handle, LockMode mode) NO_THREAD_SAFETY_ANALYSIS;
+
+  // Crabbing/transfer assertion: dies unless this thread holds the frame's
+  // latch (in any mode for kShared, exclusively for kExclusive).
+  void AssertLatched(const Handle& handle, LockMode mode) const;
 
   // Marks the frame dirty with the LSN its redo is buffered at.
   void MarkDirty(const Handle& handle, Lsn newest_lsn);
@@ -109,15 +116,30 @@ class BufferPool {
   uint64_t invalid_refetches() const { return invalid_refetches_.Value(); }
 
  private:
+  // Frame metadata is guarded by the pool-wide mu_ and by a per-frame
+  // protocol (pins shield a frame from eviction; `installing` hands the
+  // frame to a single loader with mu_ dropped; page bytes are additionally
+  // serialized by `latch`). GUARDED_BY in a nested struct cannot name the
+  // outer pool's mu_, so the fields carry lint escapes instead and the
+  // protocol is enforced by the runtime checks.
   struct Frame {
+    // polarlint: unguarded(bytes protected by pins+installing+latch protocol)
     std::unique_ptr<char[]> data;
+    // polarlint: unguarded(guarded by BufferPool::mu_)
     PageId page_id;
+    // polarlint: unguarded(guarded by BufferPool::mu_)
     bool used = false;
+    // polarlint: unguarded(guarded by BufferPool::mu_)
     bool installing = false;  // load in progress; waiters block
+    // polarlint: unguarded(written only by the installing loader)
     DsmPtr r_addr;
+    // polarlint: unguarded(guarded by BufferPool::mu_)
     bool dirty = false;
+    // polarlint: unguarded(guarded by BufferPool::mu_)
     Lsn newest_lsn = 0;
+    // polarlint: unguarded(guarded by BufferPool::mu_)
     uint32_t pins = 0;
+    // polarlint: unguarded(guarded by BufferPool::mu_)
     uint64_t last_used = 0;
     // Same-rank: a descent latches parent and child simultaneously
     // (crabbing); ordering among page latches comes from the B-tree
@@ -126,41 +148,50 @@ class BufferPool {
                             SameRank::kAllow};
   };
 
-  // Finds a victim frame (unpinned), evicting its current page. Caller
-  // holds mu_ via `lock`; may release and reacquire it. Returns frame index.
-  StatusOr<uint32_t> AllocFrameLocked(std::unique_lock<RankedMutex>& lock);
+  // Finds a victim frame (unpinned), evicting its current page. May drop
+  // and reacquire mu_ while waiting for pins or evicting (invisible to the
+  // static analysis; the contract is held-on-entry, held-on-exit). Returns
+  // the frame index.
+  StatusOr<uint32_t> AllocFrameLocked() REQUIRES(mu_);
 
   // Evicts frame `idx` (pins==0): flush if dirty, release PLock, unregister
-  // the DBP copy. Caller holds mu_ via `lock`; releases it around RPCs.
-  Status EvictLocked(std::unique_lock<RankedMutex>& lock, uint32_t idx);
+  // the DBP copy. Drops mu_ around the RPCs and reacquires it before
+  // returning.
+  Status EvictLocked(uint32_t idx) REQUIRES(mu_);
 
   // Loads content into an installing frame. Called without mu_.
-  Status LoadFrame(uint32_t idx, PageId page_id, bool create);
+  Status LoadFrame(uint32_t idx, PageId page_id, bool create) EXCLUDES(mu_);
 
   // Pushes frame `idx`'s page to DBP (log force + seqlock write + notify).
   // Called without mu_; frame must be protected from concurrent writers
   // (pins drained or caller holds the only write path).
-  Status PushFrame(uint32_t idx, bool clean_load);
+  Status PushFrame(uint32_t idx, bool clean_load) EXCLUDES(mu_);
 
   uint64_t FlagOffset(uint32_t idx) const { return idx * sizeof(uint64_t); }
 
   const NodeId node_;
-  Fabric* fabric_;
-  BufferFusion* buffer_fusion_;
-  PageStore* page_store_;
-  LlsnClock* llsn_clock_;
+  Fabric* const fabric_;
+  BufferFusion* const buffer_fusion_;
+  PageStore* const page_store_;
+  LlsnClock* const llsn_clock_;
   const Options options_;
 
+  // polarlint: unguarded(installed once by DbNode before traffic)
   std::function<Status(Lsn)> force_log_;
+  // polarlint: unguarded(installed once by DbNode before traffic)
   std::function<Status(PageId)> release_plock_;
 
   mutable RankedMutex mu_{LockRank::kBufferPool, "buffer_pool.frames"};
   CondVar cv_;
+  // Sized in the constructor and never resized; the vector itself is
+  // immutable after that, element state follows the Frame protocol above.
+  // polarlint: unguarded(vector frozen after construction)
   std::vector<std::unique_ptr<Frame>> frames_;
   // polarlint: allow(raw-atomic) one-sided RDMA target (kLbpFlagsRegion)
+  // polarlint: unguarded(lock-free flag array; remote one-sided writes)
   std::unique_ptr<std::atomic<uint64_t>[]> invalid_flags_;
-  std::unordered_map<uint64_t, uint32_t> page_to_frame_;
-  uint64_t tick_ = 0;
+  std::unordered_map<uint64_t, uint32_t> page_to_frame_ GUARDED_BY(mu_);
+  uint64_t tick_ GUARDED_BY(mu_) = 0;
 
   obs::Counter hits_{"buffer_pool.hits"};
   obs::Counter dbp_fetches_{"buffer_pool.dbp_fetches"};

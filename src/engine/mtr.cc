@@ -95,7 +95,18 @@ void Mtr::ReleaseGuard(Guard* guard) {
 // Applies are recorded with llsn 0; Commit assigns the real LLSNs
 // atomically with the buffer append (stream monotonicity, §4.4).
 void Mtr::RecordFor(size_t g, LogRecord rec) {
-  if (g != SIZE_MAX) guards_[g].modified = true;
+  if (g != SIZE_MAX) {
+    // A logged mutation is only safe under the guard's exclusive latch; the
+    // static analysis cannot see which frame a guard latched (runtime
+    // indirection), so assert the hold here — the choke point every page
+    // mutation funnels through.
+    Guard& guard = guards_[g];
+    POLARMP_CHECK(guard.mode == LockMode::kExclusive);
+    if (guard.latched) {
+      ctx_->lbp->AssertLatched(guard.handle, LockMode::kExclusive);
+    }
+    guard.modified = true;
+  }
   records_.push_back(std::move(rec));
   record_guard_.push_back(g);
 }
@@ -155,13 +166,13 @@ Lsn Mtr::Commit() {
   if (!records_.empty()) {
     // Shared against checkpoints: a checkpoint's dirty-set snapshot sees
     // either none or all of this mtr (log append + dirty marks together).
-    std::shared_lock checkpoint_guard(*ctx_->commit_mu);
+    ReaderLock checkpoint_guard(*ctx_->commit_mu);
     {
       // LLSN assignment, page stamping and the buffer append are one
       // atomic step per node so the stream stays LLSN-monotone (§4.4) —
       // the invariant every LLSN_bound merge (recovery, standby) depends
       // on. The pages are still exclusively latched, so stamping is safe.
-      std::lock_guard order_guard(*ctx_->llsn_order_mu);
+      MutexLock order_guard(*ctx_->llsn_order_mu);
       std::string encoded;
       for (size_t i = 0; i < records_.size(); ++i) {
         records_[i].llsn = ctx_->llsn->Advance();

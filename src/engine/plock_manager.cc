@@ -4,7 +4,7 @@ namespace polarmp {
 
 Status PLockManager::Pin(PageId page, LockMode mode, uint64_t timeout_ms) {
   const uint64_t key = page.Pack();
-  std::unique_lock lock(mu_);
+  UniqueLock lock(mu_);
   for (;;) {
     Entry& e = entries_[key];
     if (e.releasing) {
@@ -19,7 +19,7 @@ Status PLockManager::Pin(PageId page, LockMode mode, uint64_t timeout_ms) {
           // Nothing will trigger the release (the last Unpin predated the
           // negotiation); run it from here.
           e.releasing = true;
-          ReleaseLocked(lock, page, /*run_hook=*/true);
+          ReleaseLocked(page, /*run_hook=*/true);
         } else {
           cv_.wait(lock);
         }
@@ -39,7 +39,7 @@ Status PLockManager::Pin(PageId page, LockMode mode, uint64_t timeout_ms) {
       // two nodes do it symmetrically (each X waits on the other's S); a
       // release-then-reacquire serializes cleanly through the FIFO queue.
       e.releasing = true;
-      ReleaseLocked(lock, page, /*run_hook=*/true);
+      ReleaseLocked(page, /*run_hook=*/true);
       continue;
     }
     // Fresh acquire or upgrade (refs held by peers) through Lock Fusion.
@@ -66,7 +66,7 @@ Status PLockManager::Pin(PageId page, LockMode mode, uint64_t timeout_ms) {
 }
 
 bool PLockManager::TryPinLocal(PageId page, LockMode mode) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(page.Pack());
   if (it == entries_.end()) return false;
   Entry& e = it->second;
@@ -81,7 +81,7 @@ bool PLockManager::TryPinLocal(PageId page, LockMode mode) {
 
 void PLockManager::Unpin(PageId page) {
   const uint64_t key = page.Pack();
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   POLARMP_CHECK(it != entries_.end());
   Entry& e = it->second;
@@ -91,9 +91,9 @@ void PLockManager::Unpin(PageId page) {
       !e.releasing) {
     if (!e.acquiring) {
       e.releasing = true;
-      ReleaseLocked(lock, page, /*run_hook=*/true);
+      ReleaseLocked(page, /*run_hook=*/true);
     } else if (e.held) {
-      PartialReleaseLocked(lock, page);
+      PartialReleaseLocked(page);
     }
   }
   cv_.notify_all();
@@ -101,7 +101,7 @@ void PLockManager::Unpin(PageId page) {
 
 void PLockManager::OnNegotiate(PageId page) {
   const uint64_t key = page.Pack();
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return;  // already released
   Entry& e = it->second;
@@ -109,16 +109,16 @@ void PLockManager::OnNegotiate(PageId page) {
   if (e.held && e.refs == 0 && !e.releasing) {
     if (!e.acquiring) {
       e.releasing = true;
-      ReleaseLocked(lock, page, /*run_hook=*/true);
+      ReleaseLocked(page, /*run_hook=*/true);
     } else {
-      PartialReleaseLocked(lock, page);
+      PartialReleaseLocked(page);
     }
   }
 }
 
 Status PLockManager::ForceRelease(PageId page) {
   const uint64_t key = page.Pack();
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return Status::OK();
   Entry& e = it->second;
@@ -135,14 +135,13 @@ Status PLockManager::ForceRelease(PageId page) {
   e.releasing = true;
   // The evicting caller already flushed the frame; running the hook here
   // would deadlock on the frame's mid-eviction state.
-  ReleaseLocked(lock, page, /*run_hook=*/false);
+  ReleaseLocked(page, /*run_hook=*/false);
   return Status::OK();
 }
 
-void PLockManager::ReleaseLocked(std::unique_lock<RankedMutex>& lock,
-                                 PageId page, bool run_hook) {
+void PLockManager::ReleaseLocked(PageId page, bool run_hook) {
   negotiated_releases_.Inc();
-  lock.unlock();
+  mu_.unlock();
   if (run_hook && before_release_) {
     const Status s = before_release_(page);
     if (!s.ok()) {
@@ -154,16 +153,15 @@ void PLockManager::ReleaseLocked(std::unique_lock<RankedMutex>& lock,
   if (!s.ok() && !s.IsNotFound()) {
     POLARMP_LOG(Warn) << "PLock release failed: " << s.ToString();
   }
-  lock.lock();
+  mu_.lock();
   entries_.erase(page.Pack());
   cv_.notify_all();
 }
 
-void PLockManager::PartialReleaseLocked(std::unique_lock<RankedMutex>& lock,
-                                        PageId page) {
+void PLockManager::PartialReleaseLocked(PageId page) {
   Entry& e = entries_[page.Pack()];
   e.releasing = true;
-  lock.unlock();
+  mu_.unlock();
   if (before_release_) {
     const Status s = before_release_(page);
     if (!s.ok()) {
@@ -175,7 +173,7 @@ void PLockManager::PartialReleaseLocked(std::unique_lock<RankedMutex>& lock,
   if (!s.ok() && !s.IsNotFound()) {
     POLARMP_LOG(Warn) << "partial PLock release failed: " << s.ToString();
   }
-  lock.lock();
+  mu_.lock();
   Entry& e2 = entries_[page.Pack()];
   e2.releasing = false;
   e2.release_requested = false;
@@ -190,14 +188,14 @@ void PLockManager::PartialReleaseLocked(std::unique_lock<RankedMutex>& lock,
 }
 
 bool PLockManager::HeldLocally(PageId page, LockMode mode) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(page.Pack());
   if (it == entries_.end()) return false;
   return it->second.held && Sufficient(it->second.mode, mode);
 }
 
 std::string PLockManager::DebugDump() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "PLockManager node " + std::to_string(node_) + ":\n";
   for (const auto& [key, e] : entries_) {
     out += "  page " + PageId::Unpack(key).ToString() +
@@ -212,7 +210,7 @@ std::string PLockManager::DebugDump() const {
 }
 
 void PLockManager::DropAll() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   cv_.notify_all();
 }

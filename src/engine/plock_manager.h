@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/lock_rank.h"
@@ -91,13 +90,14 @@ class PLockManager {
     return held == LockMode::kExclusive || held == wanted;
   }
 
-  // Runs the release protocol for `page`. Caller holds `lock`; the entry
-  // must be held with refs==0 and releasing already set to true. With
+  // Runs the release protocol for `page`. The entry must be held with
+  // refs==0 and releasing already set to true. Drops mu_ around the hook
+  // and the fusion RPC, reacquiring it before returning (invisible to the
+  // static analysis; the contract is held-on-entry, held-on-exit). With
   // `run_hook` the dirty page is pushed first (negotiated releases);
   // eviction already flushed and must skip it (the frame is mid-eviction
   // and the hook would deadlock waiting on it).
-  void ReleaseLocked(std::unique_lock<RankedMutex>& lock, PageId page,
-                     bool run_hook);
+  void ReleaseLocked(PageId page, bool run_hook) REQUIRES(mu_);
 
   // Gives the held mode back to Lock Fusion while an acquire for a
   // stronger mode is still queued there: the entry survives (held=false)
@@ -105,16 +105,18 @@ class PLockManager {
   // negotiated release requested while refs==0 and acquiring==true would
   // never run — the lazily-retained weak hold then deadlocks the fusion
   // FIFO (our own queued upgrade waits behind the waiter our hold blocks).
-  void PartialReleaseLocked(std::unique_lock<RankedMutex>& lock, PageId page);
+  // Same drop-and-reacquire shape as ReleaseLocked.
+  void PartialReleaseLocked(PageId page) REQUIRES(mu_);
 
   const NodeId node_;
   LockFusion* const fusion_;
   const bool lazy_release_;
+  // polarlint: unguarded(installed once by DbNode before traffic)
   std::function<Status(PageId)> before_release_;
 
   mutable RankedMutex mu_{LockRank::kPlock, "plock.entries"};
   CondVar cv_;
-  std::unordered_map<uint64_t, Entry> entries_;
+  std::unordered_map<uint64_t, Entry> entries_ GUARDED_BY(mu_);
 
   obs::Counter local_grants_{"plock.local_grants"};
   obs::Counter fusion_acquires_{"plock.fusion_acquires"};

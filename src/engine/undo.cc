@@ -54,7 +54,7 @@ UndoStore::UndoStore(Dsm* dsm, uint64_t segment_bytes)
     : dsm_(dsm), capacity_(segment_bytes) {}
 
 Status UndoStore::AddNode(NodeId node) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (segments_.count(node) != 0) {
     return Status::OK();  // restart keeps the old segment (recovery rebuilds)
   }
@@ -69,7 +69,7 @@ StatusOr<UndoStore::AppendResult> UndoStore::Append(NodeId node,
                                                     const UndoRecord& rec) {
   Segment* seg;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = segments_.find(node);
     if (it == segments_.end()) {
       return Status::NotFound("undo segment missing: node " +
@@ -80,7 +80,7 @@ StatusOr<UndoStore::AppendResult> UndoStore::Append(NodeId node,
   std::string bytes = rec.Encode();
   POLARMP_CHECK_LT(bytes.size(), capacity_ / 4) << "undo record too large";
 
-  std::lock_guard lock(seg->append_mu);
+  MutexLock lock(seg->append_mu);
   uint64_t off = seg->head.load(std::memory_order_relaxed);
   const uint64_t phys = off % capacity_;
   if (phys + bytes.size() > capacity_) {
@@ -103,7 +103,7 @@ StatusOr<UndoRecord> UndoStore::Read(EndpointId from, UndoPtr ptr) const {
   const uint64_t off = UndoPtrOffset(ptr);
   Segment* seg;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = segments_.find(owner);
     if (it == segments_.end()) {
       return Status::NotFound("undo segment missing: node " +
@@ -132,7 +132,7 @@ StatusOr<UndoRecord> UndoStore::Read(EndpointId from, UndoPtr ptr) const {
 }
 
 Status UndoStore::FreeUpTo(NodeId node, uint64_t offset) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = segments_.find(node);
   if (it == segments_.end()) {
     return Status::NotFound("undo segment missing");
@@ -147,14 +147,14 @@ Status UndoStore::FreeUpTo(NodeId node, uint64_t offset) {
 Status UndoStore::WriteRaw(NodeId node, uint64_t offset, Slice bytes) {
   Segment* seg;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = segments_.find(node);
     if (it == segments_.end()) {
       return Status::NotFound("undo segment missing");
     }
     seg = it->second.get();
   }
-  std::lock_guard lock(seg->append_mu);
+  MutexLock lock(seg->append_mu);
   POLARMP_CHECK_LE(offset % capacity_ + bytes.size(), capacity_);
   dsm_->HostWrite(DsmPtr{seg->base.server, seg->base.offset + offset % capacity_},
                   bytes.data(), bytes.size());
@@ -167,14 +167,14 @@ Status UndoStore::WriteRaw(NodeId node, uint64_t offset, Slice bytes) {
 }
 
 uint64_t UndoStore::head(NodeId node) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = segments_.find(node);
   return it == segments_.end() ? 0
                                : it->second->head.load(std::memory_order_acquire);
 }
 
 uint64_t UndoStore::tail(NodeId node) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = segments_.find(node);
   return it == segments_.end() ? 0
                                : it->second->tail.load(std::memory_order_acquire);

@@ -82,13 +82,17 @@ class UndoStore {
 
  private:
   struct Segment {
+    // polarlint: unguarded(written once when the segment is created)
     DsmPtr base;
     // Logical append offset (0..7 reserved) and purge watermark; lock-free
     // readers on the history-walk path.
     // polarlint: allow(raw-atomic) ring cursors, not counters
+    // polarlint: unguarded(lock-free ring cursor)
     std::atomic<uint64_t> head{8};
     // polarlint: allow(raw-atomic) ring cursors, not counters
+    // polarlint: unguarded(lock-free ring cursor)
     std::atomic<uint64_t> tail{8};
+    // Serializes appenders only; readers go through the atomic cursors.
     RankedMutex append_mu{LockRank::kUndoSegment, "undo.segment_append"};
   };
 
@@ -96,10 +100,12 @@ class UndoStore {
   // applying the skip-padding rule used by Append.
   uint64_t Physical(uint64_t offset) const { return offset % capacity_; }
 
-  Dsm* dsm_;
+  Dsm* const dsm_;
   const uint64_t capacity_;
   mutable RankedMutex mu_{LockRank::kUndoTable, "undo.segments"};
-  std::map<NodeId, std::unique_ptr<Segment>> segments_;
+  // Guards the map only: Segment objects are never erased, so a Segment*
+  // looked up under mu_ stays valid after the lock is dropped.
+  std::map<NodeId, std::unique_ptr<Segment>> segments_ GUARDED_BY(mu_);
 };
 
 }  // namespace polarmp

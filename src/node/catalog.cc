@@ -4,7 +4,7 @@ namespace polarmp {
 
 StatusOr<TableInfo> Catalog::CreateTable(const std::string& name,
                                          uint32_t num_indexes) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (by_name_.count(name) != 0) {
     return Status::AlreadyExists("table exists: " + name);
   }
@@ -20,7 +20,7 @@ StatusOr<TableInfo> Catalog::CreateTable(const std::string& name,
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (by_name_.erase(name) == 0) {
     return Status::NotFound("table missing: " + name);
   }
@@ -28,7 +28,7 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 StatusOr<TableInfo> Catalog::GetByName(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return Status::NotFound("table missing: " + name);
@@ -37,7 +37,7 @@ StatusOr<TableInfo> Catalog::GetByName(const std::string& name) const {
 }
 
 StatusOr<TableInfo> Catalog::GetById(TableId id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, info] : by_name_) {
     if (info.id == id) return info;
   }
@@ -45,7 +45,7 @@ StatusOr<TableInfo> Catalog::GetById(TableId id) const {
 }
 
 std::vector<TableInfo> Catalog::AllTables() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TableInfo> out;
   out.reserve(by_name_.size());
   for (const auto& [name, info] : by_name_) out.push_back(info);

@@ -41,9 +41,9 @@ class Catalog {
 
  private:
   mutable RankedMutex mu_{LockRank::kCatalog, "catalog.tables"};
-  TableId next_table_id_ = 1;
-  SpaceId next_space_id_ = 1;
-  std::map<std::string, TableInfo> by_name_;
+  TableId next_table_id_ GUARDED_BY(mu_) = 1;
+  SpaceId next_space_id_ GUARDED_BY(mu_) = 1;
+  std::map<std::string, TableInfo> by_name_ GUARDED_BY(mu_);
 };
 
 }  // namespace polarmp

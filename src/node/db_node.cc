@@ -81,7 +81,7 @@ Status DbNode::Start(bool run_recovery) {
 
   services_.txn_fusion->AddNode(id_);
   {
-    std::lock_guard lock(bg_mu_);
+    MutexLock lock(bg_mu_);
     bg_stop_ = false;
   }
   background_ = std::thread([this] { BackgroundLoop(); });
@@ -129,7 +129,7 @@ Status DbNode::RunRecovery() {
 Status DbNode::Stop() {
   POLARMP_CHECK(running_);
   {
-    std::lock_guard lock(bg_mu_);
+    MutexLock lock(bg_mu_);
     bg_stop_ = true;
     bg_cv_.notify_all();
   }
@@ -150,7 +150,7 @@ Status DbNode::Stop() {
 void DbNode::Crash() {
   POLARMP_CHECK(running_);
   {
-    std::lock_guard lock(bg_mu_);
+    MutexLock lock(bg_mu_);
     bg_stop_ = true;
     bg_cv_.notify_all();
   }
@@ -169,7 +169,7 @@ void DbNode::Crash() {
 }
 
 BTree* DbNode::TreeForSpace(SpaceId space) {
-  std::lock_guard lock(trees_mu_);
+  MutexLock lock(trees_mu_);
   auto it = trees_.find(space);
   if (it == trees_.end()) {
     it = trees_
@@ -216,7 +216,7 @@ Status DbNode::Checkpoint() {
   {
     // Exclusive against mtr commits: the snapshot sees either none or all
     // of any mini-transaction (log bytes + dirty marks).
-    std::unique_lock barrier(commit_mu_);
+    WriterLock barrier(commit_mu_);
     ckpt_candidate = log_writer_.buffered_lsn();
     dirty = lbp_.DirtyPages();
   }
@@ -237,7 +237,7 @@ void DbNode::BackgroundLoop() {
   auto last_lbp_flush = last_checkpoint;
   for (;;) {
     {
-      std::unique_lock lock(bg_mu_);
+      UniqueLock lock(bg_mu_);
       bg_cv_.wait_for(lock,
                       std::chrono::milliseconds(options_.background_interval_ms),
                       [&] { return bg_stop_; });
@@ -257,7 +257,7 @@ void DbNode::BackgroundLoop() {
           services_.txn_fusion->MergeLlsnWatermark(id_, llsn_.Current());
       if (watermark.ok()) llsn_.Observe(watermark.value());
       {
-        std::lock_guard order_guard(llsn_order_mu_);
+        MutexLock order_guard(llsn_order_mu_);
         log_writer_.Add({MakeLlsnMark(id_, llsn_.Current())});
       }
       const Status hb = log_writer_.ForceAll();

@@ -109,27 +109,42 @@ class DbNode {
   Status RunRecovery();
 
   const NodeId id_;
-  ClusterServices services_;
+  const ClusterServices services_;
   const NodeOptions options_;
 
+  // polarlint: unguarded(internally synchronized)
   LlsnClock llsn_;
   RankedMutex llsn_order_mu_{LockRank::kLlsnOrder, "db_node.llsn_order"};
+  // polarlint: unguarded(internally synchronized)
   LogWriter log_writer_;
+  // polarlint: unguarded(internally synchronized)
   BufferPool lbp_;
+  // polarlint: unguarded(internally synchronized)
   PLockManager plock_;
   RankedSharedMutex commit_mu_{LockRank::kCommitGate, "db_node.commit_gate"};
+  // polarlint: unguarded(wired once in the constructor, read-only after)
   EngineContext engine_ctx_;
+  // polarlint: unguarded(internally synchronized)
   TsoClient tso_client_;
+  // polarlint: unguarded(internally synchronized)
   TrxManager trx_mgr_;
 
   RankedMutex trees_mu_{LockRank::kNodeTrees, "db_node.trees"};
-  std::map<SpaceId, std::unique_ptr<BTree>> trees_;
+  // Guards the map only: BTree objects are never erased, so a BTree* looked
+  // up under trees_mu_ stays valid after the lock is dropped.
+  std::map<SpaceId, std::unique_ptr<BTree>> trees_ GUARDED_BY(trees_mu_);
 
+  // polarlint: unguarded(set in Start; joined in Stop/Crash after the
+  // bg_stop_ handshake, necessarily outside the lock)
   std::thread background_;
   RankedMutex bg_mu_{LockRank::kNodeBackground, "db_node.background"};
   CondVar bg_cv_;
-  bool bg_stop_ = false;
+  bool bg_stop_ GUARDED_BY(bg_mu_) = false;
+  // Control-plane flags: Start/Stop/Crash are externally serialized (one
+  // operator per node); only the owning thread writes them.
+  // polarlint: unguarded(control-plane flag; lifecycle calls are serialized)
   bool running_ = false;
+  // polarlint: unguarded(control-plane flag; lifecycle calls are serialized)
   bool crashed_ = false;
 };
 

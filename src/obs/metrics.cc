@@ -76,14 +76,14 @@ size_t LatencyHistogram::ShardIndex() {
 
 void LatencyHistogram::Record(uint64_t value_ns) {
   Shard& shard = shards_[ShardIndex()];
-  std::lock_guard lock(shard.mu);
+  MutexLock lock(shard.mu);
   shard.hist.Add(value_ns);
 }
 
 Histogram LatencyHistogram::Merged() const {
   Histogram out;
   for (const Shard& shard : shards_) {
-    std::lock_guard lock(shard.mu);
+    MutexLock lock(shard.mu);
     out.Merge(shard.hist);
   }
   return out;
@@ -91,7 +91,7 @@ Histogram LatencyHistogram::Merged() const {
 
 void LatencyHistogram::Reset() {
   for (Shard& shard : shards_) {
-    std::lock_guard lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.hist.Clear();
   }
 }
@@ -106,12 +106,12 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 void MetricsRegistry::Attach(Counter* c) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   counters_[c->family()].live.push_back(c);
 }
 
 void MetricsRegistry::Detach(Counter* c) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(c->family());
   if (it == counters_.end()) return;
   auto& live = it->second.live;
@@ -120,12 +120,12 @@ void MetricsRegistry::Detach(Counter* c) {
 }
 
 void MetricsRegistry::Attach(LatencyHistogram* h) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   histograms_[h->family()].live.push_back(h);
 }
 
 void MetricsRegistry::Detach(LatencyHistogram* h) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(h->family());
   if (it == histograms_.end()) return;
   auto& live = it->second.live;
@@ -134,7 +134,7 @@ void MetricsRegistry::Detach(LatencyHistogram* h) {
 }
 
 uint64_t MetricsRegistry::CounterTotal(const std::string& family) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(family);
   if (it == counters_.end()) return 0;
   uint64_t total = it->second.retired;
@@ -143,7 +143,7 @@ uint64_t MetricsRegistry::CounterTotal(const std::string& family) const {
 }
 
 Histogram MetricsRegistry::HistogramTotal(const std::string& family) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(family);
   if (it == histograms_.end()) return Histogram();
   Histogram out;
@@ -153,7 +153,7 @@ Histogram MetricsRegistry::HistogramTotal(const std::string& family) const {
 }
 
 std::vector<std::string> MetricsRegistry::CounterFamilies() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(counters_.size());
   for (const auto& [name, family] : counters_) out.push_back(name);
@@ -161,7 +161,7 @@ std::vector<std::string> MetricsRegistry::CounterFamilies() const {
 }
 
 std::vector<std::string> MetricsRegistry::HistogramFamilies() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(histograms_.size());
   for (const auto& [name, family] : histograms_) out.push_back(name);
@@ -169,7 +169,7 @@ std::vector<std::string> MetricsRegistry::HistogramFamilies() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, family] : counters_) {
     family.retired = 0;
     for (Counter* c : family.live) c->Reset();
@@ -181,7 +181,7 @@ void MetricsRegistry::ResetAll() {
 }
 
 std::string MetricsRegistry::SnapshotJson() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, family] : counters_) {

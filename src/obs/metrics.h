@@ -79,7 +79,7 @@ class LatencyHistogram {
   static constexpr int kShards = 16;
   struct alignas(64) Shard {
     mutable RankedMutex mu{LockRank::kObsHistogram, "obs.histogram_shard"};
-    Histogram hist;
+    Histogram hist GUARDED_BY(mu);
   };
 
   static size_t ShardIndex();
@@ -151,8 +151,8 @@ class MetricsRegistry {
   void Detach(LatencyHistogram* h);
 
   mutable RankedMutex mu_{LockRank::kObsRegistry, "obs.registry"};
-  std::map<std::string, CounterFamily> counters_;
-  std::map<std::string, HistogramFamily> histograms_;
+  std::map<std::string, CounterFamily> counters_ GUARDED_BY(mu_);
+  std::map<std::string, HistogramFamily> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -13,7 +13,7 @@ BufferFusion::BufferFusion(Fabric* fabric, Dsm* dsm, PageStore* page_store,
 BufferFusion::~BufferFusion() { Stop(); }
 
 void BufferFusion::Start() {
-  std::lock_guard lock(flusher_mu_);
+  MutexLock lock(flusher_mu_);
   if (started_) return;
   started_ = true;
   stop_ = false;
@@ -22,20 +22,20 @@ void BufferFusion::Start() {
 
 void BufferFusion::Stop() {
   {
-    std::lock_guard lock(flusher_mu_);
+    MutexLock lock(flusher_mu_);
     if (!started_) return;
     stop_ = true;
     flusher_cv_.notify_all();
   }
   flusher_.join();
-  std::lock_guard lock(flusher_mu_);
+  MutexLock lock(flusher_mu_);
   started_ = false;
 }
 
 void BufferFusion::AddNode(NodeId node) { (void)node; }
 
 void BufferFusion::RemoveNode(NodeId node) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [key, entry] : directory_) {
     entry.copies.erase(node);
   }
@@ -77,7 +77,7 @@ bool BufferFusion::EvictOneLocked() {
 StatusOr<BufferFusion::RegisterResult> BufferFusion::RegisterCopy(
     NodeId node, PageId page, uint64_t flag_offset) {
   fabric_->ChargeRpc(node, kPmfsEndpoint);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = directory_.find(page.Pack());
   if (it == directory_.end()) {
     POLARMP_ASSIGN_OR_RETURN(DsmPtr frame, AllocFrameLocked());
@@ -93,7 +93,7 @@ StatusOr<BufferFusion::RegisterResult> BufferFusion::RegisterCopy(
 
 Status BufferFusion::UnregisterCopy(NodeId node, PageId page) {
   fabric_->ChargeRpc(node, kPmfsEndpoint);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = directory_.find(page.Pack());
   if (it == directory_.end()) return Status::OK();
   it->second.copies.erase(node);
@@ -105,7 +105,7 @@ Status BufferFusion::NotifyPush(NodeId node, PageId page, Llsn llsn,
   fabric_->ChargeRpc(node, kPmfsEndpoint);
   std::vector<std::pair<NodeId, uint64_t>> to_invalidate;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = directory_.find(page.Pack());
     if (it == directory_.end()) {
       return Status::NotFound("page not registered in DBP: " +
@@ -150,15 +150,14 @@ Status BufferFusion::PushPage(EndpointId from, DsmPtr frame,
   return dsm_->WriteSeqlocked(from, frame, src, options_.page_size);
 }
 
-Status BufferFusion::FlushEntryLocked(std::unique_lock<RankedMutex>& lock,
-                                      PageId page) {
+Status BufferFusion::FlushEntryLocked(PageId page) {
   auto it = directory_.find(page.Pack());
   if (it == directory_.end() || !it->second.dirty || !it->second.present) {
     return Status::OK();
   }
   const DsmPtr frame = it->second.frame;
   const Llsn snapshot_llsn = it->second.pushed_llsn;
-  lock.unlock();
+  mu_.unlock();
 
   // Host-side stable read (the flusher is co-located with the DSM servers,
   // so no fabric charge; the storage write below charges I/O latency).
@@ -178,7 +177,7 @@ Status BufferFusion::FlushEntryLocked(std::unique_lock<RankedMutex>& lock,
   }
   const Status write = page_store_->WritePage(page, buf.data());
 
-  lock.lock();
+  mu_.lock();
   if (!write.ok()) return write;
   storage_flushes_.Inc();
   auto it2 = directory_.find(page.Pack());
@@ -193,9 +192,9 @@ Status BufferFusion::FlushEntryLocked(std::unique_lock<RankedMutex>& lock,
 Status BufferFusion::FlushPages(NodeId node,
                                 const std::vector<PageId>& pages) {
   fabric_->ChargeRpc(node, kPmfsEndpoint);
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   for (PageId page : pages) {
-    POLARMP_RETURN_IF_ERROR(FlushEntryLocked(lock, page));
+    POLARMP_RETURN_IF_ERROR(FlushEntryLocked(page));
   }
   return Status::OK();
 }
@@ -204,26 +203,26 @@ Status BufferFusion::FlushAllDirty(NodeId node) {
   fabric_->ChargeRpc(node, kPmfsEndpoint);
   std::vector<PageId> dirty;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [key, entry] : directory_) {
       if (entry.dirty && entry.present) dirty.push_back(PageId::Unpack(key));
     }
   }
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   for (PageId page : dirty) {
-    POLARMP_RETURN_IF_ERROR(FlushEntryLocked(lock, page));
+    POLARMP_RETURN_IF_ERROR(FlushEntryLocked(page));
   }
   return Status::OK();
 }
 
 Llsn BufferFusion::LastFlushedLlsn(PageId page) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = directory_.find(page.Pack());
   return it == directory_.end() ? 0 : it->second.flushed_llsn;
 }
 
 bool BufferFusion::HasValidPage(PageId page) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = directory_.find(page.Pack());
   return it != directory_.end() && it->second.present;
 }
@@ -232,7 +231,7 @@ Status BufferFusion::ReadPageForRecovery(EndpointId from, PageId page,
                                          char* dst) const {
   DsmPtr frame;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = directory_.find(page.Pack());
     if (it == directory_.end() || !it->second.present) {
       return Status::NotFound("page not valid in DBP: " + page.ToString());
@@ -247,7 +246,7 @@ Status BufferFusion::HostWritePage(PageId page, const char* data, Llsn llsn,
   std::vector<std::pair<NodeId, uint64_t>> to_invalidate;
   DsmPtr frame;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = directory_.find(page.Pack());
     if (it == directory_.end()) {
       POLARMP_ASSIGN_OR_RETURN(DsmPtr f, AllocFrameLocked());
@@ -282,7 +281,7 @@ Status BufferFusion::HostWritePage(PageId page, const char* data, Llsn llsn,
 void BufferFusion::FlusherLoop() {
   for (;;) {
     {
-      std::unique_lock lock(flusher_mu_);
+      UniqueLock lock(flusher_mu_);
       flusher_cv_.wait_for(lock,
                            std::chrono::milliseconds(options_.flush_interval_ms),
                            [&] { return stop_; });
@@ -291,14 +290,14 @@ void BufferFusion::FlusherLoop() {
     // Collect dirty pages, then flush them one by one.
     std::vector<PageId> dirty;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       for (const auto& [key, entry] : directory_) {
         if (entry.dirty && entry.present) dirty.push_back(PageId::Unpack(key));
       }
     }
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     for (PageId page : dirty) {
-      const Status s = FlushEntryLocked(lock, page);
+      const Status s = FlushEntryLocked(page);
       if (!s.ok()) {
         POLARMP_LOG(Warn) << "DBP flush failed for page " << page.ToString()
                           << ": " << s.ToString();

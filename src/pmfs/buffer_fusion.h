@@ -4,7 +4,6 @@
 #include <atomic>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -132,32 +131,37 @@ class BufferFusion {
     std::map<NodeId, uint64_t> copies;    // node -> invalid-flag offset
   };
 
-  // Allocates or reuses a frame. Caller holds mu_.
-  StatusOr<DsmPtr> AllocFrameLocked();
-  // Evicts one clean, copy-free entry to the free list. Caller holds mu_.
-  bool EvictOneLocked();
-  // Flushes one entry to storage (releases/reacquires mu_ around I/O).
-  Status FlushEntryLocked(std::unique_lock<RankedMutex>& lock, PageId page);
+  // Allocates or reuses a frame.
+  StatusOr<DsmPtr> AllocFrameLocked() REQUIRES(mu_);
+  // Evicts one clean, copy-free entry to the free list.
+  bool EvictOneLocked() REQUIRES(mu_);
+  // Flushes one entry to storage. Drops mu_ around the storage I/O and
+  // reacquires it before returning (invisible to the static analysis; the
+  // contract is held-on-entry, held-on-exit).
+  Status FlushEntryLocked(PageId page) REQUIRES(mu_);
 
   void FlusherLoop();
 
   uint64_t FrameBytes() const { return 8 + options_.page_size; }
 
-  Fabric* fabric_;
-  Dsm* dsm_;
-  PageStore* page_store_;
+  Fabric* const fabric_;
+  Dsm* const dsm_;
+  PageStore* const page_store_;
   const Options options_;
 
   mutable RankedMutex mu_{LockRank::kPmfsService, "buffer_fusion.directory"};
-  std::unordered_map<uint64_t, Entry> directory_;  // key: PageId::Pack()
-  std::vector<DsmPtr> free_frames_;
-  uint64_t frames_allocated_ = 0;
+  // key: PageId::Pack()
+  std::unordered_map<uint64_t, Entry> directory_ GUARDED_BY(mu_);
+  std::vector<DsmPtr> free_frames_ GUARDED_BY(mu_);
+  uint64_t frames_allocated_ GUARDED_BY(mu_) = 0;
 
+  // polarlint: unguarded(set in Start under flusher_mu_; joined in Stop
+  // after the stop_ handshake, necessarily outside the lock)
   std::thread flusher_;
   RankedMutex flusher_mu_{LockRank::kPmfsFlusher, "buffer_fusion.flusher"};
   CondVar flusher_cv_;
-  bool stop_ = false;
-  bool started_ = false;
+  bool stop_ GUARDED_BY(flusher_mu_) = false;
+  bool started_ GUARDED_BY(flusher_mu_) = false;
 
   mutable obs::Counter pushes_{"buffer_fusion.pushes"};
   mutable obs::Counter fetches_{"buffer_fusion.fetches"};

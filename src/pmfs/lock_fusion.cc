@@ -8,14 +8,14 @@
 namespace polarmp {
 
 void LockFusion::AddNode(NodeId node, NegotiateHandler handler) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   nodes_[node] = std::move(handler);
 }
 
 void LockFusion::RemoveNode(NodeId node) {
   std::vector<std::pair<PageId, NodeId>> to_negotiate;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     nodes_.erase(node);
     for (auto& [key, entry] : plocks_) {
       // Exclusive holds become ghost holds until recovery replays the
@@ -59,7 +59,7 @@ void LockFusion::RemoveNode(NodeId node) {
   for (auto& [page, target] : to_negotiate) {
     NegotiateHandler handler;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       auto it = nodes_.find(target);
       if (it == nodes_.end()) continue;
       handler = it->second;
@@ -71,7 +71,7 @@ void LockFusion::RemoveNode(NodeId node) {
 void LockFusion::ReleaseAllHolds(NodeId node) {
   std::vector<std::pair<PageId, NodeId>> to_negotiate;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (auto it = plocks_.begin(); it != plocks_.end();) {
       PLockEntry& entry = it->second;
       entry.holders.erase(node);
@@ -91,7 +91,7 @@ void LockFusion::ReleaseAllHolds(NodeId node) {
   for (auto& [page, target] : to_negotiate) {
     NegotiateHandler handler;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       auto it = nodes_.find(target);
       if (it == nodes_.end()) continue;
       handler = it->second;
@@ -156,7 +156,7 @@ Status LockFusion::AcquirePLock(NodeId node, PageId page, LockMode mode,
 
   std::vector<NodeId> targets;
   {
-    std::unique_lock lock(mu_);
+    UniqueLock lock(mu_);
     PLockEntry& entry = plocks_[page.Pack()];
     auto held = entry.holders.find(node);
     if (held != entry.holders.end() &&
@@ -169,7 +169,7 @@ Status LockFusion::AcquirePLock(NodeId node, PageId page, LockMode mode,
   for (NodeId t : targets) {
     NegotiateHandler handler;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       auto it = nodes_.find(t);
       if (it == nodes_.end()) continue;
       handler = it->second;
@@ -177,7 +177,7 @@ Status LockFusion::AcquirePLock(NodeId node, PageId page, LockMode mode,
     handler(page);
   }
 
-  std::unique_lock lock(mu_);
+  UniqueLock lock(mu_);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
   while (!waiter->granted && !waiter->failed) {
@@ -214,7 +214,7 @@ Status LockFusion::ReleasePLock(NodeId node, PageId page) {
   fabric_->ChargeRpc(node, kPmfsEndpoint);
   std::vector<NodeId> targets;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = plocks_.find(page.Pack());
     if (it == plocks_.end()) {
       return Status::NotFound("PLock entry missing: " + page.ToString());
@@ -232,7 +232,7 @@ Status LockFusion::ReleasePLock(NodeId node, PageId page) {
   for (NodeId t : targets) {
     NegotiateHandler handler;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       auto hit = nodes_.find(t);
       if (hit == nodes_.end()) continue;
       handler = hit->second;
@@ -243,7 +243,7 @@ Status LockFusion::ReleasePLock(NodeId node, PageId page) {
 }
 
 bool LockFusion::HoldsPLock(NodeId node, PageId page, LockMode mode) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = plocks_.find(page.Pack());
   if (it == plocks_.end()) return false;
   auto h = it->second.holders.find(node);
@@ -254,7 +254,7 @@ bool LockFusion::HoldsPLock(NodeId node, PageId page, LockMode mode) const {
 Status LockFusion::RegisterWait(GTrxId waiter, GTrxId holder) {
   POLARMP_CHECK_NE(waiter, holder);
   fabric_->ChargeRpc(GTrxNode(waiter), kPmfsEndpoint);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   rlock_waits_.Inc();
   if (WaitChainReaches(holder, waiter)) {
     deadlocks_detected_.Inc();
@@ -284,7 +284,7 @@ bool LockFusion::WaitChainReaches(GTrxId from, GTrxId target) const {
 
 Status LockFusion::AwaitHolder(GTrxId waiter, uint64_t timeout_ms) {
   obs::TraceSpan span(&rlock_wait_ns_);
-  std::unique_lock lock(mu_);
+  UniqueLock lock(mu_);
   auto it = waits_by_waiter_.find(waiter);
   if (it == waits_by_waiter_.end()) {
     return Status::OK();  // already notified and cleaned up
@@ -305,7 +305,7 @@ Status LockFusion::AwaitHolder(GTrxId waiter, uint64_t timeout_ms) {
 
 void LockFusion::CancelWait(GTrxId waiter) {
   fabric_->ChargeRpc(GTrxNode(waiter), kPmfsEndpoint);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   RemoveWaitLocked(waiter);
 }
 
@@ -324,7 +324,7 @@ void LockFusion::RemoveWaitLocked(GTrxId waiter) {
 
 void LockFusion::NotifyTrxFinished(GTrxId holder) {
   fabric_->ChargeRpc(GTrxNode(holder), kPmfsEndpoint);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = waits_by_holder_.find(holder);
   if (it == waits_by_holder_.end()) return;
   for (auto& w : it->second) w->done = true;
@@ -333,7 +333,7 @@ void LockFusion::NotifyTrxFinished(GTrxId holder) {
 }
 
 std::string LockFusion::DebugDump() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "LockFusion state:\n";
   for (const auto& [key, entry] : plocks_) {
     if (entry.queue.empty() && entry.holders.empty()) continue;

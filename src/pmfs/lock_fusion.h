@@ -5,7 +5,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -121,26 +120,28 @@ class LockFusion {
   };
 
   // Grants as many FIFO waiters as compatibility allows. Returns the pages'
-  // holders that need (new) negotiation messages. Caller holds mu_.
+  // holders that need (new) negotiation messages.
   void TryGrant(PageId page, PLockEntry* entry,
-                std::vector<NodeId>* negotiate_targets);
+                std::vector<NodeId>* negotiate_targets) REQUIRES(mu_);
   static bool CanGrant(const PLockEntry& entry, const PLockWaiter& w);
 
   // True if starting from `from` the wait-for chain reaches `target`.
-  bool WaitChainReaches(GTrxId from, GTrxId target) const;  // holds mu_
-  // Removes the waiter's edge from both indexes. Caller holds mu_.
-  void RemoveWaitLocked(GTrxId waiter);
+  bool WaitChainReaches(GTrxId from, GTrxId target) const REQUIRES(mu_);
+  // Removes the waiter's edge from both indexes.
+  void RemoveWaitLocked(GTrxId waiter) REQUIRES(mu_);
 
-  Fabric* fabric_;
+  Fabric* const fabric_;
 
   mutable RankedMutex mu_{LockRank::kPmfsService, "lock_fusion.state"};
   CondVar cv_;
-  std::unordered_map<uint64_t, PLockEntry> plocks_;  // key: PageId::Pack()
-  std::map<NodeId, NegotiateHandler> nodes_;
+  // key: PageId::Pack()
+  std::unordered_map<uint64_t, PLockEntry> plocks_ GUARDED_BY(mu_);
+  std::map<NodeId, NegotiateHandler> nodes_ GUARDED_BY(mu_);
 
-  std::unordered_map<GTrxId, std::shared_ptr<TrxWait>> waits_by_waiter_;
+  std::unordered_map<GTrxId, std::shared_ptr<TrxWait>> waits_by_waiter_
+      GUARDED_BY(mu_);
   std::unordered_map<GTrxId, std::vector<std::shared_ptr<TrxWait>>>
-      waits_by_holder_;
+      waits_by_holder_ GUARDED_BY(mu_);
 
   obs::Counter plock_acquire_rpcs_{"lock_fusion.plock_acquire_rpcs"};
   obs::Counter plock_release_rpcs_{"lock_fusion.plock_release_rpcs"};

@@ -31,13 +31,13 @@ StatusOr<Llsn> TransactionFusion::MergeLlsnWatermark(EndpointId from,
 }
 
 void TransactionFusion::AddNode(NodeId node) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   reported_.emplace(node, kCsnInit);
   Recompute();
 }
 
 void TransactionFusion::RemoveNode(NodeId node) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   reported_.erase(node);
   Recompute();
 }
@@ -45,7 +45,7 @@ void TransactionFusion::RemoveNode(NodeId node) {
 Status TransactionFusion::ReportMinView(NodeId node, Csn min_view) {
   min_view_reports_.Inc();
   fabric_->ChargeRpc(node, kPmfsEndpoint);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = reported_.find(node);
   if (it == reported_.end()) {
     return Status::NotFound("node not registered with transaction fusion");

@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 
 #include "common/lock_rank.h"
 #include "obs/metrics.h"
@@ -67,18 +66,22 @@ class TransactionFusion {
   void ResetCounters();
 
  private:
-  void Recompute();  // caller holds mu_
+  void Recompute() REQUIRES(mu_);
 
-  Fabric* fabric_;
+  Fabric* const fabric_;
+  // polarlint: unguarded(internally synchronized)
   Tso tso_;
 
   mutable RankedMutex mu_{LockRank::kPmfsService, "txn_fusion.reported"};
-  std::map<NodeId, Csn> reported_;  // kCsnInit = registered, not yet reported
+  // kCsnInit = registered, not yet reported
+  std::map<NodeId, Csn> reported_ GUARDED_BY(mu_);
 
   // Fabric-registered broadcast cells.
   // polarlint: allow(raw-atomic) one-sided RDMA target (broadcast cell)
+  // polarlint: unguarded(lock-free broadcast cell; CAS-published)
   std::atomic<uint64_t> global_min_;
   // polarlint: allow(raw-atomic) one-sided RDMA target (broadcast cell)
+  // polarlint: unguarded(lock-free broadcast cell; CAS-published)
   std::atomic<uint64_t> global_llsn_{0};
 
   obs::Counter min_view_reports_{"txn_fusion.min_view_reports"};

@@ -37,7 +37,7 @@ StatusOr<Csn> TsoClient::ReadTimestamp() {
       reuses_.Inc();
       return cached_ts_.load(std::memory_order_acquire);
     }
-    std::unique_lock lock(fetch_mu_);
+    UniqueLock lock(fetch_mu_);
     if (fetch_in_flight_) {
       // Piggyback: when the in-flight fetch lands, re-check the watermark
       // (it serves us iff it started after our arrival).

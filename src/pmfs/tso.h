@@ -36,9 +36,10 @@ class Tso {
   StatusOr<Csn> CurrentCts(EndpointId from);
 
  private:
-  Fabric* fabric_;
+  Fabric* const fabric_;
   // counter_ holds the last CTS handed out; starts at kCsnFirst - 1.
   // polarlint: allow(raw-atomic) one-sided RDMA fetch-add target (kTsoRegion)
+  // polarlint: unguarded(lock-free fetch-add cell)
   std::atomic<uint64_t> counter_;
 };
 
@@ -73,20 +74,22 @@ class TsoClient {
             .count());
   }
 
-  Tso* tso_;
+  Tso* const tso_;
   const EndpointId self_;
   const bool use_linear_lamport_;
 
+  // polarlint: unguarded(lock-free cache; published before fetch_started_at_)
   std::atomic<Csn> cached_ts_{0};
   // Start time of the last *completed* fetch (published after the value).
   // polarlint: allow(raw-atomic) publication timestamp, not a counter
+  // polarlint: unguarded(lock-free publication watermark)
   std::atomic<uint64_t> fetch_started_at_{0};  // ns; 0 = never fetched
 
   // Fetch coalescing: one thread fetches, concurrent requesters whose
   // arrival predates that fetch's start reuse its result.
   RankedMutex fetch_mu_{LockRank::kPmfsService, "tso.fetch"};
   CondVar fetch_cv_;
-  bool fetch_in_flight_ = false;
+  bool fetch_in_flight_ GUARDED_BY(fetch_mu_) = false;
 
   obs::Counter fetches_{"tso.fetches"};
   obs::Counter reuses_{"tso.reuses"};

@@ -1,7 +1,5 @@
 #include "rdma/fabric.h"
 
-#include <mutex>
-
 #include "obs/trace.h"
 
 #include <cstring>
@@ -10,7 +8,7 @@ namespace polarmp {
 
 Status Fabric::RegisterRegion(EndpointId endpoint, uint32_t region, void* base,
                               size_t size) {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   const uint64_t key = Key(endpoint, region);
   if (regions_.count(key) != 0) {
     return Status::AlreadyExists("region already registered: " +
@@ -23,7 +21,7 @@ Status Fabric::RegisterRegion(EndpointId endpoint, uint32_t region, void* base,
 }
 
 Status Fabric::DeregisterRegion(EndpointId endpoint, uint32_t region) {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   if (regions_.erase(Key(endpoint, region)) == 0) {
     return Status::NotFound("region not registered");
   }
@@ -31,7 +29,7 @@ Status Fabric::DeregisterRegion(EndpointId endpoint, uint32_t region) {
 }
 
 void Fabric::DeregisterEndpoint(EndpointId endpoint) {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   for (auto it = regions_.begin(); it != regions_.end();) {
     if (static_cast<EndpointId>(it->first >> 32) == endpoint) {
       it = regions_.erase(it);
@@ -43,14 +41,14 @@ void Fabric::DeregisterEndpoint(EndpointId endpoint) {
 }
 
 bool Fabric::EndpointAlive(EndpointId endpoint) const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   auto it = endpoint_alive_.find(endpoint);
   return it != endpoint_alive_.end() && it->second;
 }
 
 StatusOr<char*> Fabric::Resolve(EndpointId to, uint32_t region,
                                 uint64_t offset, size_t len) const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   auto alive = endpoint_alive_.find(to);
   if (alive == endpoint_alive_.end() || !alive->second) {
     return Status::Unavailable("endpoint down: " + std::to_string(to));

@@ -102,10 +102,10 @@ class Fabric {
     return (static_cast<uint64_t>(endpoint) << 32) | region;
   }
 
-  LatencyProfile profile_;
+  const LatencyProfile profile_;
   mutable RankedSharedMutex mu_{LockRank::kFabric, "fabric.regions"};
-  std::unordered_map<uint64_t, Region> regions_;
-  std::unordered_map<EndpointId, bool> endpoint_alive_;
+  std::unordered_map<uint64_t, Region> regions_ GUARDED_BY(mu_);
+  std::unordered_map<EndpointId, bool> endpoint_alive_ GUARDED_BY(mu_);
 
   mutable obs::Counter remote_reads_{"fabric.remote_reads"};
   mutable obs::Counter remote_writes_{"fabric.remote_writes"};

@@ -1,12 +1,10 @@
 #include "rdma/rpc.h"
 
-#include <mutex>
-
 namespace polarmp {
 
 Status Rpc::RegisterHandler(EndpointId endpoint, uint32_t method,
                             Handler handler) {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   const uint64_t key = Key(endpoint, method);
   if (handlers_.count(key) != 0) {
     return Status::AlreadyExists("rpc handler exists: " +
@@ -18,7 +16,7 @@ Status Rpc::RegisterHandler(EndpointId endpoint, uint32_t method,
 }
 
 Status Rpc::UnregisterEndpoint(EndpointId endpoint) {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   for (auto it = handlers_.begin(); it != handlers_.end();) {
     if (static_cast<EndpointId>(it->first >> 32) == endpoint) {
       it = handlers_.erase(it);
@@ -33,7 +31,7 @@ Status Rpc::Call(EndpointId from, EndpointId to, uint32_t method,
                  const std::string& request, std::string* response) const {
   Handler handler;
   {
-    std::shared_lock lock(mu_);
+    ReaderLock lock(mu_);
     if (!fabric_->EndpointAlive(to)) {
       return Status::Unavailable("rpc target down: " + std::to_string(to));
     }

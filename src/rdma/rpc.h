@@ -40,9 +40,9 @@ class Rpc {
     return (static_cast<uint64_t>(endpoint) << 32) | method;
   }
 
-  Fabric* fabric_;
+  Fabric* const fabric_;
   mutable RankedSharedMutex mu_{LockRank::kRpc, "rpc.handlers"};
-  std::unordered_map<uint64_t, Handler> handlers_;
+  std::unordered_map<uint64_t, Handler> handlers_ GUARDED_BY(mu_);
 };
 
 }  // namespace polarmp

@@ -5,7 +5,7 @@
 namespace polarmp {
 
 Status LogStore::CreateLog(NodeId node) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (streams_.count(node) != 0) {
     return Status::AlreadyExists("log exists: node " + std::to_string(node));
   }
@@ -14,12 +14,12 @@ Status LogStore::CreateLog(NodeId node) {
 }
 
 bool LogStore::LogExists(NodeId node) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return streams_.count(node) != 0;
 }
 
 std::vector<NodeId> LogStore::AllLogs() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<NodeId> out;
   out.reserve(streams_.size());
   for (const auto& [node, stream] : streams_) out.push_back(node);
@@ -28,7 +28,7 @@ std::vector<NodeId> LogStore::AllLogs() const {
 
 StatusOr<Lsn> LogStore::Append(NodeId node, const std::string& data) {
   SimDelay(profile_.log_append_ns);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = streams_.find(node);
   if (it == streams_.end()) {
     return Status::NotFound("log missing: node " + std::to_string(node));
@@ -39,7 +39,7 @@ StatusOr<Lsn> LogStore::Append(NodeId node, const std::string& data) {
 }
 
 StatusOr<Lsn> LogStore::DurableLsn(NodeId node) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = streams_.find(node);
   if (it == streams_.end()) {
     return Status::NotFound("log missing: node " + std::to_string(node));
@@ -50,7 +50,7 @@ StatusOr<Lsn> LogStore::DurableLsn(NodeId node) const {
 Status LogStore::ReadAt(NodeId node, Lsn offset, uint64_t max_len,
                         std::string* out) const {
   SimDelay(profile_.storage_read_ns);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = streams_.find(node);
   if (it == streams_.end()) {
     return Status::NotFound("log missing: node " + std::to_string(node));
@@ -70,7 +70,7 @@ Status LogStore::ReadAt(NodeId node, Lsn offset, uint64_t max_len,
 }
 
 Status LogStore::Truncate(NodeId node, Lsn new_start) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = streams_.find(node);
   if (it == streams_.end()) {
     return Status::NotFound("log missing: node " + std::to_string(node));
@@ -87,7 +87,7 @@ Status LogStore::Truncate(NodeId node, Lsn new_start) {
 }
 
 Status LogStore::SetCheckpoint(NodeId node, Lsn lsn) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = streams_.find(node);
   if (it == streams_.end()) {
     return Status::NotFound("log missing: node " + std::to_string(node));
@@ -97,18 +97,18 @@ Status LogStore::SetCheckpoint(NodeId node, Lsn lsn) {
 }
 
 uint64_t LogStore::BumpNodeEpoch(NodeId node) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return ++streams_[node].epoch;
 }
 
 uint64_t LogStore::GetNodeEpoch(NodeId node) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = streams_.find(node);
   return it == streams_.end() ? 0 : it->second.epoch;
 }
 
 StatusOr<Lsn> LogStore::GetCheckpoint(NodeId node) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = streams_.find(node);
   if (it == streams_.end()) {
     return Status::NotFound("log missing: node " + std::to_string(node));

@@ -66,9 +66,9 @@ class LogStore {
     uint64_t epoch = 0;
   };
 
-  LatencyProfile profile_;
+  const LatencyProfile profile_;
   mutable RankedMutex mu_{LockRank::kStorage, "log_store.streams"};
-  std::map<NodeId, Stream> streams_;
+  std::map<NodeId, Stream> streams_ GUARDED_BY(mu_);
 };
 
 }  // namespace polarmp

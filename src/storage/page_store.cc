@@ -1,7 +1,5 @@
 #include "storage/page_store.h"
 
-#include <mutex>
-
 #include "obs/trace.h"
 
 #include <cstring>
@@ -9,7 +7,7 @@
 namespace polarmp {
 
 Status PageStore::CreateSpace(SpaceId space) {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   if (spaces_.count(space) != 0) {
     return Status::AlreadyExists("space exists: " + std::to_string(space));
   }
@@ -18,7 +16,7 @@ Status PageStore::CreateSpace(SpaceId space) {
 }
 
 Status PageStore::DropSpace(SpaceId space) {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   if (spaces_.erase(space) == 0) {
     return Status::NotFound("space missing: " + std::to_string(space));
   }
@@ -33,12 +31,12 @@ Status PageStore::DropSpace(SpaceId space) {
 }
 
 bool PageStore::SpaceExists(SpaceId space) const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   return spaces_.count(space) != 0;
 }
 
 StatusOr<PageNo> PageStore::AllocPageNo(SpaceId space) {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   auto it = spaces_.find(space);
   if (it == spaces_.end()) {
     return Status::NotFound("space missing: " + std::to_string(space));
@@ -47,7 +45,7 @@ StatusOr<PageNo> PageStore::AllocPageNo(SpaceId space) {
 }
 
 StatusOr<PageNo> PageStore::MaxPageNo(SpaceId space) const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   auto it = spaces_.find(space);
   if (it == spaces_.end()) {
     return Status::NotFound("space missing: " + std::to_string(space));
@@ -59,7 +57,7 @@ Status PageStore::ReadPage(PageId page_id, char* dst) const {
   reads_.Inc();
   obs::TraceSpan span(&read_ns_);
   SimDelay(profile_.storage_read_ns);
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   auto it = pages_.find(page_id.Pack());
   if (it == pages_.end()) {
     return Status::NotFound("page not in store: " + page_id.ToString());
@@ -72,7 +70,7 @@ Status PageStore::WritePage(PageId page_id, const char* src) {
   writes_.Inc();
   obs::TraceSpan span(&write_ns_);
   SimDelay(profile_.storage_write_ns);
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   if (spaces_.count(page_id.space) == 0) {
     return Status::NotFound("space missing: " + std::to_string(page_id.space));
   }
@@ -83,7 +81,7 @@ Status PageStore::WritePage(PageId page_id, const char* src) {
 }
 
 bool PageStore::PageExists(PageId page_id) const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   return pages_.count(page_id.Pack()) != 0;
 }
 

@@ -61,12 +61,14 @@ class PageStore {
     std::atomic<PageNo> next_page_no{0};
   };
 
-  LatencyProfile profile_;
-  uint32_t page_size_;
+  const LatencyProfile profile_;
+  const uint32_t page_size_;
 
   mutable RankedSharedMutex mu_{LockRank::kStorage, "page_store.spaces"};
-  std::unordered_map<SpaceId, std::unique_ptr<Space>> spaces_;
-  std::unordered_map<uint64_t, std::unique_ptr<char[]>> pages_;
+  // Guards the maps only: Space objects are never erased while in use, and
+  // page buffers are written through stable char[] allocations.
+  std::unordered_map<SpaceId, std::unique_ptr<Space>> spaces_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::unique_ptr<char[]>> pages_ GUARDED_BY(mu_);
 
   mutable obs::Counter reads_{"page_store.reads"};
   obs::Counter writes_{"page_store.writes"};

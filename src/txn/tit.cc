@@ -10,7 +10,7 @@ Tit::Tit(Fabric* fabric, uint32_t slots_per_node)
 Tit::~Tit() = default;
 
 Status Tit::AddNode(NodeId node, uint64_t base_version) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(node);
   if (it == tables_.end()) {
     auto table = std::make_unique<Table>();
@@ -29,7 +29,7 @@ Status Tit::AddNode(NodeId node, uint64_t base_version) {
 }
 
 void Tit::ResetNode(NodeId node) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(node);
   if (it == tables_.end()) return;
   Slot* slots = it->second->slots.get();
@@ -44,7 +44,7 @@ void Tit::ResetNode(NodeId node) {
 }
 
 StatusOr<Tit::Table*> Tit::FindTable(NodeId node) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(node);
   if (it == tables_.end()) {
     return Status::NotFound("TIT missing for node " + std::to_string(node));
@@ -78,6 +78,16 @@ StatusOr<GTrxId> Tit::AllocSlot(NodeId node, TrxId trx_local_id) {
   return Status::Busy("TIT exhausted on node " + std::to_string(node));
 }
 
+void Tit::PublishProvisionalCts(GTrxId trx, Csn cts) {
+  auto table = FindTable(GTrxNode(trx));
+  POLARMP_CHECK(table.ok());
+  Slot& slot = table.value()->slots[GTrxSlot(trx)];
+  POLARMP_CHECK_EQ(
+      static_cast<uint32_t>(slot.version.load(std::memory_order_acquire)),
+      GTrxVersion(trx));
+  slot.cts.store(MakeProvisionalCsn(cts), std::memory_order_release);
+}
+
 void Tit::PublishCts(GTrxId trx, Csn cts) {
   auto table = FindTable(GTrxNode(trx));
   POLARMP_CHECK(table.ok());
@@ -85,6 +95,7 @@ void Tit::PublishCts(GTrxId trx, Csn cts) {
   POLARMP_CHECK_EQ(
       static_cast<uint32_t>(slot.version.load(std::memory_order_acquire)),
       GTrxVersion(trx));
+  POLARMP_CHECK(!CsnIsProvisional(cts));
   slot.cts.store(cts, std::memory_order_release);
 }
 
@@ -115,7 +126,7 @@ uint32_t Tit::LiveSlots(NodeId node) const {
 }
 
 void Tit::MarkDeparted(NodeId node, bool departed) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   departed_[node] = departed;
 }
 
@@ -124,7 +135,7 @@ StatusOr<Tit::SlotRead> Tit::ReadSlot(EndpointId from, GTrxId trx) const {
   if (!fabric_->EndpointAlive(owner)) {
     bool departed;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       auto it = departed_.find(owner);
       departed = it != departed_.end() && it->second;
     }

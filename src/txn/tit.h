@@ -4,7 +4,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "common/lock_rank.h"
 #include "common/types.h"
@@ -87,7 +86,15 @@ class Tit {
   // ---- owner-node operations ----
   // Claims a free slot for local transaction `trx_local_id`.
   StatusOr<GTrxId> AllocSlot(NodeId node, TrxId trx_local_id);
-  // Publishes the commit timestamp (the INIT→CTS transition).
+  // Marks the slot "in commit" (CTS fetched, log force in flight) by storing
+  // the CTS with kCsnProvisionalBit set. Called BEFORE the log force;
+  // readers that observe the bit resolve the transaction as active, because
+  // the finalizing CTS is fetched after the force and therefore exceeds
+  // every view created while the bit was visible. Closes the SI
+  // commit-publication lost-update window (DESIGN.md §6).
+  void PublishProvisionalCts(GTrxId trx, Csn cts);
+  // Publishes the final commit timestamp (the INIT/provisional→CTS
+  // transition).
   void PublishCts(GTrxId trx, Csn cts);
   // Waiting-transaction flag (read/cleared by the owner at finish).
   bool ReadAndClearRef(GTrxId trx);
@@ -120,11 +127,14 @@ class Tit {
 
   StatusOr<Table*> FindTable(NodeId node) const;
 
-  Fabric* fabric_;
+  Fabric* const fabric_;
   const uint32_t slots_per_node_;
   mutable RankedMutex mu_{LockRank::kTit, "tit.tables"};
-  std::map<NodeId, std::unique_ptr<Table>> tables_;
-  std::map<NodeId, bool> departed_;
+  // Guards the maps only: Table objects are never erased, so a Table*
+  // returned by FindTable stays valid (and its slots are lock-free atomics)
+  // after mu_ is dropped.
+  std::map<NodeId, std::unique_ptr<Table>> tables_ GUARDED_BY(mu_);
+  std::map<NodeId, bool> departed_ GUARDED_BY(mu_);
 
   obs::Counter slot_allocs_{"tit.slot_allocs"};
   mutable obs::Counter remote_slot_reads_{"tit.remote_slot_reads"};

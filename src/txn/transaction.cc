@@ -19,7 +19,7 @@ TrxManager::TrxManager(EngineContext* engine, Tit* tit, TsoClient* tso,
       options_(options) {}
 
 StatusOr<Transaction*> TrxManager::Begin(IsolationLevel iso) {
-  std::unique_lock lock(mu_);
+  UniqueLock lock(mu_);
   const TrxId local_id = next_local_id_++;
   lock.unlock();
   auto gid_or = tit_->AllocSlot(node(), local_id);
@@ -66,6 +66,13 @@ Csn TrxManager::GetCtsForVersion(GTrxId g_trx, Csn row_cts) const {
     return kCsnMin;
   }
   if (slot.value().cts == kCsnInit) return kCsnMax;  // still active
+  if (CsnIsProvisional(slot.value().cts)) {
+    // In commit (CTS fetched, log force in flight). The committer finalizes
+    // the slot with a CTS fetched AFTER its force, so every view that can
+    // observe the provisional bit predates the final CTS and must not admit
+    // the version — resolving as active is exact, not conservative.
+    return kCsnMax;
+  }
   return slot.value().cts;
 }
 
@@ -208,12 +215,13 @@ Status TrxManager::WriteRow(Transaction* trx, BTree* tree, int64_t key,
                row.g_trx_id == waited_for)) {
             // First-committer-wins under snapshot isolation. The waited_for
             // arm is first-UPDATER-wins: a holder we blocked on overlapped
-            // this transaction in real time, so its commit must conflict even
-            // when its CTS was allocated before our view (the CTS is fetched
-            // before the log force but published to the TIT after it, so a
-            // view created inside that window resolved the holder as active
-            // and read around its version; letting the write through here
-            // would lose that update).
+            // this transaction in real time, so its commit must conflict
+            // even when its published CTS predates our view. Since the
+            // provisional-CTS protocol (see Commit) finalizes slots with a
+            // post-force timestamp, overlapping committers normally fail the
+            // VisibleCts arm already; this arm remains as a backstop for the
+            // degraded path where the finalizing TSO fetch failed and the
+            // slot kept its pre-force CTS.
             return Status::Aborted("write-write conflict (SI)");
           }
           if (must_not_exist && !row.tombstone()) {
@@ -285,17 +293,32 @@ Status TrxManager::Commit(Transaction* trx) {
   obs::TraceSpan tso_span(&commit_tso_ns_);
   POLARMP_ASSIGN_OR_RETURN(Csn cts, tso_->CommitTimestamp());
   tso_span.Finish();
-  trx->cts_ = cts;
+  // Mark the slot "in commit" BEFORE the force: views created from here on
+  // resolve this transaction as active instead of reading around its
+  // versions and later admitting its CTS (the SI commit-publication
+  // lost-update window, DESIGN.md §6).
+  tit_->PublishProvisionalCts(trx->gid(), cts);
   // 2. Durability: commit record + force ("before committing a transaction,
   //    the corresponding redo logs are synchronized to the storage", §4.4).
+  //    The record carries the provisional CTS; recovery backfills rows with
+  //    it, which matches the pre-fix crash semantics.
   obs::TraceSpan log_span(&commit_log_ns_);
   const Lsn end =
       engine_->log->Add({MakeTrxCommit(node(), trx->gid(), cts)});
   POLARMP_RETURN_IF_ERROR(engine_->log->ForceTo(end));
   log_span.Finish();
-  // 3. Visibility: publish the CTS in the TIT.
+  // 3. Visibility: finalize the TIT slot with a CTS fetched AFTER the force.
+  //    Every view that observed the provisional bit was created before this
+  //    fetch, so the final CTS exceeds its view CTS and the transaction
+  //    stays invisible to it forever — that is what makes the reader-side
+  //    "provisional ⇒ active" resolution exact. If the TSO fails here the
+  //    transaction is already durable: fall back to the provisional value,
+  //    degrading to the seed's narrow window rather than losing the commit.
   obs::TraceSpan publish_span(&commit_publish_ns_);
-  tit_->PublishCts(trx->gid(), cts);
+  Csn final_cts = cts;
+  if (auto fts = tso_->CommitTimestamp(); fts.ok()) final_cts = fts.value();
+  trx->cts_ = final_cts;
+  tit_->PublishCts(trx->gid(), final_cts);
   trx->state_ = TrxState::kCommitted;
   // 4. Best-effort CTS backfill into still-buffered rows (§4.1).
   BackfillCts(trx);
@@ -304,12 +327,14 @@ Status TrxManager::Commit(Transaction* trx) {
   publish_span.Finish();
   // 6. Hand the slot to the recycler once globally visible; tombstoned
   //    rows join the purge queue for physical removal.
-  std::lock_guard lock(mu_);
-  finished_.push_back(FinishedTrx{trx->gid(), cts, trx->first_undo_offset(),
+  MutexLock lock(mu_);
+  finished_.push_back(FinishedTrx{trx->gid(), final_cts,
+                                  trx->first_undo_offset(),
                                   undo_->head(node())});
   for (const auto& touched : trx->touched_) {
     if (touched.tombstone) {
-      purge_queue_.push_back(PurgeCandidate{touched.space, touched.key, cts});
+      purge_queue_.push_back(
+          PurgeCandidate{touched.space, touched.key, final_cts});
     }
   }
   return Status::OK();
@@ -399,7 +424,7 @@ Status TrxManager::Rollback(Transaction* trx) {
   // Gate recycling on the TSO value observed now: any reader that captured
   // one of this transaction's row images has a view below it.
   auto now = tso_->ReadTimestamp();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   finished_.push_back(FinishedTrx{trx->gid(), now.ok() ? now.value() : kCsnMax,
                                   trx->first_undo_offset(),
                                   undo_->head(node())});
@@ -407,7 +432,7 @@ Status TrxManager::Rollback(Transaction* trx) {
 }
 
 void TrxManager::Release(Transaction* trx) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = active_.find(trx->local_id());
   POLARMP_CHECK(it != active_.end());
   POLARMP_CHECK(it->second->state_ != TrxState::kActive)
@@ -419,7 +444,7 @@ void TrxManager::BackgroundTick() {
   // 1. Report this node's minimum view (§4.1 "TIT recycle").
   Csn min_view = kCsnMax;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [id, trx] : active_) {
       if (trx->state_ == TrxState::kActive && trx->has_view()) {
         min_view = std::min(min_view, trx->view_cts());
@@ -444,7 +469,7 @@ void TrxManager::BackgroundTick() {
 
   uint64_t purge_to = UINT64_MAX;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [id, trx] : active_) {
       if (trx->first_undo_offset() != UINT64_MAX) {
         purge_to = std::min(purge_to, trx->first_undo_offset());
@@ -470,7 +495,7 @@ void TrxManager::BackgroundTick() {
   // 4. Physically remove tombstones that are visible-to-all (row GC).
   std::vector<PurgeCandidate> ready;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     auto it = purge_queue_.begin();
     while (it != purge_queue_.end()) {
       if (it->delete_cts < gmin) {
@@ -509,7 +534,7 @@ Status TrxManager::PurgeRow(SpaceId space, int64_t key, Csn gmin) {
 }
 
 Lsn TrxManager::OldestActiveFirstLsn() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Lsn oldest = UINT64_MAX;
   for (const auto& [id, trx] : active_) {
     if (trx->state_ == TrxState::kActive && trx->first_lsn() != 0) {
@@ -563,7 +588,7 @@ Status TrxManager::RollbackRecovered(GTrxId gid, UndoPtr last_undo) {
 }
 
 void TrxManager::DropAll() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   active_.clear();
   finished_.clear();
 }

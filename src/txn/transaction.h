@@ -5,7 +5,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -187,18 +186,19 @@ class TrxManager {
 
   void FinishWaiters(Transaction* trx);
 
-  EngineContext* engine_;
-  Tit* tit_;
-  TsoClient* tso_;
-  TransactionFusion* txn_fusion_;
-  LockFusion* lock_fusion_;
-  UndoStore* undo_;
+  EngineContext* const engine_;
+  Tit* const tit_;
+  TsoClient* const tso_;
+  TransactionFusion* const txn_fusion_;
+  LockFusion* const lock_fusion_;
+  UndoStore* const undo_;
   const Options options_;
+  // polarlint: unguarded(installed once by DbNode before transactions run)
   std::function<BTree*(SpaceId)> tree_resolver_;
 
   mutable RankedMutex mu_{LockRank::kTrxManager, "txn.active"};
-  TrxId next_local_id_ = 1;
-  std::map<TrxId, std::unique_ptr<Transaction>> active_;
+  TrxId next_local_id_ GUARDED_BY(mu_) = 1;
+  std::map<TrxId, std::unique_ptr<Transaction>> active_ GUARDED_BY(mu_);
 
   struct FinishedTrx {
     GTrxId gid;
@@ -206,7 +206,7 @@ class TrxManager {
     uint64_t first_undo_offset;  // UINT64_MAX if no undo
     uint64_t end_undo_offset;    // undo head when the trx finished
   };
-  std::vector<FinishedTrx> finished_;
+  std::vector<FinishedTrx> finished_ GUARDED_BY(mu_);
 
   // Tombstone purge queue: rows deleted by committed transactions become
   // physically removable once globally visible (the row-level analogue of
@@ -216,7 +216,7 @@ class TrxManager {
     int64_t key;
     Csn delete_cts;
   };
-  std::vector<PurgeCandidate> purge_queue_;
+  std::vector<PurgeCandidate> purge_queue_ GUARDED_BY(mu_);
   obs::Counter purged_rows_{"txn.purged_rows"};
 
   obs::Counter lock_waits_{"txn.lock_waits"};

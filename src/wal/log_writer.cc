@@ -24,13 +24,13 @@ Lsn LogWriter::Add(const std::vector<LogRecord>& records) {
 
 Lsn LogWriter::AddEncoded(const std::string& encoded) {
   appends_.Inc();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   buffer_ += encoded;
   return buffer_start_ + buffer_.size();
 }
 
 Status LogWriter::ForceTo(Lsn lsn) {
-  std::unique_lock lock(mu_);
+  UniqueLock lock(mu_);
   if (durable_ >= lsn) return Status::OK();
   // Span covers the whole wait, including piggybacking on a force already
   // in flight — that is the latency a committer actually observes.
@@ -75,7 +75,7 @@ Status LogWriter::ForceTo(Lsn lsn) {
 Status LogWriter::ForceAll() {
   Lsn target;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     target = buffer_start_ + buffer_.size();
   }
   return ForceTo(target);
@@ -88,12 +88,12 @@ void LogWriter::ResetCounters() {
 }
 
 Lsn LogWriter::durable_lsn() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return durable_;
 }
 
 Lsn LogWriter::buffered_lsn() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return buffer_start_ + buffer_.size();
 }
 

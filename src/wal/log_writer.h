@@ -1,7 +1,6 @@
 #ifndef POLARMP_WAL_LOG_WRITER_H_
 #define POLARMP_WAL_LOG_WRITER_H_
 
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -50,10 +49,10 @@ class LogWriter {
 
   mutable RankedMutex mu_{LockRank::kLogWriter, "log_writer.buffer"};
   CondVar cv_;
-  std::string buffer_;       // encoded bytes not yet durable
-  Lsn buffer_start_ = 0;     // LSN of buffer_[0]
-  Lsn durable_ = 0;
-  bool force_in_flight_ = false;
+  std::string buffer_ GUARDED_BY(mu_);       // encoded bytes not yet durable
+  Lsn buffer_start_ GUARDED_BY(mu_) = 0;     // LSN of buffer_[0]
+  Lsn durable_ GUARDED_BY(mu_) = 0;
+  bool force_in_flight_ GUARDED_BY(mu_) = false;
 
   obs::Counter appends_{"log_writer.appends"};
   obs::Counter forces_{"log_writer.forces"};

@@ -133,24 +133,25 @@ INSTANTIATE_TEST_SUITE_P(
                  : "SnapshotIsolation";
     });
 
-// Regression test for the remaining SI lost-update window documented in
-// DESIGN.md §6 ("A narrower variant ... remains theoretically possible"):
-// the commit timestamp is fetched from the TSO before the log force
-// (transaction.cc: CommitTimestamp → ForceTo → PublishCts) but published
-// to the TIT only after it. A snapshot created inside that window resolves
-// the committer as still active and reads around its version; once
-// publication completes, the snapshot's own write to the same row sees the
-// committer's CTS as visible-before-snapshot and finds no embedded lock to
-// wait on, so neither first-committer-wins nor the first-updater-wins
-// patch triggers, and the update based on the stale read goes through.
+// Regression test for the SI lost-update window that used to live between
+// fetching a commit timestamp and publishing it to the TIT (DESIGN.md §6).
+// Before the fix, the CTS was fetched from the TSO before the log force
+// but published only after it; a snapshot created inside that window
+// resolved the committer as still active, read around its version, and a
+// later update from that snapshot slipped past first-committer-wins.
+//
+// The fix publishes a *provisional* CTS (kCsnProvisionalBit set) to the
+// TIT before the force and finalizes it with a second TSO fetch afterwards
+// (transaction.cc: PublishProvisionalCts → ForceTo → PublishCts). Readers
+// that observe the provisional bit treat the version as
+// committed-after-snapshot immediately; the finalized CTS necessarily
+// exceeds any snapshot begun during the force, so the conflict check
+// aborts the stale update.
 //
 // The simulated fabric's latency profile makes the interleaving
 // deterministic: log_append_ns stretches the force to 200ms of simulated
-// wall time, holding the window open while the reader starts. DISABLED_
-// until the publication protocol closes the window (publish a TIT
-// "publishing" marker before the force, or commit-wait readers that
-// resolve a CTS-less slot whose owner is mid-commit).
-TEST(SnapshotIsolationWindowTest, DISABLED_CommitPublicationWindowLosesUpdate) {
+// wall time, holding the window open while the reader starts.
+TEST(SnapshotIsolationWindowTest, CommitPublicationWindowLosesUpdate) {
   ClusterOptions opts;
   opts.latency.log_append_ns = 200'000'000;  // 200ms force: the open window
   auto cluster = Cluster::Create(opts).value();

@@ -137,6 +137,77 @@ TEST_F(LockRankDeathTest, TryLockFailurePopsStack) {
   SUCCEED();
 }
 
+TEST_F(LockRankDeathTest, AssertHeldPassesWhileHolding) {
+  MutexLock lock(mid_);
+  mid_.AssertHeld();
+  SUCCEED();
+}
+
+TEST_F(LockRankDeathTest, AssertHeldDiesWhenNotHeld) {
+  EXPECT_DEATH(mid_.AssertHeld(), "is not held by this thread");
+}
+
+TEST_F(LockRankDeathTest, AssertHeldDiesAfterRelease) {
+  EXPECT_DEATH(
+      {
+        { MutexLock lock(mid_); }
+        mid_.AssertHeld();
+      },
+      "is not held by this thread");
+}
+
+TEST_F(LockRankDeathTest, AssertHeldDiesFromOtherThread) {
+  // Held by this thread, asserted from another: the held-stack is
+  // thread-local, so the assert must fail over there.
+  MutexLock lock(mid_);
+  EXPECT_DEATH(
+      {
+        std::thread t([&] { mid_.AssertHeld(); });
+        t.join();
+      },
+      "is not held by this thread");
+}
+
+TEST_F(LockRankDeathTest, SharedAssertsDistinguishModes) {
+  RankedSharedMutex rw{LockRank::kTestMid, "test.rw_assert"};
+  {
+    WriterLock w(rw);
+    rw.AssertHeld();     // exclusive satisfies the exclusive assert
+    rw.AssertAnyHeld();  // ...and the any-mode assert
+  }
+  {
+    ReaderLock r(rw);
+    rw.AssertAnyHeld();  // shared satisfies the any-mode assert
+  }
+  EXPECT_DEATH(rw.AssertAnyHeld(), "is not held by this thread");
+}
+
+TEST_F(LockRankDeathTest, GuardTypesDriveTheRankChecker) {
+  // The annotated RAII guards are the std guards' replacements; the rank
+  // checker must see straight through them, in both directions.
+  {
+    MutexLock h(high_);
+    UniqueLock m(mid_);
+    m.unlock();
+    m.lock();
+    MutexLock l(low_);
+  }
+  RankedSharedMutex rw{LockRank::kTestMid, "test.rw_guards"};
+  {
+    MutexLock h(high_);
+    {
+      WriterLock w(rw);
+    }
+    ReaderLock r(rw);
+  }
+  EXPECT_DEATH(
+      {
+        MutexLock l(low_);
+        MutexLock m(mid_);  // inversion through the annotated guards
+      },
+      "rank inversion");
+}
+
 #endif  // POLARMP_LOCK_RANK_CHECKS
 
 }  // namespace

@@ -1,0 +1,41 @@
+// polarlint-fixture-path: src/engine/bad_unguarded_field.cc
+//
+// Mutable members of a class that owns a RankedMutex must either join the
+// capability analysis (GUARDED_BY), be immutable, be an internally
+// synchronized whitelisted type, or carry a documented
+// `// polarlint: unguarded(<reason>)` escape.
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/lock_rank.h"
+
+namespace polarmp {
+
+class LeakyCache {
+ public:
+  void Put(uint64_t key, std::string value);
+
+ private:
+  mutable RankedMutex mu_{LockRank::kTestLow, "leaky_cache.state"};
+  std::map<uint64_t, std::string> entries_;  // polarlint-fixture-expect: unguarded-field
+  uint64_t hits_ = 0;                        // polarlint-fixture-expect: unguarded-field
+  // A multi-line declaration is still one finding, on its first line.
+  std::vector<std::pair<uint64_t, uint64_t>>  // polarlint-fixture-expect: unguarded-field
+      eviction_queue_;
+  // An atomic outside src/obs, src/rdma and src/dsm needs the escape even
+  // when the raw-atomic rule itself is silenced.
+  // polarlint: allow(raw-atomic) sequence number, not a counter
+  std::atomic<uint64_t> seq_{0};  // polarlint-fixture-expect: unguarded-field
+};
+
+// A class with no lock of its own is outside this rule's scope entirely —
+// its members are synchronized (or not) by whoever owns it.
+struct PlainAggregate {
+  std::map<uint64_t, std::string> entries;
+  uint64_t generation = 0;
+};
+
+}  // namespace polarmp

@@ -17,4 +17,14 @@ void DsmInternals(Dsm* dsm, DsmPtr ptr, const char* src, uint64_t n) {
   cell->fetch_add(1, std::memory_order_acq_rel);
 }
 
+// In the exempt dirs an atomic member of a mutex-owning class is also
+// outside unguarded-field's scope: these atomics ARE the remote-atomic
+// targets, their discipline is the fabric protocol, not a host lock.
+class RemoteCell {
+ private:
+  RankedMutex mu_{LockRank::kTestLow, "remote_cell.alloc"};
+  uint64_t next_offset_ GUARDED_BY(mu_) = 0;
+  std::atomic<uint64_t> cell_{0};
+};
+
 }  // namespace polarmp

@@ -19,9 +19,10 @@ namespace polarmp {
 class GoodExample {
  public:
   void Touch(const char* src, char* local_buf, uint64_t n) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     // Copies between host-local buffers are unconstrained.
     std::memcpy(local_buf, src, n);
+    touches_ += 1;
     ops_.Inc();
   }
 
@@ -34,8 +35,10 @@ class GoodExample {
  private:
   mutable RankedMutex mu_{LockRank::kTestLow, "good_example.state"};
   CondVar cv_;
+  uint64_t touches_ GUARDED_BY(mu_) = 0;
   obs::Counter ops_{"good_example.ops"};
   // polarlint: allow(raw-atomic) one-sided RDMA target, not a counter
+  // polarlint: unguarded(lock-free cell; remote one-sided writes)
   std::atomic<uint64_t> rdma_cell_{0};
 };
 

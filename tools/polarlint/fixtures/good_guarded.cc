@@ -1,0 +1,60 @@
+// polarlint-fixture-path: src/pmfs/good_guarded.cc
+//
+// Every way a member of a RankedMutex-owning class can satisfy
+// unguarded-field. Zero findings expected.
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/lock_rank.h"
+#include "obs/metrics.h"
+
+namespace polarmp {
+
+class WellGuarded {
+ public:
+  void Apply();
+  // Method declarations (and their REQUIRES annotations) are not fields.
+  void ApplyLocked() REQUIRES(mu_);
+
+ private:
+  // The lock itself, the condvar and telemetry handles are internally
+  // consistent by construction.
+  mutable RankedMutex mu_{LockRank::kTestLow, "well_guarded.state"};
+  CondVar cv_;
+  obs::Counter applies_{"well_guarded.applies"};
+  mutable obs::LatencyHistogram apply_ns_{"well_guarded.apply_ns"};
+
+  // The annotation is the preferred answer.
+  std::map<uint64_t, std::string> state_ GUARDED_BY(mu_);
+  uint64_t epoch_ GUARDED_BY(mu_) = 0;
+
+  // Immutable members need no lock.
+  const uint64_t capacity_ = 128;
+  static constexpr uint64_t kShift = 12;
+
+  // Documented escape, same line.
+  std::thread worker_;  // polarlint: unguarded(joined in the destructor)
+
+  // Documented escape in the contiguous comment block above, which may
+  // stack with other polarlint escapes in either order.
+  // polarlint: allow(raw-atomic) lock-free watermark, not a counter
+  // polarlint: unguarded(lock-free watermark; monotonic CAS)
+  std::atomic<uint64_t> watermark_{0};
+
+  // The blanket allow() spelling silences the rule too.
+  // polarlint: allow(unguarded-field) owned by the flusher thread only
+  uint64_t scratch_ = 0;
+
+  // A nested struct is its own scope: it owns no mutex, so its members are
+  // whoever-embeds-it's problem, even though the outer class is locked.
+  struct Stats {
+    uint64_t merges = 0;
+    uint64_t splits = 0;
+  };
+  Stats stats_ GUARDED_BY(mu_);
+};
+
+}  // namespace polarmp

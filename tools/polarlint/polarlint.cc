@@ -39,6 +39,25 @@
 //                      code draws from polarmp::Random so runs are seedable
 //                      and reproducible.
 //
+//   unguarded-field    a mutable data member of a class that owns a
+//                      RankedMutex/RankedSharedMutex, where the member is
+//                      neither GUARDED_BY/PT_GUARDED_BY-annotated, nor
+//                      const/constexpr/static, nor itself a synchronization
+//                      or telemetry object (RankedMutex, RankedSharedMutex,
+//                      CondVar, obs::Counter, obs::LatencyHistogram), nor a
+//                      std::atomic in the raw-atomic-exempt dirs (src/obs,
+//                      src/rdma, src/dsm). Every escape is documented in
+//                      place:
+//
+//                        // polarlint: unguarded(<reason>)
+//
+//                      on the member's line or in the contiguous comment
+//                      block immediately above it. This is what keeps the
+//                      Clang thread-safety annotations (see
+//                      common/thread_annotations.h) honest on GCC-only
+//                      builds: a new field in a locked class must either
+//                      join the capability analysis or explain itself.
+//
 // Usage:
 //   polarlint [--root <repo-root>] <file-or-dir>...
 //   polarlint --self-test <fixtures-dir>
@@ -80,6 +99,7 @@ struct Finding {
 struct Scrubbed {
   std::string text;
   std::vector<std::string> comment_on_line;  // index 0 unused; 1-based
+  std::vector<bool> code_on_line;            // non-space scrubbed content
 };
 
 bool IsIdentChar(char c) {
@@ -147,6 +167,15 @@ Scrubbed Scrub(const std::string& src) {
       copy(1);
     }
   }
+  out.code_on_line.assign(out.comment_on_line.size(), false);
+  int l = 1;
+  for (const char c : out.text) {
+    if (c == '\n') {
+      ++l;
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      out.code_on_line[l] = true;
+    }
+  }
   return out;
 }
 
@@ -156,11 +185,18 @@ int LineOf(const std::string& text, size_t pos) {
 
 bool LineAllows(const Scrubbed& s, int line, const std::string& rule) {
   const std::string needle = "polarlint: allow(" + rule + ")";
-  for (int l = std::max(1, line - 1); l <= line; ++l) {
-    if (l < static_cast<int>(s.comment_on_line.size()) &&
-        s.comment_on_line[l].find(needle) != std::string::npos) {
-      return true;
-    }
+  const auto has = [&](int l) {
+    return l >= 1 && l < static_cast<int>(s.comment_on_line.size()) &&
+           s.comment_on_line[l].find(needle) != std::string::npos;
+  };
+  // Same line or the line immediately above.
+  if (has(line) || has(line - 1)) return true;
+  // A contiguous comment-only block immediately above — lets several
+  // stacked polarlint escape lines document one declaration.
+  for (int l = line - 1; l >= 1 && l < static_cast<int>(s.code_on_line.size()) &&
+                         !s.code_on_line[l] && !s.comment_on_line[l].empty();
+       --l) {
+    if (has(l)) return true;
   }
   return false;
 }
@@ -193,6 +229,194 @@ bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// Index of the '}' matching the '{' at `open` (text.size() if unmatched).
+size_t MatchBrace(const std::string& text, size_t open) {
+  int depth = 0;
+  for (size_t j = open; j < text.size(); ++j) {
+    if (text[j] == '{') ++depth;
+    if (text[j] == '}' && --depth == 0) return j;
+  }
+  return text.size();
+}
+
+// Removes balanced <...> spans (template argument lists) so that a '(' left
+// over marks a function rather than std::function<void()> and friends.
+// Unbalanced '<' (shifts, comparisons) are kept as-is.
+std::string StripAngles(const std::string& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '<') {
+      int depth = 1;
+      size_t j = i + 1;
+      for (; j < s.size() && depth > 0; ++j) {
+        if (s[j] == '<') ++depth;
+        if (s[j] == '>') --depth;
+      }
+      if (depth == 0) {
+        i = j - 1;
+        continue;
+      }
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+// A class/struct definition in scrubbed text: keyword position, body braces.
+struct ClassSpan {
+  size_t kw = 0;
+  size_t open = 0;   // '{'
+  size_t close = 0;  // matching '}'
+};
+
+std::vector<ClassSpan> FindClassSpans(const std::string& text) {
+  std::vector<ClassSpan> spans;
+  for (const std::string kw : {"class", "struct"}) {
+    for (size_t pos : TokenHits(text, kw)) {
+      // `enum class` / `enum struct` define enumerators, not members.
+      size_t b = pos;
+      while (b > 0 && std::isspace(static_cast<unsigned char>(text[b - 1]))) {
+        --b;
+      }
+      size_t e = b;
+      while (b > 0 && IsIdentChar(text[b - 1])) --b;
+      if (text.substr(b, e - b) == "enum") continue;
+      // Walk to the body's '{'. Anything that closes an enclosing construct
+      // first means this is not a definition: a template parameter
+      // (`template <class T>`), a function parameter (`void f(class X*)`),
+      // a forward declaration.
+      int paren = 0;
+      int angle = 0;
+      size_t open = std::string::npos;
+      for (size_t j = pos + kw.size(); j < text.size(); ++j) {
+        const char c = text[j];
+        if (c == '(' || c == '[') {
+          ++paren;
+        } else if (c == ')' || c == ']') {
+          if (paren == 0) break;
+          --paren;
+        } else if (c == '<') {
+          ++angle;
+        } else if (c == '>') {
+          if (angle == 0) break;
+          --angle;
+        } else if ((c == '=' || c == ';') && paren == 0 && angle == 0) {
+          break;
+        } else if (c == '{' && paren == 0) {
+          open = j;
+          break;
+        }
+      }
+      if (open == std::string::npos) continue;
+      spans.push_back(ClassSpan{pos, open, MatchBrace(text, open)});
+    }
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const ClassSpan& a, const ClassSpan& b) { return a.kw < b.kw; });
+  return spans;
+}
+
+// One member-level declaration (everything between ';'s at class-body depth,
+// with function bodies and nested class definitions skipped).
+struct MemberStmt {
+  size_t begin = 0;  // first non-space char
+  size_t end = 0;    // the terminating ';'
+  std::string text;
+};
+
+std::vector<MemberStmt> MemberStatements(
+    const std::string& text, const ClassSpan& span,
+    const std::map<size_t, ClassSpan>& span_by_kw) {
+  std::vector<MemberStmt> stmts;
+  size_t pos = span.open + 1;
+  size_t begin = std::string::npos;
+  std::string stmt;
+  int paren = 0;
+  auto reset = [&] {
+    begin = std::string::npos;
+    stmt.clear();
+    paren = 0;
+  };
+  while (pos < span.close) {
+    // Nested class/struct definition: its members belong to its own scan.
+    // Skip the definition plus any declarators up to the trailing ';'.
+    const auto nested = span_by_kw.find(pos);
+    if (nested != span_by_kw.end() && nested->second.close < span.close) {
+      pos = nested->second.close + 1;
+      while (pos < span.close && text[pos] != ';') {
+        if (text[pos] == '{') pos = MatchBrace(text, pos);
+        ++pos;
+      }
+      ++pos;
+      reset();
+      continue;
+    }
+    const char c = text[pos];
+    if (c == '(' || c == '[') {
+      ++paren;
+    } else if ((c == ')' || c == ']') && paren > 0) {
+      --paren;
+    } else if (c == '{' && paren == 0) {
+      // Function body vs a field's brace initializer: a '(' outside
+      // template argument lists means a parameter list.
+      const bool is_function =
+          StripAngles(stmt).find('(') != std::string::npos;
+      pos = MatchBrace(text, pos) + 1;
+      if (is_function) reset();
+      continue;
+    } else if (c == ';' && paren == 0) {
+      if (begin != std::string::npos) {
+        stmts.push_back(MemberStmt{begin, pos, stmt});
+      }
+      reset();
+      ++pos;
+      continue;
+    } else if (c == ':' && paren == 0) {
+      const std::string t = Trim(stmt);
+      if (t == "public" || t == "private" || t == "protected") {
+        reset();
+        ++pos;
+        continue;
+      }
+    }
+    if (begin == std::string::npos &&
+        !std::isspace(static_cast<unsigned char>(c))) {
+      begin = pos;
+    }
+    stmt += c;
+    ++pos;
+  }
+  return stmts;
+}
+
+bool HasToken(const std::string& stmt, const std::string& token) {
+  return !TokenHits(stmt, token).empty();
+}
+
+// Is `stmt` a declaration of a lock the class owns by value
+// (`RankedMutex name...`, as opposed to a reference/pointer/parameter)?
+bool DeclaresOwnedMutex(const std::string& stmt) {
+  for (const std::string token : {"RankedMutex", "RankedSharedMutex"}) {
+    for (size_t pos : TokenHits(stmt, token)) {
+      const size_t after = SkipSpaces(stmt, pos + token.size());
+      if (after < stmt.size() &&
+          (std::isalpha(static_cast<unsigned char>(stmt[after])) ||
+           stmt[after] == '_')) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 class Linter {
  public:
   // `rel` is the repo-relative path (forward slashes) used for rule
@@ -206,6 +430,7 @@ class Linter {
     CheckRawAtomic(rel, display, s);
     CheckHostPtrMemcpy(rel, display, s);
     CheckNondeterminism(rel, display, s);
+    CheckUnguardedFields(rel, display, s);
   }
 
   const std::vector<Finding>& findings() const { return findings_; }
@@ -346,6 +571,94 @@ class Linter {
         Report(display, s, pos, "nondeterminism",
                "time(nullptr): wall-clock seeding breaks reproducibility; "
                "use polarmp::Random");
+      }
+    }
+  }
+
+  void CheckUnguardedFields(const std::string& rel, const std::string& display,
+                            const Scrubbed& s) {
+    // lock_rank.h wraps the raw std primitives; the annotation macros are
+    // defined in thread_annotations.h. Neither can be stated in terms of
+    // itself.
+    if (rel == "src/common/lock_rank.h" ||
+        rel == "src/common/thread_annotations.h") {
+      return;
+    }
+    const bool atomics_exempt = StartsWith(rel, "src/obs/") ||
+                                StartsWith(rel, "src/rdma/") ||
+                                StartsWith(rel, "src/dsm/");
+
+    auto escape_on = [&](int l) {
+      return l >= 1 && l < static_cast<int>(s.comment_on_line.size()) &&
+             s.comment_on_line[l].find("polarlint: unguarded(") !=
+                 std::string::npos;
+    };
+
+    const std::vector<ClassSpan> spans = FindClassSpans(s.text);
+    std::map<size_t, ClassSpan> span_by_kw;
+    for (const ClassSpan& span : spans) span_by_kw[span.kw] = span;
+
+    for (const ClassSpan& span : spans) {
+      const std::vector<MemberStmt> stmts =
+          MemberStatements(s.text, span, span_by_kw);
+      bool owns_mutex = false;
+      for (const MemberStmt& stmt : stmts) {
+        if (DeclaresOwnedMutex(stmt.text)) owns_mutex = true;
+      }
+      if (!owns_mutex) continue;
+
+      for (const MemberStmt& stmt : stmts) {
+        // Non-field member-level statements.
+        bool skip = false;
+        for (const char* token :
+             {"using", "typedef", "friend", "enum", "static_assert",
+              "operator"}) {
+          if (HasToken(stmt.text, token)) skip = true;
+        }
+        if (skip) continue;
+        // Annotated: part of the capability analysis. (Checked before the
+        // function test — the annotation macros take parentheses.)
+        if (stmt.text.find("GUARDED_BY(") != std::string::npos) continue;
+        // A '(' outside template arguments marks a method declaration.
+        if (StripAngles(stmt.text).find('(') != std::string::npos) continue;
+        // Immutable members need no lock.
+        if (HasToken(stmt.text, "const") || HasToken(stmt.text, "constexpr") ||
+            HasToken(stmt.text, "static")) {
+          continue;
+        }
+        // Synchronization and telemetry objects are internally consistent.
+        bool whitelisted = false;
+        for (const char* token :
+             {"RankedMutex", "RankedSharedMutex", "CondVar", "obs::Counter",
+              "obs::LatencyHistogram"}) {
+          if (HasToken(stmt.text, token)) whitelisted = true;
+        }
+        if (whitelisted) continue;
+        // Atomics in the dirs that implement remote-atomic targets are the
+        // raw-atomic rule's domain, not this one's.
+        if (atomics_exempt &&
+            stmt.text.find("std::atomic") != std::string::npos) {
+          continue;
+        }
+        // Documented escape on the member's own lines or in the contiguous
+        // comment block immediately above.
+        const int first = LineOf(s.text, stmt.begin);
+        const int last = LineOf(s.text, stmt.end);
+        bool escaped = false;
+        for (int l = first; l <= last && !escaped; ++l) {
+          escaped = escape_on(l);
+        }
+        for (int l = first - 1;
+             !escaped && l >= 1 && l < static_cast<int>(s.code_on_line.size()) &&
+             !s.code_on_line[l] && !s.comment_on_line[l].empty();
+             --l) {
+          escaped = escape_on(l);
+        }
+        if (escaped) continue;
+        Report(display, s, stmt.begin, "unguarded-field",
+               "mutable member of a RankedMutex-owning class: annotate with "
+               "GUARDED_BY(<mu>), make it const, or document why not with "
+               "`// polarlint: unguarded(<reason>)`");
       }
     }
   }
