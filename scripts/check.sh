@@ -11,6 +11,9 @@
 #   scripts/check.sh ubsan      # UBSan build + tests (no-recover: hard fail)
 #   scripts/check.sh wthread    # clang -Werror=thread-safety build + tests
 #                               # (SKIP if clang is missing)
+#   scripts/check.sh smoke      # micro_commit commit-path smoke run with a
+#                               # short measure window; fails if the bench
+#                               # errors or the metrics sidecar is missing
 #   scripts/check.sh --all      # every mode above, in order; fail fast
 #
 # (legacy spellings `thread`/`address` are accepted for tsan/asan.)
@@ -94,8 +97,30 @@ run_mode() {
       cmake --build build-wthread -j "${JOBS}"
       ctest --test-dir build-wthread --output-on-failure -j "${JOBS}"
       ;;
+    smoke)
+      # Commit-pipeline smoke: the micro_commit bench at a short measure
+      # window exercises group formation, async commit and the finalizer
+      # under real thread interleavings, and must emit its metrics sidecar
+      # (the group-size histogram rides in it).
+      cmake -B build -S .
+      cmake --build build -j "${JOBS}" --target micro_commit
+      local smoke_dir="build/smoke"
+      mkdir -p "${smoke_dir}"
+      POLARMP_BENCH_MEASURE_MS=300 POLARMP_BENCH_WARMUP_MS=100 \
+        POLARMP_METRICS_DIR="${smoke_dir}" ./build/bench/micro_commit
+      local sidecar="${smoke_dir}/micro_commit.metrics.json"
+      if [[ ! -s "${sidecar}" ]]; then
+        echo "FAIL: metrics sidecar ${sidecar} missing or empty" >&2
+        return 1
+      fi
+      if ! grep -q 'log_writer.group_size' "${sidecar}"; then
+        echo "FAIL: ${sidecar} lacks the log_writer.group_size histogram" >&2
+        return 1
+      fi
+      echo "smoke OK: sidecar ${sidecar}"
+      ;;
     *)
-      echo "usage: $0 [plain|lint|format|tidy|tsan|asan|ubsan|wthread|--all]" >&2
+      echo "usage: $0 [plain|lint|format|tidy|tsan|asan|ubsan|wthread|smoke|--all]" >&2
       return 2
       ;;
   esac
@@ -108,7 +133,7 @@ case "${MODE}" in
 esac
 
 if [[ "${MODE}" == "--all" ]]; then
-  for m in format lint plain wthread ubsan asan tsan tidy; do
+  for m in format lint plain smoke wthread ubsan asan tsan tidy; do
     run_mode "${m}"
   done
   echo "==== check.sh: all modes passed ===="

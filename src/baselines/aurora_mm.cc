@@ -28,7 +28,7 @@ class AuroraConnection : public Connection {
     }
     // Commit = engine work + ship the log to the storage quorum...
     SimDelay(store_->profile().baseline_commit_overhead_ns);
-    SimDelay(store_->profile().log_append_ns);
+    store_->log_device()->CommitForce(node_);
     // ...which validates page versions and aborts on any concurrent
     // modification of the same pages (OCC, page granularity).
     if (!store_->ValidateAndBump(write_pages_, node_)) {

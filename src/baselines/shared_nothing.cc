@@ -46,17 +46,17 @@ class SharedNothingConnection : public Connection {
     if (!writes_.empty()) {
       SimDelay(store_->profile().baseline_commit_overhead_ns);
       if (participants_.size() <= 1) {
-        SimDelay(store_->profile().log_append_ns);
+        store_->log_device()->CommitForce(node_);
         db_->single_partition_commits_.Inc();
       } else {
         // Two-phase commit across participants: prepare round (RPC +
-        // forced prepare record each), then the coordinator's decision
-        // record and the commit round.
-        for (size_t i = 0; i < participants_.size(); ++i) {
+        // forced prepare record on each participant's group-commit log),
+        // then the coordinator's decision record and the commit round.
+        for (int participant : participants_) {
           SimDelay(store_->profile().rpc_ns);
-          SimDelay(store_->profile().log_append_ns);
+          store_->log_device()->CommitForce(participant);
         }
-        SimDelay(store_->profile().log_append_ns);
+        store_->log_device()->CommitForce(node_);
         for (size_t i = 0; i < participants_.size(); ++i) {
           SimDelay(store_->profile().rpc_ns);
         }

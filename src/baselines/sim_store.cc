@@ -4,6 +4,32 @@
 
 namespace polarmp {
 
+void SimLogDevice::CommitForce(int node) {
+  if (profile_.log_append_ns == 0) return;  // instant-load profiles
+  UniqueLock lock(mu_);
+  NodeState& st = nodes_[node];  // map nodes are reference-stable
+  const uint64_t ticket = st.next_seq++;
+  for (;;) {
+    if (st.durable_seq > ticket) return;  // a force covered our append
+    if (!st.force_in_flight) {
+      st.force_in_flight = true;
+      // Everything appended up to now rides this one device write.
+      const uint64_t covers = st.next_seq;
+      const uint64_t group = covers - st.durable_seq;
+      lock.unlock();
+      SimDelay(profile_.log_append_ns);
+      lock.lock();
+      forces_.Inc();
+      group_size_.Record(group);
+      st.durable_seq = covers;
+      st.force_in_flight = false;
+      cv_.notify_all();
+      return;  // covers > ticket by construction
+    }
+    cv_.wait(lock, [&]() REQUIRES(mu_) { return !st.force_in_flight; });
+  }
+}
+
 StatusOr<uint32_t> SimStore::CreateTable(const std::string& name) {
   MutexLock lock(mu_);
   if (table_ids_.count(name) != 0) {

@@ -56,12 +56,53 @@ struct SimPageKeyHash {
   }
 };
 
+// Per-node redo-log device shared by the baselines' commit paths.
+//
+// Every modeled system group-commits: concurrent committers on one node
+// ride a single device force instead of serializing one log_append_ns
+// each. PolarDB-MP's side runs a pipelined group-commit log writer, so the
+// cost models must charge the same way for the throughput comparison to
+// stay an architecture comparison. CommitForce(node) takes a ticket, joins
+// the force already on the wire for that node when its append precedes the
+// device write, and otherwise starts (or waits for) the next one.
+class SimLogDevice {
+ public:
+  explicit SimLogDevice(const LatencyProfile& profile) : profile_(profile) {}
+
+  // Models appending this committer's log and forcing the device, grouped
+  // with concurrent committers of the same node: blocks for ~one
+  // log_append_ns plus queueing behind an in-flight force.
+  void CommitForce(int node);
+
+  // Device forces actually charged ("sim_store.log_forces"; group sizes in
+  // the "sim_store.log_group_size" histogram).
+  uint64_t forces() const { return forces_.Value(); }
+
+ private:
+  struct NodeState {
+    uint64_t next_seq = 0;     // next ticket to hand out
+    uint64_t durable_seq = 0;  // tickets below this are durable
+    bool force_in_flight = false;
+  };
+
+  const LatencyProfile profile_;
+  RankedMutex mu_{LockRank::kSimLogDevice, "sim_store.log_device"};
+  CondVar cv_;
+  std::map<int, NodeState> nodes_ GUARDED_BY(mu_);
+  obs::Counter forces_{"sim_store.log_forces"};
+  obs::LatencyHistogram group_size_{"sim_store.log_group_size"};
+};
+
 // Shared row + page-version store.
 class SimStore {
  public:
   explicit SimStore(const LatencyProfile& profile) : profile_(profile) {}
 
   const LatencyProfile& profile() const { return profile_; }
+
+  // The shared group-commit log device (one per cluster model, keyed by
+  // node inside).
+  SimLogDevice* log_device() { return &log_device_; }
 
   StatusOr<uint32_t> CreateTable(const std::string& name);
   StatusOr<uint32_t> TableId(const std::string& name) const;
@@ -105,6 +146,8 @@ class SimStore {
   };
 
   const LatencyProfile profile_;
+  // polarlint: unguarded(internally synchronized; owns its own RankedMutex)
+  SimLogDevice log_device_{profile_};
   mutable RankedMutex mu_{LockRank::kSimStore, "sim_store.rows"};
   std::map<std::string, uint32_t> table_ids_ GUARDED_BY(mu_);
   // (table, key) -> value

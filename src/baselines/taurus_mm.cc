@@ -37,7 +37,7 @@ class TaurusConnection : public Connection {
       // Ship this transaction's log (the vector-scalar clock rides along)
       // plus the engine work every real write transaction performs.
       SimDelay(store_->profile().baseline_commit_overhead_ns);
-      SimDelay(store_->profile().log_append_ns);
+      store_->log_device()->CommitForce(node_);
       for (const auto& [row, value] : writes_) {
         if (value.has_value()) {
           store_->PutRow(row.first, row.second, *value);

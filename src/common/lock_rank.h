@@ -65,11 +65,18 @@ enum class LockRank : unsigned {
   // ---- node engine ----
   kPlock = 90,        // PLockManager entry table
   kBufferPool = 100,  // LBP frame table
+  kFutureState = 105, // StatusFuture shared state (completed/awaited with
+                      // no other locks held; below kLogWriter so a force
+                      // completion can never invert against the buffer)
   kLogWriter = 110,   // redo log buffer
+  kLogFlusher = 115,  // group-commit flusher queue (held while claiming the
+                      // kLogWriter buffer, hence strictly above it)
   kLlsnOrder = 120,   // LLSN-assignment/append atomicity
   kCommitGate = 130,  // mtr-commit vs checkpoint-snapshot gate
   kPageLatch = 140,   // per-frame page latch (same-rank: crabbing holds
                       // several at once; see DESIGN.md on why this is safe)
+  kCommitFinalize = 145,  // TrxManager finalize queue (commit completions
+                          // handed off the flusher to the finalizer thread)
   kTrxManager = 150,  // active-transaction table
 
   // ---- node/cluster control plane ----
@@ -81,6 +88,7 @@ enum class LockRank : unsigned {
 
   // ---- baseline cost models (disjoint subsystem) ----
   kSimLockTable = 183,
+  kSimLogDevice = 184,  // baseline group-commit log device queue
   kSimStore = 185,
   kBaselineNode = 190,  // per-node caches / metadata in the MM baselines
 

@@ -79,6 +79,7 @@ class Status {
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsBusy() const { return code_ == StatusCode::kBusy; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }

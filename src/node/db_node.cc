@@ -49,7 +49,11 @@ DbNode::DbNode(NodeId id, const ClusterServices& services,
 
   // Wire the cross-component hooks: WAL rule on page push, PLock release
   // flushes the dirty page, LBP eviction releases the PLock.
-  lbp_.SetForceLog([this](Lsn lsn) { return log_writer_.ForceTo(lsn); });
+  // Eviction is inherently synchronous (the page cannot leave before its
+  // redo), so the WAL-rule hook rides the async pipeline and waits on the
+  // handle — it still groups with whatever committers are queued.
+  lbp_.SetForceLog(
+      [this](Lsn lsn) { return log_writer_.ForceAsync(lsn).Wait(); });
   plock_.SetBeforeRelease(
       [this](PageId page) { return lbp_.FlushPageForRelease(page); });
   lbp_.SetReleasePLock([this](PageId page) { return plock_.ForceRelease(page); });
@@ -103,7 +107,7 @@ Status DbNode::RunRecovery() {
     POLARMP_RETURN_IF_ERROR(
         trx_mgr_.RollbackRecovered(trx.gid, trx.last_undo));
   }
-  POLARMP_RETURN_IF_ERROR(log_writer_.ForceAll());
+  POLARMP_RETURN_IF_ERROR(log_writer_.ForceAllAsync().Wait());
   POLARMP_RETURN_IF_ERROR(Checkpoint());
   // Committed-before-crash rows now resolve as "slot reused" ⇒ visible.
   services_.tit->ResetNode(id_);
@@ -134,6 +138,9 @@ Status DbNode::Stop() {
     bg_cv_.notify_all();
   }
   background_.join();
+  // Let in-flight force completions finalize against the live engine before
+  // the checkpoint snapshots state.
+  trx_mgr_.DrainCommitQueue();
   POLARMP_RETURN_IF_ERROR(Checkpoint());
   // Committed rows we wrote stay resolvable through the registry-held TIT.
   services_.tit->MarkDeparted(id_, true);
@@ -155,6 +162,14 @@ void DbNode::Crash() {
     bg_cv_.notify_all();
   }
   background_.join();
+  // Quiesce the commit pipeline first: pending forces drain with Aborted
+  // (running their FinishCommit continuations against the still-live
+  // engine), the volatile log buffer evaporates, and no flusher callback
+  // can fire once the services deregister below.
+  log_writer_.Abandon();
+  // The abandoned forces' FinishCommit continuations (all Aborted) must run
+  // while the engine is still alive; after this no commit work is queued.
+  trx_mgr_.DrainCommitQueue();
   // Volatile state evaporates; PMFS keeps the exclusive PLocks as ghosts
   // and the DBP keeps every pushed page — that is the §5.5 recovery story.
   services_.fabric->DeregisterEndpoint(id_);
@@ -191,7 +206,7 @@ Status DbNode::CreateTreesFor(const TableInfo& info) {
     // back immediately. A lazily-retained bootstrap lock would ghost-fence
     // the whole table for every other node if this node crashed.
     const PageId root{space, 0};
-    POLARMP_RETURN_IF_ERROR(log_writer_.ForceAll());
+    POLARMP_RETURN_IF_ERROR(log_writer_.ForceAllAsync().Wait());
     POLARMP_RETURN_IF_ERROR(lbp_.FlushPageForRelease(root));
     const Status released = plock_.ForceRelease(root);
     if (!released.ok() && !released.IsBusy()) return released;
@@ -221,7 +236,7 @@ Status DbNode::Checkpoint() {
     dirty = lbp_.DirtyPages();
   }
   ckpt_candidate = std::min(ckpt_candidate, trx_mgr_.OldestActiveFirstLsn());
-  POLARMP_RETURN_IF_ERROR(log_writer_.ForceAll());
+  POLARMP_RETURN_IF_ERROR(log_writer_.ForceAllAsync().Wait());
   for (PageId page : dirty) {
     POLARMP_RETURN_IF_ERROR(lbp_.FlushPageForRelease(page));
   }
@@ -260,11 +275,15 @@ void DbNode::BackgroundLoop() {
         MutexLock order_guard(llsn_order_mu_);
         log_writer_.Add({MakeLlsnMark(id_, llsn_.Current())});
       }
-      const Status hb = log_writer_.ForceAll();
-      if (!hb.ok()) {
-        POLARMP_LOG(Warn) << "node " << id_ << " heartbeat force failed: "
-                          << hb.ToString();
-      }
+      // Fire-and-forget: the heartbeat only needs the LLSN mark durable
+      // eventually; the next tick retries anyway, so nothing waits here.
+      const NodeId hb_node = id_;
+      log_writer_.ForceAllAsync([hb_node](Status hb) {
+        if (!hb.ok() && !hb.IsAborted()) {
+          POLARMP_LOG(Warn) << "node " << hb_node
+                            << " heartbeat force failed: " << hb.ToString();
+        }
+      });
       // Background dirty-page push (§4.2): keeps the DBP current so peers
       // and crash recovery find the latest pages in disaggregated memory.
       for (PageId page : lbp_.DirtyPages()) {

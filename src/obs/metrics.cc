@@ -56,6 +56,15 @@ Counter::Counter(std::string family, MetricsRegistry* registry)
 
 Counter::~Counter() { registry_->Detach(this); }
 
+// ---- Gauge ------------------------------------------------------------------
+
+Gauge::Gauge(std::string family, MetricsRegistry* registry)
+    : family_(std::move(family)), registry_(ResolveRegistry(registry)) {
+  registry_->Attach(this);
+}
+
+Gauge::~Gauge() { registry_->Detach(this); }
+
 // ---- LatencyHistogram -------------------------------------------------------
 
 LatencyHistogram::LatencyHistogram(std::string family,
@@ -119,6 +128,19 @@ void MetricsRegistry::Detach(Counter* c) {
   it->second.retired += c->Value();
 }
 
+void MetricsRegistry::Attach(Gauge* g) {
+  MutexLock lock(mu_);
+  gauges_[g->family()].live.push_back(g);
+}
+
+void MetricsRegistry::Detach(Gauge* g) {
+  MutexLock lock(mu_);
+  auto it = gauges_.find(g->family());
+  if (it == gauges_.end()) return;
+  auto& live = it->second.live;
+  live.erase(std::remove(live.begin(), live.end(), g), live.end());
+}
+
 void MetricsRegistry::Attach(LatencyHistogram* h) {
   MutexLock lock(mu_);
   histograms_[h->family()].live.push_back(h);
@@ -142,6 +164,15 @@ uint64_t MetricsRegistry::CounterTotal(const std::string& family) const {
   return total;
 }
 
+int64_t MetricsRegistry::GaugeTotal(const std::string& family) const {
+  MutexLock lock(mu_);
+  auto it = gauges_.find(family);
+  if (it == gauges_.end()) return 0;
+  int64_t total = 0;
+  for (const Gauge* g : it->second.live) total += g->Value();
+  return total;
+}
+
 Histogram MetricsRegistry::HistogramTotal(const std::string& family) const {
   MutexLock lock(mu_);
   auto it = histograms_.find(family);
@@ -157,6 +188,14 @@ std::vector<std::string> MetricsRegistry::CounterFamilies() const {
   std::vector<std::string> out;
   out.reserve(counters_.size());
   for (const auto& [name, family] : counters_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::GaugeFamilies() const {
+  MutexLock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, family] : gauges_) out.push_back(name);
   return out;
 }
 
@@ -192,6 +231,22 @@ std::string MetricsRegistry::SnapshotJson() const {
     AppendJsonString(&out, name);
     out += ": ";
     AppendUint(&out, total);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  // Gauges report the current level, so ResetAll leaves them alone — a
+  // reset cannot make an in-flight queue empty.
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, family] : gauges_) {
+    int64_t total = 0;
+    for (const Gauge* g : family.live) total += g->Value();
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": ";
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(total));
+    out += buf;
   }
   out += first ? "},\n" : "\n  },\n";
   out += "  \"histograms\": {";

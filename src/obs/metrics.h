@@ -52,6 +52,33 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+// Component-scoped handle onto a named gauge family: a signed level that
+// moves both ways (queue depths, in-flight counts), where the family value
+// is the SUM of the live handles' current levels. Unlike Counter, a
+// destroyed handle's level simply disappears — a gauge measures what exists
+// now, so there is nothing to retire. Same registry/lifetime rules as
+// Counter.
+class Gauge {
+ public:
+  // `registry == nullptr` attaches to MetricsRegistry::Global().
+  explicit Gauge(std::string family, MetricsRegistry* registry = nullptr);
+  ~Gauge();
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& family() const { return family_; }
+
+ private:
+  const std::string family_;
+  MetricsRegistry* const registry_;
+  std::atomic<int64_t> value_{0};
+};
+
 // Component-scoped handle onto a named latency-histogram family
 // (nanosecond samples).
 //
@@ -113,10 +140,13 @@ class MetricsRegistry {
 
   // Live handles + retired total for the family; 0 if never registered.
   uint64_t CounterTotal(const std::string& family) const;
+  // Sum of the family's live gauge levels; 0 if never registered.
+  int64_t GaugeTotal(const std::string& family) const;
   // Merge over the family's live handles + retired samples.
   Histogram HistogramTotal(const std::string& family) const;
 
   std::vector<std::string> CounterFamilies() const;
+  std::vector<std::string> GaugeFamilies() const;
   std::vector<std::string> HistogramFamilies() const;
 
   // Zeroes every live handle and every retired total/sample. Meant for
@@ -125,6 +155,7 @@ class MetricsRegistry {
 
   // Snapshot of every family as JSON:
   //   {"counters": {"fabric.rpcs": 12, ...},
+  //    "gauges": {"log_writer.force_queue_depth": 3, ...},
   //    "histograms": {"fabric.read_ns": {"count": 3, "min": ..., "max": ...,
   //                                      "mean": ..., "p50": ..., "p90": ...,
   //                                      "p99": ...}, ...}}
@@ -134,11 +165,15 @@ class MetricsRegistry {
 
  private:
   friend class Counter;
+  friend class Gauge;
   friend class LatencyHistogram;
 
   struct CounterFamily {
     std::vector<Counter*> live;
     uint64_t retired = 0;
+  };
+  struct GaugeFamily {
+    std::vector<Gauge*> live;
   };
   struct HistogramFamily {
     std::vector<LatencyHistogram*> live;
@@ -147,11 +182,14 @@ class MetricsRegistry {
 
   void Attach(Counter* c);
   void Detach(Counter* c);
+  void Attach(Gauge* g);
+  void Detach(Gauge* g);
   void Attach(LatencyHistogram* h);
   void Detach(LatencyHistogram* h);
 
   mutable RankedMutex mu_{LockRank::kObsRegistry, "obs.registry"};
   std::map<std::string, CounterFamily> counters_ GUARDED_BY(mu_);
+  std::map<std::string, GaugeFamily> gauges_ GUARDED_BY(mu_);
   std::map<std::string, HistogramFamily> histograms_ GUARDED_BY(mu_);
 };
 

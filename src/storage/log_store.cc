@@ -29,6 +29,10 @@ std::vector<NodeId> LogStore::AllLogs() const {
 StatusOr<Lsn> LogStore::Append(NodeId node, const std::string& data) {
   SimDelay(profile_.log_append_ns);
   MutexLock lock(mu_);
+  if (fail_appends_ > 0) {
+    --fail_appends_;
+    return Status::IOError("injected log append failure");
+  }
   auto it = streams_.find(node);
   if (it == streams_.end()) {
     return Status::NotFound("log missing: node " + std::to_string(node));
@@ -36,6 +40,11 @@ StatusOr<Lsn> LogStore::Append(NodeId node, const std::string& data) {
   const Lsn lsn = it->second.start + it->second.data.size();
   it->second.data += data;
   return lsn;
+}
+
+void LogStore::FailNextAppends(int n) {
+  MutexLock lock(mu_);
+  fail_appends_ = n;
 }
 
 StatusOr<Lsn> LogStore::DurableLsn(NodeId node) const {

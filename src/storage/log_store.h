@@ -58,6 +58,12 @@ class LogStore {
   uint64_t BumpNodeEpoch(NodeId node);
   uint64_t GetNodeEpoch(NodeId node) const;
 
+  // Test-only fault injection: the next `n` Appends (any node) fail with an
+  // IO error after charging the device latency, leaving the stream
+  // untouched. Exercises the force-error completion path of the group
+  // commit pipeline (every queued committer must see the failure).
+  void FailNextAppends(int n);
+
  private:
   struct Stream {
     std::string data;      // bytes from `start` onward
@@ -69,6 +75,7 @@ class LogStore {
   const LatencyProfile profile_;
   mutable RankedMutex mu_{LockRank::kStorage, "log_store.streams"};
   std::map<NodeId, Stream> streams_ GUARDED_BY(mu_);
+  int fail_appends_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace polarmp

@@ -16,7 +16,70 @@ TrxManager::TrxManager(EngineContext* engine, Tit* tit, TsoClient* tso,
       txn_fusion_(txn_fusion),
       lock_fusion_(lock_fusion),
       undo_(undo),
-      options_(options) {}
+      options_(options) {
+  finalizer_ = std::thread([this] { FinalizerLoop(); });
+}
+
+TrxManager::~TrxManager() {
+  std::deque<FinalizeItem> leftovers;
+  {
+    MutexLock lock(finalize_mu_);
+    finalize_stop_ = true;
+    leftovers.swap(finalize_queue_);
+    finalize_cv_.notify_all();
+  }
+  finalizer_.join();
+  // Anything still queued at destruction lost its engine: complete the
+  // callbacks without touching state (graceful Stop and Crash both drain
+  // the queue earlier, so this is normally empty).
+  for (FinalizeItem& item : leftovers) {
+    if (item.done) item.done(Status::Aborted("trx manager shutdown"));
+  }
+}
+
+void TrxManager::EnqueueFinalize(FinalizeItem item) {
+  {
+    MutexLock lock(finalize_mu_);
+    if (!finalize_stop_) {
+      finalize_queue_.push_back(std::move(item));
+      finalize_cv_.notify_all();
+      return;
+    }
+  }
+  if (item.done) item.done(Status::Aborted("trx manager shutdown"));
+}
+
+void TrxManager::FinalizerLoop() {
+  UniqueLock lock(finalize_mu_);
+  for (;;) {
+    finalize_cv_.wait(lock, [this]() REQUIRES(finalize_mu_) {
+      return finalize_stop_ || !finalize_queue_.empty();
+    });
+    if (finalize_queue_.empty()) {
+      if (finalize_stop_) return;
+      continue;
+    }
+    FinalizeItem item = std::move(finalize_queue_.front());
+    finalize_queue_.pop_front();
+    finalize_busy_ = true;
+    lock.unlock();
+    // Off-lock: FinishCommit may block (page latches, even a log force via
+    // eviction — safe here, the flusher is free to serve it).
+    FinishCommit(item.trx, item.provisional_cts, std::move(item.force_status),
+                 std::move(item.done));
+    commit_ns_.Record(obs::TraceSpan::NowNanos() - item.commit_start_ns);
+    lock.lock();
+    finalize_busy_ = false;
+    if (finalize_queue_.empty()) finalize_cv_.notify_all();
+  }
+}
+
+void TrxManager::DrainCommitQueue() {
+  UniqueLock lock(finalize_mu_);
+  finalize_cv_.wait(lock, [this]() REQUIRES(finalize_mu_) {
+    return finalize_queue_.empty() && !finalize_busy_;
+  });
+}
 
 StatusOr<Transaction*> TrxManager::Begin(IsolationLevel iso) {
   UniqueLock lock(mu_);
@@ -201,10 +264,25 @@ Status TrxManager::WriteRow(Transaction* trx, BTree* tree, int64_t key,
         POLARMP_ASSIGN_OR_RETURN(RowView row, leaf.RowAt(pos.slot));
         // A backfilled row CTS proves the writer committed even when its
         // TIT is unreachable; only unresolved rows consult the TIT.
-        const Csn row_commit_cts =
+        Csn row_commit_cts =
             row.g_trx_id == trx->gid()
                 ? trx->view().cts  // own write, trivially "visible"
                 : GetCtsForVersion(row.g_trx_id, row.cts);
+        if (options_.async_commit && row.g_trx_id != trx->gid() &&
+            row_commit_cts == kCsnMax && row.cts == kCsnInit) {
+          // Early lock release (async-commit mode): a row whose owner is
+          // commit-PENDING (provisional CTS published, force on the wire)
+          // is writable without waiting — the overwrite's own commit record
+          // lands later in the same per-node log, so it can never become
+          // durable before its predecessor's. For the SI conflict check
+          // below the owner counts as committed at its provisional
+          // timestamp. Readers keep resolving it as active (not durable).
+          auto slot = tit_->ReadSlot(node(), row.g_trx_id);
+          if (slot.ok() && slot.value().version == GTrxVersion(row.g_trx_id) &&
+              CsnIsProvisional(slot.value().cts)) {
+            row_commit_cts = CsnProvisionalValue(slot.value().cts);
+          }
+        }
         if (row.g_trx_id != trx->gid() && row_commit_cts == kCsnMax) {
           // Embedded row lock held by another live transaction (§4.3.2).
           conflict_holder = row.g_trx_id;
@@ -279,34 +357,118 @@ Status TrxManager::WriteRow(Transaction* trx, BTree* tree, int64_t key,
 }
 
 Status TrxManager::Commit(Transaction* trx) {
+  return CommitAsync(trx).Wait();
+}
+
+TrxManager::CommitFuture TrxManager::CommitAsync(Transaction* trx) {
+  auto promise = std::make_shared<StatusPromise>();
+  CommitFuture future = promise->future();
+  CommitAsync(trx, [promise](Status s) { promise->Set(std::move(s)); });
+  return future;
+}
+
+void TrxManager::CommitAsync(Transaction* trx, CommitCallback done) {
   POLARMP_CHECK_EQ(trx->state_, TrxState::kActive);
   if (!trx->has_writes()) {
     trx->state_ = TrxState::kCommitted;
     // Read-only: no row ever carries this gid; the slot can recycle now.
     tit_->FreeSlot(trx->gid());
     FinishWaiters(trx);
-    return Status::OK();
+    done(Status::OK());
+    return;
   }
   commits_.Inc();
-  obs::TraceSpan commit_span(&commit_ns_);
+  const uint64_t commit_start_ns = obs::TraceSpan::NowNanos();
+  obs::TraceSpan enqueue_span(&commit_enqueue_ns_);
   // 1. Commit timestamp from the TSO (one-sided RDMA fetch-add).
   obs::TraceSpan tso_span(&commit_tso_ns_);
-  POLARMP_ASSIGN_OR_RETURN(Csn cts, tso_->CommitTimestamp());
+  auto cts_or = tso_->CommitTimestamp();
+  if (!cts_or.ok()) {
+    tso_span.Cancel();
+    enqueue_span.Cancel();
+    // Nothing published, still kActive: the caller rolls back.
+    done(cts_or.status());
+    return;
+  }
   tso_span.Finish();
+  const Csn cts = cts_or.value();
   // Mark the slot "in commit" BEFORE the force: views created from here on
   // resolve this transaction as active instead of reading around its
   // versions and later admitting its CTS (the SI commit-publication
   // lost-update window, DESIGN.md §6).
   tit_->PublishProvisionalCts(trx->gid(), cts);
-  // 2. Durability: commit record + force ("before committing a transaction,
-  //    the corresponding redo logs are synchronized to the storage", §4.4).
-  //    The record carries the provisional CTS; recovery backfills rows with
-  //    it, which matches the pre-fix crash semantics.
-  obs::TraceSpan log_span(&commit_log_ns_);
+  trx->state_.store(TrxState::kCommitting, std::memory_order_release);
+  {
+    MutexLock lock(mu_);
+    trx->commit_pending_ = true;
+  }
+  // 2. Durability: buffer the commit record and ENQUEUE the force ("before
+  //    committing a transaction, the corresponding redo logs are
+  //    synchronized to the storage", §4.4). The flusher amortizes one
+  //    storage append over every committer queued behind this handle; the
+  //    completion (FinishCommit) finalizes visibility. The record carries
+  //    the provisional CTS; recovery backfills rows with it.
   const Lsn end =
       engine_->log->Add({MakeTrxCommit(node(), trx->gid(), cts)});
-  POLARMP_RETURN_IF_ERROR(engine_->log->ForceTo(end));
-  log_span.Finish();
+  const uint64_t log_start_ns = obs::TraceSpan::NowNanos();
+  enqueue_span.Finish();
+  if (options_.async_commit) {
+    // Client-visible commit point = enqueue. Acknowledge now; the force
+    // completion finalizes in the background, and a force FAILURE rolls
+    // back an already-acknowledged commit (the documented crash window of
+    // this mode).
+    engine_->log->ForceAsync(
+        end, [this, trx, cts, commit_start_ns, log_start_ns](Status s) {
+          commit_log_ns_.Record(obs::TraceSpan::NowNanos() - log_start_ns);
+          EnqueueFinalize({trx, cts, std::move(s), nullptr, commit_start_ns});
+        });
+    done(Status::OK());
+    return;
+  }
+  // The force callback runs on the flusher thread and must not block:
+  // FinishCommit is handed to the finalizer thread, which completes `done`.
+  engine_->log->ForceAsync(
+      end, [this, trx, cts, commit_start_ns, log_start_ns,
+            done = std::move(done)](Status s) mutable {
+        commit_log_ns_.Record(obs::TraceSpan::NowNanos() - log_start_ns);
+        EnqueueFinalize(
+            {trx, cts, std::move(s), std::move(done), commit_start_ns});
+      });
+}
+
+void TrxManager::FinishCommit(Transaction* trx, Csn provisional_cts,
+                              Status force_status, CommitCallback done) {
+  if (!force_status.ok()) {
+    if (force_status.IsAborted()) {
+      // Crash drain (LogWriter::Abandon): the buffer is gone and the node
+      // is tearing down — record the outcome, touch no engine state.
+      trx->state_.store(TrxState::kRolledBack, std::memory_order_release);
+      FinishCommitBookkeeping(trx);
+      if (done) done(std::move(force_status));
+      return;
+    }
+    // Force failed: nothing durable, nothing published beyond the
+    // provisional CTS (which no reader ever admits). Re-activate so the
+    // row images can be undone.
+    trx->state_.store(TrxState::kActive, std::memory_order_release);
+    if (options_.async_commit) {
+      // The client already saw OK at enqueue: an acknowledged commit is
+      // lost. Undo it right here — this is the finalizer thread, which may
+      // block on the page writes rollback performs.
+      POLARMP_LOG(Warn) << "async commit of trx " << trx->gid()
+                        << " failed after acknowledgement, rolling back: "
+                        << force_status.ToString();
+      const Status undo = Rollback(trx);
+      if (!undo.ok()) {
+        POLARMP_LOG(Warn) << "abort of failed async commit " << trx->gid()
+                          << " failed: " << undo.ToString();
+      }
+    }
+    FinishCommitBookkeeping(trx);
+    if (done) done(std::move(force_status));
+    return;
+  }
+  obs::TraceSpan finalize_span(&commit_finalize_ns_);
   // 3. Visibility: finalize the TIT slot with a CTS fetched AFTER the force.
   //    Every view that observed the provisional bit was created before this
   //    fetch, so the final CTS exceeds its view CTS and the transaction
@@ -314,30 +476,42 @@ Status TrxManager::Commit(Transaction* trx) {
   //    "provisional ⇒ active" resolution exact. If the TSO fails here the
   //    transaction is already durable: fall back to the provisional value,
   //    degrading to the seed's narrow window rather than losing the commit.
-  obs::TraceSpan publish_span(&commit_publish_ns_);
-  Csn final_cts = cts;
+  Csn final_cts = provisional_cts;
   if (auto fts = tso_->CommitTimestamp(); fts.ok()) final_cts = fts.value();
   trx->cts_ = final_cts;
   tit_->PublishCts(trx->gid(), final_cts);
-  trx->state_ = TrxState::kCommitted;
+  trx->state_.store(TrxState::kCommitted, std::memory_order_release);
   // 4. Best-effort CTS backfill into still-buffered rows (§4.1).
   BackfillCts(trx);
   // 5. Wake cross-node waiters if any flagged themselves (§4.3.2).
   FinishWaiters(trx);
-  publish_span.Finish();
+  finalize_span.Finish();
   // 6. Hand the slot to the recycler once globally visible; tombstoned
-  //    rows join the purge queue for physical removal.
-  MutexLock lock(mu_);
-  finished_.push_back(FinishedTrx{trx->gid(), final_cts,
-                                  trx->first_undo_offset(),
-                                  undo_->head(node())});
-  for (const auto& touched : trx->touched_) {
-    if (touched.tombstone) {
-      purge_queue_.push_back(
-          PurgeCandidate{touched.space, touched.key, final_cts});
+  //    rows join the purge queue for physical removal. Clearing
+  //    commit_pending_ (and honoring a Release that arrived while the
+  //    force was in flight) must precede `done`: once the caller observes
+  //    completion it may Release, and exactly one side performs the erase.
+  {
+    MutexLock lock(mu_);
+    finished_.push_back(FinishedTrx{trx->gid(), final_cts,
+                                    trx->first_undo_offset(),
+                                    undo_->head(node())});
+    for (const auto& touched : trx->touched_) {
+      if (touched.tombstone) {
+        purge_queue_.push_back(
+            PurgeCandidate{touched.space, touched.key, final_cts});
+      }
     }
+    trx->commit_pending_ = false;
+    if (trx->released_) active_.erase(trx->local_id());  // destroys trx
   }
-  return Status::OK();
+  if (done) done(Status::OK());
+}
+
+void TrxManager::FinishCommitBookkeeping(Transaction* trx) {
+  MutexLock lock(mu_);
+  trx->commit_pending_ = false;
+  if (trx->released_) active_.erase(trx->local_id());  // destroys trx
 }
 
 void TrxManager::BackfillCts(Transaction* trx) {
@@ -434,7 +608,14 @@ Status TrxManager::Rollback(Transaction* trx) {
 void TrxManager::Release(Transaction* trx) {
   MutexLock lock(mu_);
   auto it = active_.find(trx->local_id());
-  POLARMP_CHECK(it != active_.end());
+  // Already dropped (crash teardown raced the release): nothing to do.
+  if (it == active_.end()) return;
+  if (trx->commit_pending_) {
+    // A force completion (or deferred abort) still owns the object; flag
+    // the release and let whoever clears commit_pending_ erase it.
+    trx->released_ = true;
+    return;
+  }
   POLARMP_CHECK(it->second->state_ != TrxState::kActive)
       << "release of active transaction";
   active_.erase(it);
@@ -537,7 +718,11 @@ Lsn TrxManager::OldestActiveFirstLsn() const {
   MutexLock lock(mu_);
   Lsn oldest = UINT64_MAX;
   for (const auto& [id, trx] : active_) {
-    if (trx->state_ == TrxState::kActive && trx->first_lsn() != 0) {
+    // kCommitting still gates the checkpoint: its redo (commit record
+    // included) may not be durable until the in-flight force lands.
+    const TrxState state = trx->state_.load(std::memory_order_acquire);
+    if ((state == TrxState::kActive || state == TrxState::kCommitting) &&
+        trx->first_lsn() != 0) {
       oldest = std::min(oldest, trx->first_lsn());
     }
   }
@@ -588,6 +773,10 @@ Status TrxManager::RollbackRecovered(GTrxId gid, UndoPtr last_undo) {
 }
 
 void TrxManager::DropAll() {
+  // Queued force completions reference Transaction objects that die with
+  // active_: let the finalizer run them against the still-live engine
+  // before anything is dropped.
+  DrainCommitQueue();
   MutexLock lock(mu_);
   active_.clear();
   finished_.clear();

@@ -16,6 +16,12 @@ namespace polarmp {
 // DBP *before* the PLock moves, the LLSNs stamped on any single page's logs
 // are strictly increasing in generation order across nodes — a partial
 // order that is total per page, which is all recovery needs.
+//
+// LLSN assignment and the log-buffer append are atomic per node (the
+// kLlsnOrder mutex in Mtr::Commit), so the pipelined group-commit flusher
+// — which claims the whole buffer per device force — always writes batches
+// whose LLSNs are already in stream order; force grouping never reorders
+// them, and completion callbacks fire in LSN (hence per-page LLSN) order.
 class LlsnClock {
  public:
   LlsnClock() : value_(0) {}

@@ -1,10 +1,13 @@
 #ifndef POLARMP_WAL_LOG_WRITER_H_
 #define POLARMP_WAL_LOG_WRITER_H_
 
+#include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/lock_rank.h"
+#include "common/status_future.h"
 #include "obs/metrics.h"
 #include "storage/log_store.h"
 #include "wal/log_record.h"
@@ -12,11 +15,34 @@
 namespace polarmp {
 
 // Per-node redo log front end: buffers encoded records in LSN order and
-// forces them to the LogStore with group commit (concurrent committers
-// piggyback on one storage append, as InnoDB's log does).
+// forces them to the LogStore with a pipelined group commit.
+//
+// Committers append records (Add/AddEncoded) and enqueue a force target
+// with ForceAsync instead of blocking; a dedicated flusher thread claims
+// the whole buffer, performs ONE storage append for every queued committer,
+// and completes their handles/callbacks in LSN order. While an append is on
+// the wire the buffer keeps accumulating the next batch, so consecutive
+// forces pipeline back-to-back — commit throughput is bounded by
+// force-latency per *group*, not per committer.
+//
+// API contract:
+//  * ForceAsync(lsn) -> ForceHandle: completed (OK) once everything up to
+//    `lsn` is durable, or with the error that failed the force. Handles for
+//    targets already durable complete inline.
+//  * ForceAsync(lsn, cb): callback form. The callback runs on the flusher
+//    thread with NO LogWriter locks held (it may acquire engine locks), or
+//    inline on the caller for the already-durable fast path.
+//  * Callbacks and handles complete in LSN order of their targets.
+//  * ForceTo/ForceAll are blocking shims over ForceAsync kept for the edges
+//    (tests, tools); hot paths in src/engine, src/txn and src/node must use
+//    the async API (enforced by polarlint's blocking-force rule).
 class LogWriter {
  public:
+  using ForceHandle = StatusFuture;
+  using ForceCallback = std::function<void(Status)>;
+
   LogWriter(NodeId node, LogStore* store);
+  ~LogWriter();
 
   LogWriter(const LogWriter&) = delete;
   LogWriter& operator=(const LogWriter&) = delete;
@@ -27,36 +53,94 @@ class LogWriter {
   Lsn Add(const std::vector<LogRecord>& records);
   Lsn AddEncoded(const std::string& encoded);
 
-  // Blocks until everything up to `lsn` is durable. Group commit: a caller
-  // that arrives while a force is in flight waits and re-checks.
+  // Enqueues a durability request up to `lsn` and returns immediately.
+  ForceHandle ForceAsync(Lsn lsn);
+  void ForceAsync(Lsn lsn, ForceCallback cb);
+  ForceHandle ForceAllAsync();
+  void ForceAllAsync(ForceCallback cb);
+
+  // Blocking shims over the async API — test/edge use only (see polarlint
+  // rule "blocking-force"); equivalent to ForceAsync(lsn).Wait().
   Status ForceTo(Lsn lsn);
   Status ForceAll();
 
   Lsn durable_lsn() const;
   Lsn buffered_lsn() const;
 
+  // ---- test / crash-simulation hooks ---------------------------------------
+
+  // Holds the flusher between batches: no NEW force starts until Resume
+  // (an in-flight one completes first). Lets tests form deterministic
+  // groups: pause, enqueue N committers, resume, observe one force.
+  void PauseFlusher();
+  void ResumeFlusher();
+
+  // Crash support: drops the volatile buffer and fails every pending and
+  // future force with Aborted. Blocks until the flusher has quiesced, so on
+  // return no completion callback is running or will run — callers tear
+  // down the engine safely after this. An append already on the wire is
+  // allowed to land (as it could in a real crash) and its waiters complete
+  // normally before the drain.
+  void Abandon();
+
+  // Pending force requests not yet completed (test introspection; also
+  // exported as the "log_writer.force_queue_depth" gauge).
+  size_t pending_forces() const;
+
   // ---- telemetry ------------------------------------------------------------
-  // Shims over this instance's registry handles ("log_writer.*");
-  // "log_writer.force_ns" is the commit path's durability segment
-  // (including time spent piggybacking on another committer's force).
+  // Shims over this instance's registry handles ("log_writer.*"):
+  //  * force_ns      — device time of one storage append (the actual force)
+  //  * commit_wait_ns— a committer's enqueue-to-completion wait on its group
+  //  * group_size    — committers amortized by one force
   uint64_t appends() const { return appends_.Value(); }
   uint64_t forces() const { return forces_.Value(); }
   void ResetCounters();
 
  private:
+  struct Waiter {
+    Lsn target = 0;
+    uint64_t seq = 0;          // enqueue order, tie-break within one target
+    uint64_t enqueue_ns = 0;   // commit_wait_ns start
+    ForceCallback cb;          // exactly one of cb / promise is used
+    std::unique_ptr<StatusPromise> promise;
+  };
+
+  void FlusherLoop();
+  // Pops every waiter with target <= durable (ascending LSN order).
+  std::vector<Waiter> TakeReady(Lsn durable) REQUIRES(flusher_mu_);
+  // Completes `ready` outside all locks, recording commit_wait_ns.
+  void Complete(std::vector<Waiter> ready, const Status& status);
+
   const NodeId node_;
   LogStore* const store_;
 
   mutable RankedMutex mu_{LockRank::kLogWriter, "log_writer.buffer"};
-  CondVar cv_;
   std::string buffer_ GUARDED_BY(mu_);       // encoded bytes not yet durable
   Lsn buffer_start_ GUARDED_BY(mu_) = 0;     // LSN of buffer_[0]
   Lsn durable_ GUARDED_BY(mu_) = 0;
-  bool force_in_flight_ GUARDED_BY(mu_) = false;
+
+  // Flusher queue state. flusher_mu_ ranks ABOVE mu_ (the flusher claims
+  // the buffer while holding it); committer paths take them one at a time.
+  mutable RankedMutex flusher_mu_{LockRank::kLogFlusher, "log_writer.flusher"};
+  CondVar flusher_cv_;
+  std::vector<Waiter> waiters_ GUARDED_BY(flusher_mu_);
+  uint64_t next_seq_ GUARDED_BY(flusher_mu_) = 0;
+  bool stop_ GUARDED_BY(flusher_mu_) = false;
+  bool paused_ GUARDED_BY(flusher_mu_) = false;
+  bool abandoned_ GUARDED_BY(flusher_mu_) = false;
+  // True while the flusher is forcing or running completions; Pause/Abandon
+  // wait on it to quiesce.
+  bool flusher_busy_ GUARDED_BY(flusher_mu_) = false;
+
+  // polarlint: unguarded(joined in the destructor after the stop_ handshake)
+  std::thread flusher_;
 
   obs::Counter appends_{"log_writer.appends"};
   obs::Counter forces_{"log_writer.forces"};
   obs::LatencyHistogram force_ns_{"log_writer.force_ns"};
+  obs::LatencyHistogram commit_wait_ns_{"log_writer.commit_wait_ns"};
+  obs::LatencyHistogram group_size_{"log_writer.group_size"};
+  obs::Gauge force_queue_depth_{"log_writer.force_queue_depth"};
 };
 
 }  // namespace polarmp

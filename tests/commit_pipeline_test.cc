@@ -1,0 +1,197 @@
+// Deterministic tests for the pipelined group-commit log writer and the
+// async, future-based commit API (ISSUE 6): group formation, completion
+// ordering, the async-commit crash window, and force-error delivery.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "node/session.h"
+#include "wal/log_writer.h"
+
+namespace polarmp {
+namespace {
+
+ClusterOptions QuietClusterOptions() {
+  // Background activity (heartbeats, checkpoints, LBP/DBP flushes) forces
+  // the log on its own; push it out past the test horizon so the only
+  // forces observed are the ones the test issues.
+  ClusterOptions opts;
+  opts.node.background_interval_ms = 60'000;
+  opts.node.checkpoint_interval_ms = 60'000;
+  opts.node.lbp_flush_interval_ms = 60'000;
+  opts.dbp_flush_interval_ms = 60'000;
+  return opts;
+}
+
+class CommitPipelineTest : public ::testing::Test {
+ protected:
+  // Node options (async_commit among them) are cluster-wide, so each test
+  // builds its own cluster.
+  DbNode* MakeClusterWithNode(bool async_commit) {
+    ClusterOptions opts = QuietClusterOptions();
+    opts.node.trx.async_commit = async_commit;
+    auto cluster = Cluster::Create(opts);
+    EXPECT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+    auto node = cluster_->AddNode();
+    EXPECT_TRUE(node.ok());
+    return node.value();
+  }
+
+  TableHandle Open(DbNode* node) {
+    auto table = node->OpenTable("t");
+    EXPECT_TRUE(table.ok());
+    return table.value();
+  }
+
+  Status Write1(DbNode* node, const TableHandle& t, int64_t key,
+                const std::string& value) {
+    Session s(node, IsolationLevel::kReadCommitted);
+    POLARMP_RETURN_IF_ERROR(s.Begin());
+    POLARMP_RETURN_IF_ERROR(s.Put(t, key, value));
+    return s.Commit();
+  }
+
+  StatusOr<std::string> Read1(DbNode* node, const TableHandle& t,
+                              int64_t key) {
+    Session s(node, IsolationLevel::kReadCommitted);
+    POLARMP_RETURN_IF_ERROR(s.Begin());
+    auto v = s.Get(t, key);
+    POLARMP_RETURN_IF_ERROR(s.Commit());
+    return v;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+};
+
+// N committers queued behind a paused flusher ride ONE device force.
+TEST_F(CommitPipelineTest, GroupFormationOneForcePerBatch) {
+  constexpr int kCommitters = 6;
+  DbNode* node = MakeClusterWithNode(/*async_commit=*/false);
+  ASSERT_TRUE(cluster_->CreateTable("t").ok());
+  TableHandle t = Open(node);
+  LogWriter* writer = node->log_writer();
+
+  writer->PauseFlusher();
+  const uint64_t forces_before = writer->forces();
+  std::vector<std::thread> committers;
+  for (int i = 0; i < kCommitters; ++i) {
+    committers.emplace_back(
+        [&, i] { ASSERT_TRUE(Write1(node, t, 100 + i, "gv").ok()); });
+  }
+  // Every committer parks one force request on the paused flusher.
+  while (writer->pending_forces() < static_cast<size_t>(kCommitters)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(writer->forces(), forces_before);
+  writer->ResumeFlusher();
+  for (auto& c : committers) c.join();
+
+  // One batch claim, one storage append, six completions.
+  EXPECT_EQ(writer->forces(), forces_before + 1);
+  EXPECT_EQ(writer->pending_forces(), 0u);
+  for (int i = 0; i < kCommitters; ++i) {
+    auto v = Read1(node, t, 100 + i);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v.value(), "gv");
+  }
+}
+
+// Force completions fire in LSN order of their targets, regardless of the
+// order the handles were enqueued in.
+TEST_F(CommitPipelineTest, CompletionsFollowLsnOrder) {
+  LogStore store(ZeroLatencyProfile());
+  LogWriter writer(7, &store);
+  writer.PauseFlusher();
+
+  constexpr int kRecords = 8;
+  std::vector<Lsn> ends;
+  for (int i = 0; i < kRecords; ++i) {
+    ends.push_back(writer.Add({MakeTrxCommit(7, 100 + i, 1)}));
+  }
+  std::mutex order_mu;
+  std::vector<Lsn> completed;
+  // Enqueue in REVERSE target order; completions must still run ascending.
+  for (int i = kRecords - 1; i >= 0; --i) {
+    const Lsn target = ends[i];
+    writer.ForceAsync(target, [&, target](Status s) {
+      ASSERT_TRUE(s.ok());
+      std::lock_guard<std::mutex> lock(order_mu);
+      completed.push_back(target);
+    });
+  }
+  EXPECT_EQ(writer.pending_forces(), static_cast<size_t>(kRecords));
+  writer.ResumeFlusher();
+  ASSERT_TRUE(writer.ForceAll().ok());
+
+  std::lock_guard<std::mutex> lock(order_mu);
+  ASSERT_EQ(completed.size(), static_cast<size_t>(kRecords));
+  EXPECT_EQ(completed, ends);
+}
+
+// The async-commit crash window: a commit acknowledged at force-enqueue but
+// never forced is rolled back by recovery — the provisional CTS is never
+// finalized and the pre-crash value survives.
+TEST_F(CommitPipelineTest, AsyncCommitCrashWindowRollsBack) {
+  DbNode* node = MakeClusterWithNode(/*async_commit=*/true);
+  ASSERT_TRUE(cluster_->CreateTable("t").ok());
+  TableHandle t = Open(node);
+
+  ASSERT_TRUE(Write1(node, t, 1, "durable-old").ok());
+  ASSERT_TRUE(node->log_writer()->ForceAll().ok());
+
+  // Hold the flusher so the next commit's force can never land, then commit:
+  // async mode acknowledges OK at enqueue anyway.
+  node->log_writer()->PauseFlusher();
+  ASSERT_TRUE(Write1(node, t, 1, "acked-not-durable").ok());
+
+  const NodeId id = node->id();
+  ASSERT_TRUE(cluster_->CrashNode(id).ok());
+  auto restarted = cluster_->RestartNode(id);
+  ASSERT_TRUE(restarted.ok());
+  DbNode* revived = restarted.value();
+
+  TableHandle t2 = Open(revived);
+  auto v = Read1(revived, t2, 1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), "durable-old");
+}
+
+// A LogStore append failure is delivered to EVERY queued committer, the
+// buffer survives, and a retry force succeeds.
+TEST_F(CommitPipelineTest, ForceErrorReachesEveryWaiter) {
+  LogStore store(ZeroLatencyProfile());
+  LogWriter writer(9, &store);
+  writer.PauseFlusher();
+
+  const Lsn end1 = writer.Add({MakeTrxCommit(9, 1, 1)});
+  const Lsn end2 = writer.Add({MakeTrxCommit(9, 2, 2)});
+  std::atomic<int> io_errors{0};
+  writer.ForceAsync(end1, [&](Status s) {
+    EXPECT_TRUE(s.IsIOError()) << s.ToString();
+    io_errors.fetch_add(1);
+  });
+  LogWriter::ForceHandle handle = writer.ForceAsync(end2);
+
+  store.FailNextAppends(1);
+  writer.ResumeFlusher();
+
+  const Status second = handle.Wait();
+  EXPECT_TRUE(second.IsIOError()) << second.ToString();
+  EXPECT_EQ(io_errors.load(), 1);
+  EXPECT_EQ(writer.durable_lsn(), 0u);
+  EXPECT_EQ(writer.buffered_lsn(), end2);
+
+  // The failed batch went back into the buffer: a retry forces all of it.
+  ASSERT_TRUE(writer.ForceTo(end2).ok());
+  EXPECT_EQ(writer.durable_lsn(), end2);
+  EXPECT_EQ(store.DurableLsn(9).value(), end2);
+}
+
+}  // namespace
+}  // namespace polarmp

@@ -1,0 +1,34 @@
+// polarlint-fixture-path: src/txn/blocking_force_fixture.cc
+//
+// The blocking force shims are banned on the commit hot path (src/engine,
+// src/txn, src/node): committers enqueue on the group-commit pipeline via
+// ForceAsync/ForceAllAsync instead of serializing one force per caller.
+
+struct FixtureLogWriter {
+  // polarlint: allow(blocking-force) fixture declaration, not a call site
+  int ForceTo(unsigned long lsn);
+  // polarlint: allow(blocking-force) fixture declaration, not a call site
+  int ForceAll();
+  int ForceAsync(unsigned long lsn);
+  int ForceAllAsync();
+};
+
+int CommitPath(FixtureLogWriter* log, unsigned long end) {
+  int s = log->ForceTo(end);  // polarlint-fixture-expect: blocking-force
+  if (s != 0) return s;
+  return log->ForceAll();  // polarlint-fixture-expect: blocking-force
+}
+
+int CheckpointPath(FixtureLogWriter* log, unsigned long end) {
+  // Identifier boundaries: the async names must NOT trip the rule even
+  // though they share the ForceAll/ForceTo prefix.
+  int s = log->ForceAsync(end);
+  if (s != 0) return s;
+  return log->ForceAllAsync();
+}
+
+int RecoveryEdge(FixtureLogWriter* log) {
+  // polarlint: allow(blocking-force) recovery runs single-threaded before
+  // the flusher serves committers; nothing can group with it anyway.
+  return log->ForceAll();
+}

@@ -39,12 +39,22 @@
 //                      code draws from polarmp::Random so runs are seedable
 //                      and reproducible.
 //
+//   blocking-force     LogWriter::ForceTo / ForceAll (the blocking shims
+//                      over the async force pipeline) inside src/engine,
+//                      src/txn or src/node. Hot paths enqueue with
+//                      ForceAsync/ForceAllAsync and continue (or wait on
+//                      the returned handle where the call site is
+//                      inherently synchronous); the blocking names are
+//                      test/edge-only so a committer can never sneak back
+//                      to one-force-per-caller.
+//
 //   unguarded-field    a mutable data member of a class that owns a
 //                      RankedMutex/RankedSharedMutex, where the member is
 //                      neither GUARDED_BY/PT_GUARDED_BY-annotated, nor
 //                      const/constexpr/static, nor itself a synchronization
 //                      or telemetry object (RankedMutex, RankedSharedMutex,
-//                      CondVar, obs::Counter, obs::LatencyHistogram), nor a
+//                      CondVar, obs::Counter, obs::Gauge,
+//                      obs::LatencyHistogram), nor a
 //                      std::atomic in the raw-atomic-exempt dirs (src/obs,
 //                      src/rdma, src/dsm). Every escape is documented in
 //                      place:
@@ -430,6 +440,7 @@ class Linter {
     CheckRawAtomic(rel, display, s);
     CheckHostPtrMemcpy(rel, display, s);
     CheckNondeterminism(rel, display, s);
+    CheckBlockingForce(rel, display, s);
     CheckUnguardedFields(rel, display, s);
   }
 
@@ -575,6 +586,26 @@ class Linter {
     }
   }
 
+  void CheckBlockingForce(const std::string& rel, const std::string& display,
+                          const Scrubbed& s) {
+    // Only the layers on the commit hot path are constrained; src/wal owns
+    // the shims' definitions, and tests/benches are outside src/ anyway.
+    if (!StartsWith(rel, "src/engine/") && !StartsWith(rel, "src/txn/") &&
+        !StartsWith(rel, "src/node/")) {
+      return;
+    }
+    for (const char* token : {"ForceTo", "ForceAll"}) {
+      for (size_t pos : TokenHits(s.text, token)) {
+        Report(display, s, pos, "blocking-force",
+               std::string(token) +
+                   " is a test/edge-only blocking shim: enqueue with "
+                   "LogWriter::ForceAsync/ForceAllAsync and continue, or "
+                   "Wait() on the handle if the site is inherently "
+                   "synchronous");
+      }
+    }
+  }
+
   void CheckUnguardedFields(const std::string& rel, const std::string& display,
                             const Scrubbed& s) {
     // lock_rank.h wraps the raw std primitives; the annotation macros are
@@ -630,7 +661,7 @@ class Linter {
         bool whitelisted = false;
         for (const char* token :
              {"RankedMutex", "RankedSharedMutex", "CondVar", "obs::Counter",
-              "obs::LatencyHistogram"}) {
+              "obs::Gauge", "obs::LatencyHistogram"}) {
           if (HasToken(stmt.text, token)) whitelisted = true;
         }
         if (whitelisted) continue;
