@@ -64,7 +64,35 @@ inline ClusterOptions MakeBenchClusterOptions(int nodes) {
   options.dsm_bytes_per_server = (64ull << 20) +
                                  static_cast<uint64_t>(nodes) * (12ull << 20);
   options.node.trx.lock_wait_timeout_ms = 2'000;
+  // POLARMP_INDEX_CACHE=0 disables the compute-side index cache (the
+  // cache-off ablation every bench can run without a rebuild).
+  if (const char* v = std::getenv("POLARMP_INDEX_CACHE")) {
+    options.node.cache.enabled = std::atoi(v) != 0;
+  }
+  // POLARMP_BENCH_LBP_FRAMES shrinks the local buffer pool, modelling the
+  // compute node whose working set exceeds its LBP — the regime the index
+  // cache targets (routing images are far smaller than the pages an LBP
+  // frame would pin, so they survive where the frames do not).
+  if (const char* v = std::getenv("POLARMP_BENCH_LBP_FRAMES")) {
+    options.node.lbp.frames = static_cast<uint32_t>(std::atoi(v));
+  }
   return options;
+}
+
+// Fabric round trips (one-sided reads/writes/atomics + RPCs; coalesced
+// doorbell passengers excluded — they share a round trip) per committed
+// transaction, over the whole process so far. The headline figure for the
+// compute-side cache: descents that route through cached internal pages
+// skip the per-level Buffer Fusion traffic entirely.
+inline double FabricOpsPerTxn() {
+  const auto& reg = obs::MetricsRegistry::Global();
+  const uint64_t ops = reg.CounterTotal("fabric.remote_reads") +
+                       reg.CounterTotal("fabric.remote_writes") +
+                       reg.CounterTotal("fabric.remote_atomics") +
+                       reg.CounterTotal("fabric.rpcs");
+  const uint64_t txns = reg.CounterTotal("trx.commits");
+  return txns > 0 ? static_cast<double>(ops) / static_cast<double>(txns)
+                  : 0.0;
 }
 
 // Loads `workload` at time-scale 0 (instant I/O), then measures at scale 1.
@@ -107,7 +135,18 @@ inline void EmitMetricsSidecar(const std::string& bench_name) {
   if (const char* dir = std::getenv("POLARMP_METRICS_DIR")) {
     path = std::string(dir) + "/" + path;
   }
-  const std::string json = obs::MetricsRegistry::Global().SnapshotJson();
+  std::string json = obs::MetricsRegistry::Global().SnapshotJson();
+  // Splice the derived figures in as a top-level "derived" section so the
+  // sidecar carries fabric_ops_per_txn ready-made (no consumer re-derives
+  // it from the counter families).
+  const size_t close = json.rfind('}');
+  if (close != std::string::npos) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n  \"derived\": {\n    \"fabric_ops_per_txn\": %.4f\n  }\n",
+                  FabricOpsPerTxn());
+    json.insert(close, buf);
+  }
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "metrics sidecar: cannot open %s\n", path.c_str());

@@ -117,7 +117,26 @@ run_mode() {
         echo "FAIL: ${sidecar} lacks the log_writer.group_size histogram" >&2
         return 1
       fi
-      echo "smoke OK: sidecar ${sidecar}"
+      # Index-cache smoke: the micro_cache bench sweeps cache off/on plus
+      # an invalidation-churn phase; its sidecar must carry the cache
+      # counter families and the derived fabric-ops figure.
+      cmake --build build -j "${JOBS}" --target micro_cache
+      POLARMP_BENCH_MEASURE_MS=300 POLARMP_BENCH_WARMUP_MS=100 \
+        POLARMP_METRICS_DIR="${smoke_dir}" ./build/bench/micro_cache
+      local cache_sidecar="${smoke_dir}/micro_cache.metrics.json"
+      if [[ ! -s "${cache_sidecar}" ]]; then
+        echo "FAIL: metrics sidecar ${cache_sidecar} missing or empty" >&2
+        return 1
+      fi
+      if ! grep -q 'index_cache.hits' "${cache_sidecar}"; then
+        echo "FAIL: ${cache_sidecar} lacks the index_cache counters" >&2
+        return 1
+      fi
+      if ! grep -q 'fabric_ops_per_txn' "${cache_sidecar}"; then
+        echo "FAIL: ${cache_sidecar} lacks derived fabric_ops_per_txn" >&2
+        return 1
+      fi
+      echo "smoke OK: sidecars ${sidecar} ${cache_sidecar}"
       ;;
     *)
       echo "usage: $0 [plain|lint|format|tidy|tsan|asan|ubsan|wthread|smoke|--all]" >&2

@@ -1,0 +1,75 @@
+#ifndef POLARMP_CACHE_INDIRECTION_H_
+#define POLARMP_CACHE_INDIRECTION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace polarmp {
+
+// Page-id → cache-slot indirection for the compute-side index cache.
+//
+// Every hop of a cached traversal re-resolves the next page id through this
+// table instead of following a stored pointer to another slot. That is what
+// makes invalidation safe under SMOs: when a split replaces a page's
+// content, dropping or rebinding the one table entry retires every path
+// through the stale image at once — there are no slot-to-slot pointers that
+// could dangle or have to be chased and patched (torn-pointer problem).
+//
+// The table is passive: no locking of its own. IndexCache guards it with
+// its table mutex (LockRank::kIndexCache) and keeps the two directions
+// (page→slot map, slot→page reverse array) in sync under that lock.
+class IndirectionTable {
+ public:
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+  static constexpr uint64_t kNoPage = UINT64_MAX;
+
+  explicit IndirectionTable(uint32_t slots) : reverse_(slots, kNoPage) {}
+
+  IndirectionTable(const IndirectionTable&) = delete;
+  IndirectionTable& operator=(const IndirectionTable&) = delete;
+
+  // Slot bound to `page_key` (a PageId::Pack() value), or kNoSlot.
+  uint32_t Lookup(uint64_t page_key) const {
+    auto it = map_.find(page_key);
+    return it == map_.end() ? kNoSlot : it->second;
+  }
+
+  // Binds `page_key` to `slot`. The slot must be unbound and the page must
+  // not be bound elsewhere — rebinding goes through Unbind first so a
+  // binding can never silently alias two slots.
+  void Bind(uint64_t page_key, uint32_t slot) {
+    POLARMP_CHECK_LT(slot, reverse_.size());
+    POLARMP_CHECK_EQ(reverse_[slot], kNoPage);
+    POLARMP_CHECK(map_.find(page_key) == map_.end());
+    map_[page_key] = slot;
+    reverse_[slot] = page_key;
+  }
+
+  // Releases `slot`'s binding (no-op if unbound).
+  void Unbind(uint32_t slot) {
+    POLARMP_CHECK_LT(slot, reverse_.size());
+    const uint64_t page_key = reverse_[slot];
+    if (page_key == kNoPage) return;
+    map_.erase(page_key);
+    reverse_[slot] = kNoPage;
+  }
+
+  // Page bound to `slot` (a PageId::Pack() value), or kNoPage.
+  uint64_t PageAtSlot(uint32_t slot) const {
+    POLARMP_CHECK_LT(slot, reverse_.size());
+    return reverse_[slot];
+  }
+
+  size_t bound() const { return map_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, uint32_t> map_;
+  std::vector<uint64_t> reverse_;
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_CACHE_INDIRECTION_H_

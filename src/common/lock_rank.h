@@ -63,6 +63,12 @@ enum class LockRank : unsigned {
   kTit = 80,         // TIT table map
 
   // ---- node engine ----
+  kCacheSlot = 82,    // IndexCache per-slot latch (taken under kIndexCache;
+                      // shields slot bytes during routes and refreshes)
+  kIndexCache = 85,   // IndexCache indirection table (may call into
+                      // BufferFusion (kPmfsService) while held, hence above
+                      // it; taken under page latches during installs, hence
+                      // below kPageLatch)
   kPlock = 90,        // PLockManager entry table
   kBufferPool = 100,  // LBP frame table
   kFutureState = 105, // StatusFuture shared state (completed/awaited with

@@ -76,21 +76,22 @@ Status Dsm::WriteSeqlocked(EndpointId from, DsmPtr frame, const void* src,
   if (!fabric_->EndpointAlive(ServerEndpoint(frame.server))) {
     return Status::Unavailable("memory server down");
   }
-  if (from != ServerEndpoint(frame.server)) {
-    SimDelay(fabric_->profile().rdma_write_ns);
-  }
+  fabric_->ChargeOneSidedWrite(from, ServerEndpoint(frame.server));
   HostWriteSeqlocked(frame, src, len);
   return Status::OK();
 }
 
 Status Dsm::ReadSeqlocked(EndpointId from, DsmPtr frame, void* dst,
                           uint64_t len) const {
+  return ReadSeqlocked(from, frame, dst, len, /*version_out=*/nullptr);
+}
+
+Status Dsm::ReadSeqlocked(EndpointId from, DsmPtr frame, void* dst,
+                          uint64_t len, uint64_t* version_out) const {
   if (!fabric_->EndpointAlive(ServerEndpoint(frame.server))) {
     return Status::Unavailable("memory server down");
   }
-  if (from != ServerEndpoint(frame.server)) {
-    SimDelay(fabric_->profile().rdma_read_ns);
-  }
+  fabric_->ChargeOneSidedRead(from, ServerEndpoint(frame.server));
   auto* seq = reinterpret_cast<std::atomic<uint64_t>*>(HostPtr(frame));
   const char* data = HostPtr(DsmPtr{frame.server, frame.offset + 8});
   for (int attempt = 0; attempt < 100000; ++attempt) {
@@ -101,7 +102,10 @@ Status Dsm::ReadSeqlocked(EndpointId from, DsmPtr frame, void* dst,
     }
     std::memcpy(dst, data, len);
     std::atomic_thread_fence(std::memory_order_acquire);
-    if (seq->load(std::memory_order_acquire) == s1) return Status::OK();
+    if (seq->load(std::memory_order_acquire) == s1) {
+      if (version_out != nullptr) *version_out = s1;
+      return Status::OK();
+    }
   }
   return Status::Internal("seqlocked read livelock");
 }

@@ -68,6 +68,14 @@ class Dsm {
                         uint64_t len) const;
   Status ReadSeqlocked(EndpointId from, DsmPtr frame, void* dst,
                        uint64_t len) const;
+  // Same read, additionally returning the (even) seqlock word the stable
+  // copy was taken at. The word only changes when a writer publishes a new
+  // version, so callers can keep it as a content version: a later read that
+  // observes the same word read an identical image (the compute-side index
+  // cache uses this to tell "refreshed, content unchanged" from "refreshed
+  // to a newer image" without diffing pages).
+  Status ReadSeqlocked(EndpointId from, DsmPtr frame, void* dst, uint64_t len,
+                       uint64_t* version_out) const;
 
   // Direct host access for components co-located with the memory servers.
   char* HostPtr(DsmPtr ptr) const;

@@ -1,5 +1,6 @@
 #include "engine/btree.h"
 
+#include "cache/index_cache.h"
 #include "common/coding.h"
 #include "obs/trace.h"
 
@@ -43,11 +44,34 @@ StatusOr<BTree::LeafPos> BTree::SearchLeaf(Mtr* mtr, int64_t key,
                                            LockMode mode) {
   POLARMP_CHECK_GT(key, INT64_MIN);
   leaf_searches_.Inc();
+  IndexCache* cache =
+      ctx_->cache != nullptr && ctx_->cache->enabled() ? ctx_->cache : nullptr;
+  // Cleared the first time a cached route proves unconfirmable; the retry
+  // then descends from the (authoritative) root.
+  bool use_route = cache != nullptr;
   for (int attempt = 0; attempt < 64; ++attempt) {
-    // Root level is unknown before reading it; start shared and upgrade by
-    // re-acquiring if the root itself turns out to be the target leaf.
-    POLARMP_ASSIGN_OR_RETURN(size_t g, mtr->GetPage(RootId(), LockMode::kShared));
-    {
+    size_t g;
+    bool routed = false;
+    if (use_route) {
+      // Fast path: route through cached internal-page images and start the
+      // guarded descent at the deepest routed page. A stale image can only
+      // land the descent at or LEFT of the key's home leaf (splits move
+      // keys right; there are no merges), and the leaf-chain walk below
+      // heals that — or rejects the route when it cannot prove the landing.
+      const IndexCache::RouteResult route = cache->Route(space_, key);
+      if (route.page_no != 0) {
+        routed = true;
+        // A level-1 image's children are leaves, and non-root pages never
+        // change level, so a leaf route can take the final mode directly.
+        const LockMode start_mode = route.leaf ? mode : LockMode::kShared;
+        POLARMP_ASSIGN_OR_RETURN(
+            g, mtr->GetPage(PageId{space_, route.page_no}, start_mode));
+      }
+    }
+    if (!routed) {
+      // Root level is unknown before reading it; start shared and upgrade by
+      // re-acquiring if the root itself turns out to be the target leaf.
+      POLARMP_ASSIGN_OR_RETURN(g, mtr->GetPage(RootId(), LockMode::kShared));
       Page root = mtr->PageAt(g);
       if (root.is_leaf() && mode == LockMode::kExclusive) {
         mtr->ReleasePage(g);
@@ -61,11 +85,17 @@ StatusOr<BTree::LeafPos> BTree::SearchLeaf(Mtr* mtr, int64_t key,
       }
     }
     size_t cur = g;
-    for (;;) {
+    bool restart = false;
+    while (!restart) {
       Page page = mtr->PageAt(cur);
       if (page.is_leaf()) {
-        if (page.nslots() > 0 && key > page.KeyAt(page.nslots() - 1) &&
-            page.next() != kInvalidPageNo) {
+        // A routed landing additionally probes past EMPTY leaves (a stale
+        // route can land on a purged-empty leaf whose contents say nothing
+        // about its key range; an unrouted descent arrived through the
+        // page's current parent, so an empty leaf IS the key's home).
+        const bool beyond =
+            page.nslots() > 0 ? key > page.KeyAt(page.nslots() - 1) : routed;
+        if (beyond && page.next() != kInvalidPageNo) {
           // The key is beyond this leaf but the leaf has a right sibling:
           // the parent image this node routed through may be stale against
           // a concurrent remote split that moved the upper half right. Page
@@ -86,6 +116,28 @@ StatusOr<BTree::LeafPos> BTree::SearchLeaf(Mtr* mtr, int64_t key,
             continue;
           }
           mtr->ReleasePage(sib);
+          if (routed && page.nslots() == 0) {
+            // Empty leaf, and the sibling cannot prove the key's home is
+            // here (it is empty too, or its low key exceeds the key). Only
+            // the real parent can arbitrate; drop the route and re-descend.
+            mtr->ReleasePage(cur);
+            use_route = false;
+            restart = true;
+            continue;
+          }
+        }
+        if (routed && page.nslots() > 0 && key > page.KeyAt(page.nslots() - 1) &&
+            page.next() != kInvalidPageNo) {
+          // key > every row here and the right sibling's low key exceeds
+          // the key. On an unrouted descent the parent proved this leaf
+          // owns the key (the key is simply absent); a routed landing has
+          // no such proof — the home could be a sibling whose smallest
+          // PRESENT row exceeds the key. A write must land in the true
+          // home, so re-descend from the root.
+          mtr->ReleasePage(cur);
+          use_route = false;
+          restart = true;
+          continue;
         }
         LeafPos pos;
         pos.guard = cur;
@@ -96,6 +148,12 @@ StatusOr<BTree::LeafPos> BTree::SearchLeaf(Mtr* mtr, int64_t key,
       const PageNo child_no = RouteChild(page, key);
       const LockMode child_mode =
           page.level() == 1 ? mode : LockMode::kShared;
+      if (cache != nullptr) {
+        // Guarded-descent install: we hold the page's PLock + shared frame
+        // latch, so no remote push (and hence no missed invalidation) can
+        // race the registration.
+        (void)cache->Install(mtr->PageIdAt(cur), page.raw(), page.level());
+      }
       POLARMP_ASSIGN_OR_RETURN(
           size_t child, mtr->GetPage(PageId{space_, child_no}, child_mode));
       mtr->ReleasePage(cur);
@@ -180,6 +238,7 @@ Status BTree::SplitOnce(int64_t key, size_t need_bytes) {
   // engines never root-fence a leaf split: X on the whole path would
   // invalidate every node's cached upper levels on every split).
   Status st;
+  std::vector<PageId> smo_pages;
   if (split_idx == 0) {
     POLARMP_ASSIGN_OR_RETURN(size_t root_guard,
                              smo.GetPage(RootId(), LockMode::kExclusive));
@@ -189,6 +248,7 @@ Status BTree::SplitOnce(int64_t key, size_t need_bytes) {
       return Status::OK();
     }
     st = SplitRoot(&smo, root_guard);
+    smo_pages.push_back(RootId());
   } else {
     POLARMP_ASSIGN_OR_RETURN(
         size_t parent_guard,
@@ -209,9 +269,17 @@ Status BTree::SplitOnce(int64_t key, size_t need_bytes) {
       return Status::OK();
     }
     st = SplitNonRoot(&smo, node_guard, parent_guard);
+    smo_pages.push_back(PageId{space_, path[split_idx - 1].page_no});
+    smo_pages.push_back(PageId{space_, path[split_idx].page_no});
   }
   if (!st.ok()) return st;
   smo.Commit();
+  if (ctx_->cache != nullptr) {
+    // The split rewrote these pages in our LBP; our own cached images (if
+    // any) are behind until the dirty push lands in the DBP. Flag them so
+    // routes stop trusting the images (purely local, no fabric op).
+    for (PageId p : smo_pages) ctx_->cache->InvalidateLocal(p);
+  }
   return Status::OK();
 }
 

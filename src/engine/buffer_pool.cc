@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "rdma/rpc.h"
+
 namespace polarmp {
 
 namespace {
@@ -146,7 +148,10 @@ Status BufferPool::PushFrame(uint32_t idx, bool clean_load) {
   const Llsn llsn = Page::PeekLlsn(f.data.get());
   POLARMP_RETURN_IF_ERROR(
       buffer_fusion_->PushPage(node_, f.r_addr, f.data.get()));
-  return buffer_fusion_->NotifyPush(node_, f.page_id, llsn, clean_load);
+  POLARMP_RETURN_IF_ERROR(
+      buffer_fusion_->NotifyPush(node_, f.page_id, llsn, clean_load));
+  if (note_push_) note_push_(f.page_id);
+  return Status::OK();
 }
 
 StatusOr<uint32_t> BufferPool::AllocFrameLocked() {
@@ -182,14 +187,19 @@ Status BufferPool::EvictLocked(uint32_t idx) {
   mu_.unlock();
 
   Status st = Status::OK();
-  if (was_dirty) {
-    st = PushFrame(idx, /*clean_load=*/false);
-  }
-  if (st.ok() && release_plock_) {
-    st = release_plock_(old_page);
-  }
-  if (st.ok()) {
-    st = buffer_fusion_->UnregisterCopy(node_, old_page);
+  {
+    // Doorbell batch: the eviction's control-plane RPCs (push notify, PLock
+    // release, copy unregister) ride one fabric operation.
+    RpcBatch batch(fabric_, node_, kPmfsEndpoint);
+    if (was_dirty) {
+      st = PushFrame(idx, /*clean_load=*/false);
+    }
+    if (st.ok() && release_plock_) {
+      st = release_plock_(old_page);
+    }
+    if (st.ok()) {
+      st = buffer_fusion_->UnregisterCopy(node_, old_page);
+    }
   }
 
   mu_.lock();

@@ -61,6 +61,12 @@ class BufferPool {
   void SetReleasePLock(std::function<Status(PageId)> release_plock) {
     release_plock_ = std::move(release_plock);
   }
+  // Called after a page's content reaches the DBP (any push, clean or
+  // dirty). The index cache uses it to retire its not-in-DBP install
+  // backoff so the page becomes cacheable as soon as it is fetchable.
+  void SetNotePush(std::function<void(PageId)> note_push) {
+    note_push_ = std::move(note_push);
+  }
 
   // Pins the page's frame, loading/refreshing content as needed:
   //   * cached + valid        → return it
@@ -107,6 +113,7 @@ class BufferPool {
 
   NodeId node() const { return node_; }
   uint32_t page_size() const { return options_.page_size; }
+  Fabric* fabric() const { return fabric_; }
 
   // Telemetry shims over this instance's registry handles
   // ("buffer_pool.*").
@@ -180,6 +187,8 @@ class BufferPool {
   std::function<Status(Lsn)> force_log_;
   // polarlint: unguarded(installed once by DbNode before traffic)
   std::function<Status(PageId)> release_plock_;
+  // polarlint: unguarded(installed once by DbNode before traffic)
+  std::function<void(PageId)> note_push_;
 
   mutable RankedMutex mu_{LockRank::kBufferPool, "buffer_pool.frames"};
   CondVar cv_;

@@ -1,5 +1,7 @@
 #include "engine/mtr.h"
 
+#include "rdma/rpc.h"
+
 namespace polarmp {
 
 Mtr::~Mtr() {
@@ -12,6 +14,9 @@ StatusOr<size_t> Mtr::Acquire(PageId page, LockMode mode, bool create,
                               bool virtual_lock) {
   POLARMP_CHECK_EQ(FindGuard(page), -1)
       << "page acquired twice in one mtr: " << page.ToString();
+  // Doorbell batch: the PLock pin and the LBP miss's RegisterCopy (plus a
+  // clean-load NotifyPush, when one happens) ride one fabric operation.
+  RpcBatch batch(ctx_->lbp->fabric(), ctx_->node, kPmfsEndpoint);
   POLARMP_RETURN_IF_ERROR(
       ctx_->plock->Pin(page, mode, ctx_->plock_timeout_ms));
   Guard guard;

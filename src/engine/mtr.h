@@ -10,11 +10,16 @@
 
 namespace polarmp {
 
+class IndexCache;
+
 // Everything a mini-transaction needs from its node. Owned by DbNode.
 struct EngineContext {
   NodeId node = 0;
   PLockManager* plock = nullptr;
   BufferPool* lbp = nullptr;
+  // Compute-side cache of internal B-tree pages (may be null or disabled;
+  // the B-tree routes through it when present).
+  IndexCache* cache = nullptr;
   LogWriter* log = nullptr;
   LlsnClock* llsn = nullptr;
   // Serializes mtr commits against checkpoint snapshots (shared for mtr

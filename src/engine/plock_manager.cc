@@ -1,5 +1,7 @@
 #include "engine/plock_manager.h"
 
+#include "rdma/rpc.h"
+
 namespace polarmp {
 
 Status PLockManager::Pin(PageId page, LockMode mode, uint64_t timeout_ms) {
@@ -27,6 +29,12 @@ Status PLockManager::Pin(PageId page, LockMode mode, uint64_t timeout_ms) {
       }
       ++e.refs;
       local_grants_.Inc();
+      if (e.leased) {
+        // The lease paid off: a repeat acquisition on a cache-resident
+        // page granted without leaving the node.
+        e.leased = false;
+        lease_regrants_.Inc();
+      }
       return Status::OK();
     }
     if (e.acquiring) {
@@ -76,6 +84,10 @@ bool PLockManager::TryPinLocal(PageId page, LockMode mode) {
   }
   ++e.refs;
   local_grants_.Inc();
+  if (e.leased) {
+    e.leased = false;
+    lease_regrants_.Inc();
+  }
   return true;
 }
 
@@ -139,19 +151,71 @@ Status PLockManager::ForceRelease(PageId page) {
   return Status::OK();
 }
 
+Status PLockManager::DemoteToLease(PageId page) {
+  const uint64_t key = page.Pack();
+  MutexLock lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return Status::OK();
+  Entry& e = it->second;
+  if (!e.held) {
+    if (e.acquiring || e.releasing) {
+      return Status::Busy("PLock entry busy");
+    }
+    entries_.erase(it);
+    return Status::OK();
+  }
+  if (e.refs > 0 || e.acquiring || e.releasing) {
+    return Status::Busy("PLock in use");
+  }
+  if (!lazy_release_) {
+    // The ablation baseline retains no idle holds; give it back like a
+    // plain eviction (the caller already flushed the frame).
+    e.releasing = true;
+    ReleaseLocked(page, /*run_hook=*/false);
+    return Status::OK();
+  }
+  e.leased = true;
+  lease_demotes_.Inc();
+  return Status::OK();
+}
+
+void PLockManager::ReleaseLease(PageId page) {
+  const uint64_t key = page.Pack();
+  MutexLock lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  Entry& e = it->second;
+  if (!e.leased) return;
+  if (e.held && e.refs == 0 && !e.acquiring && !e.releasing) {
+    e.releasing = true;
+    // The page is long gone from the LBP; the hook is a harmless no-op
+    // there, and running it keeps the release path uniform.
+    ReleaseLocked(page, /*run_hook=*/true);
+    return;
+  }
+  // The hold became active again (or is mid-transition); it is no longer
+  // a lease, just a normal retained hold.
+  e.leased = false;
+}
+
 void PLockManager::ReleaseLocked(PageId page, bool run_hook) {
   negotiated_releases_.Inc();
   mu_.unlock();
-  if (run_hook && before_release_) {
-    const Status s = before_release_(page);
-    if (!s.ok()) {
-      POLARMP_LOG(Warn) << "before-release hook failed for page "
-                        << page.ToString() << ": " << s.ToString();
+  {
+    // Doorbell batch: the hook's dirty-push NotifyPush and the release RPC
+    // ride one fabric operation.
+    RpcBatch batch(fusion_->fabric(), node_, kPmfsEndpoint);
+    if (run_hook && before_release_) {
+      const Status s = before_release_(page);
+      if (!s.ok()) {
+        POLARMP_LOG(Warn) << "before-release hook failed for page "
+                          << page.ToString() << ": " << s.ToString();
+      }
     }
-  }
-  const Status s = fusion_->ReleasePLock(node_, page);
-  if (!s.ok() && !s.IsNotFound()) {
-    POLARMP_LOG(Warn) << "PLock release failed: " << s.ToString();
+    const Status s = fusion_->ReleasePLock(node_, page);
+    if (!s.ok() && !s.IsNotFound()) {
+      POLARMP_LOG(Warn) << "PLock release failed: " << s.ToString();
+    }
   }
   mu_.lock();
   entries_.erase(page.Pack());
@@ -162,16 +226,19 @@ void PLockManager::PartialReleaseLocked(PageId page) {
   Entry& e = entries_[page.Pack()];
   e.releasing = true;
   mu_.unlock();
-  if (before_release_) {
-    const Status s = before_release_(page);
-    if (!s.ok()) {
-      POLARMP_LOG(Warn) << "before-release hook failed for page "
-                        << page.ToString() << ": " << s.ToString();
+  {
+    RpcBatch batch(fusion_->fabric(), node_, kPmfsEndpoint);
+    if (before_release_) {
+      const Status s = before_release_(page);
+      if (!s.ok()) {
+        POLARMP_LOG(Warn) << "before-release hook failed for page "
+                          << page.ToString() << ": " << s.ToString();
+      }
     }
-  }
-  const Status s = fusion_->ReleasePLock(node_, page);
-  if (!s.ok() && !s.IsNotFound()) {
-    POLARMP_LOG(Warn) << "partial PLock release failed: " << s.ToString();
+    const Status s = fusion_->ReleasePLock(node_, page);
+    if (!s.ok() && !s.IsNotFound()) {
+      POLARMP_LOG(Warn) << "partial PLock release failed: " << s.ToString();
+    }
   }
   mu_.lock();
   Entry& e2 = entries_[page.Pack()];
@@ -204,7 +271,8 @@ std::string PLockManager::DebugDump() const {
            " refs=" + std::to_string(e.refs) +
            " rel_req=" + std::to_string(e.release_requested) +
            " acq=" + std::to_string(e.acquiring) +
-           " rel=" + std::to_string(e.releasing) + "\n";
+           " rel=" + std::to_string(e.releasing) +
+           " leased=" + std::to_string(e.leased) + "\n";
   }
   return out;
 }

@@ -60,6 +60,22 @@ class PLockManager {
   // the page has references or an acquire in flight (pick another victim).
   Status ForceRelease(PageId page);
 
+  // Eviction support for pages the index cache still holds: instead of
+  // releasing the hold back to Lock Fusion, keeps it as a LEASE — the
+  // fusion-side grant stays with this node (refs == 0), so the next Pin on
+  // the page is a pure local regrant that never leaves the node. Lock
+  // Fusion revokes leases through the normal negotiation path (a lease is
+  // just an idle retained hold, so OnNegotiate releases it immediately).
+  // Same Busy conditions as ForceRelease; with lazy releasing disabled
+  // (the ablation baseline retains no idle holds) it degrades to a full
+  // ForceRelease.
+  Status DemoteToLease(PageId page);
+
+  // Hands a lease back to Lock Fusion (the index cache evicted the page,
+  // so nothing local justifies the hold anymore). No-op unless the page's
+  // hold is an idle lease.
+  void ReleaseLease(PageId page);
+
   bool HeldLocally(PageId page, LockMode mode) const;
 
   // Crash simulation: forget all local state (Lock Fusion's RemoveNode
@@ -75,6 +91,8 @@ class PLockManager {
   uint64_t negotiated_releases() const {
     return negotiated_releases_.Value();
   }
+  uint64_t lease_demotes() const { return lease_demotes_.Value(); }
+  uint64_t lease_regrants() const { return lease_regrants_.Value(); }
 
  private:
   struct Entry {
@@ -84,6 +102,9 @@ class PLockManager {
     bool release_requested = false;
     bool acquiring = false;
     bool releasing = false;
+    // Idle hold kept because the index cache holds the page (see
+    // DemoteToLease). Cleared by the Pin that re-uses it.
+    bool leased = false;
   };
 
   static bool Sufficient(LockMode held, LockMode wanted) {
@@ -121,6 +142,8 @@ class PLockManager {
   obs::Counter local_grants_{"plock.local_grants"};
   obs::Counter fusion_acquires_{"plock.fusion_acquires"};
   obs::Counter negotiated_releases_{"plock.negotiated_releases"};
+  obs::Counter lease_demotes_{"plock.lease_demotes"};
+  obs::Counter lease_regrants_{"plock.lease_regrants"};
 };
 
 }  // namespace polarmp

@@ -7,6 +7,18 @@
 
 namespace polarmp {
 
+namespace {
+
+// Cache slots hold LBP page images, so the cache's page size always follows
+// the LBP's (whatever the option struct says).
+IndexCache::Options MakeCacheOptions(const NodeOptions& options) {
+  IndexCache::Options o = options.cache;
+  o.page_size = options.lbp.page_size;
+  return o;
+}
+
+}  // namespace
+
 std::string EncodeIndexedValue(const std::vector<uint64_t>& index_cols,
                                Slice payload) {
   std::string out;
@@ -35,12 +47,15 @@ DbNode::DbNode(NodeId id, const ClusterServices& services,
       lbp_(id, services.fabric, services.buffer_fusion, services.page_store,
            &llsn_, options.lbp),
       plock_(id, services.lock_fusion, options.lazy_plock_release),
+      cache_(id, services.fabric, services.buffer_fusion,
+             MakeCacheOptions(options)),
       tso_client_(services.txn_fusion->tso(), id, options.linear_lamport),
       trx_mgr_(&engine_ctx_, services.tit, &tso_client_, services.txn_fusion,
                services.lock_fusion, services.undo, options.trx) {
   engine_ctx_.node = id_;
   engine_ctx_.plock = &plock_;
   engine_ctx_.lbp = &lbp_;
+  engine_ctx_.cache = &cache_;
   engine_ctx_.log = &log_writer_;
   engine_ctx_.llsn = &llsn_;
   engine_ctx_.commit_mu = &commit_mu_;
@@ -56,7 +71,16 @@ DbNode::DbNode(NodeId id, const ClusterServices& services,
       [this](Lsn lsn) { return log_writer_.ForceAsync(lsn).Wait(); });
   plock_.SetBeforeRelease(
       [this](PageId page) { return lbp_.FlushPageForRelease(page); });
-  lbp_.SetReleasePLock([this](PageId page) { return plock_.ForceRelease(page); });
+  lbp_.SetReleasePLock([this](PageId page) {
+    // If the index cache still holds the page, keep the fusion-side grant
+    // as a lease: the next descent through the cached image re-pins without
+    // leaving the node. (A lease is just an idle retained hold, so a remote
+    // conflict revokes it through the normal negotiation path.)
+    return cache_.Contains(page) ? plock_.DemoteToLease(page)
+                                 : plock_.ForceRelease(page);
+  });
+  cache_.SetOnEvict([this](PageId page) { plock_.ReleaseLease(page); });
+  lbp_.SetNotePush([this](PageId page) { cache_.NotePushed(page); });
   trx_mgr_.SetTreeResolver([this](SpaceId space) { return TreeForSpace(space); });
 }
 
@@ -144,6 +168,7 @@ Status DbNode::Stop() {
   POLARMP_RETURN_IF_ERROR(Checkpoint());
   // Committed rows we wrote stay resolvable through the registry-held TIT.
   services_.tit->MarkDeparted(id_, true);
+  cache_.DropAll();
   plock_.DropAll();
   services_.lock_fusion->RemoveNode(id_);
   services_.lock_fusion->ReleaseAllHolds(id_);
@@ -177,6 +202,7 @@ void DbNode::Crash() {
   services_.buffer_fusion->RemoveNode(id_);
   services_.txn_fusion->RemoveNode(id_);
   lbp_.DropAll();
+  cache_.DropAll();
   plock_.DropAll();
   trx_mgr_.DropAll();
   running_ = false;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <thread>
 
+#include "cache/index_cache.h"
 #include "common/lock_rank.h"
 #include "engine/btree.h"
 #include "node/catalog.h"
@@ -30,6 +31,9 @@ struct ClusterServices {
 
 struct NodeOptions {
   BufferPool::Options lbp;
+  // Compute-side index cache (internal B-tree pages, one-sided refresh).
+  // `cache.page_size` is ignored: the cache always follows `lbp.page_size`.
+  IndexCache::Options cache;
   uint64_t plock_timeout_ms = 10'000;
   TrxManager::Options trx;
   bool linear_lamport = true;        // §4.1 timestamp-fetch optimization
@@ -89,6 +93,7 @@ class DbNode {
   TsoClient* tso_client() { return &tso_client_; }
   BufferPool* buffer_pool() { return &lbp_; }
   PLockManager* plock_manager() { return &plock_; }
+  IndexCache* index_cache() { return &cache_; }
   LogWriter* log_writer() { return &log_writer_; }
 
   // The tree for a tablespace (wrapper created lazily; the tree itself must
@@ -121,6 +126,8 @@ class DbNode {
   BufferPool lbp_;
   // polarlint: unguarded(internally synchronized)
   PLockManager plock_;
+  // polarlint: unguarded(internally synchronized)
+  IndexCache cache_;
   RankedSharedMutex commit_mu_{LockRank::kCommitGate, "db_node.commit_gate"};
   // polarlint: unguarded(wired once in the constructor, read-only after)
   EngineContext engine_ctx_;

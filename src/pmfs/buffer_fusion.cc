@@ -1,8 +1,8 @@
 #include "pmfs/buffer_fusion.h"
 
 #include <chrono>
-
 #include <cstring>
+#include <tuple>
 
 namespace polarmp {
 
@@ -37,7 +37,14 @@ void BufferFusion::AddNode(NodeId node) { (void)node; }
 void BufferFusion::RemoveNode(NodeId node) {
   MutexLock lock(mu_);
   for (auto& [key, entry] : directory_) {
-    entry.copies.erase(node);
+    // Drop the node's copies in every flag region (LBP + index cache).
+    for (auto it = entry.copies.begin(); it != entry.copies.end();) {
+      if (it->first.first == node) {
+        it = entry.copies.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
 }
 
@@ -75,7 +82,7 @@ bool BufferFusion::EvictOneLocked() {
 }
 
 StatusOr<BufferFusion::RegisterResult> BufferFusion::RegisterCopy(
-    NodeId node, PageId page, uint64_t flag_offset) {
+    NodeId node, PageId page, uint64_t flag_offset, uint32_t flag_region) {
   fabric_->ChargeRpc(node, kPmfsEndpoint);
   MutexLock lock(mu_);
   auto it = directory_.find(page.Pack());
@@ -87,23 +94,25 @@ StatusOr<BufferFusion::RegisterResult> BufferFusion::RegisterCopy(
     entry.frame = frame;
     it = directory_.emplace(page.Pack(), entry).first;
   }
-  it->second.copies[node] = flag_offset;
+  it->second.copies[{node, flag_region}] = flag_offset;
   return RegisterResult{it->second.frame, it->second.present};
 }
 
-Status BufferFusion::UnregisterCopy(NodeId node, PageId page) {
+Status BufferFusion::UnregisterCopy(NodeId node, PageId page,
+                                    uint32_t flag_region) {
   fabric_->ChargeRpc(node, kPmfsEndpoint);
   MutexLock lock(mu_);
   auto it = directory_.find(page.Pack());
   if (it == directory_.end()) return Status::OK();
-  it->second.copies.erase(node);
+  it->second.copies.erase({node, flag_region});
   return Status::OK();
 }
 
 Status BufferFusion::NotifyPush(NodeId node, PageId page, Llsn llsn,
                                 bool clean_load) {
   fabric_->ChargeRpc(node, kPmfsEndpoint);
-  std::vector<std::pair<NodeId, uint64_t>> to_invalidate;
+  // (node, flag region, flag offset)
+  std::vector<std::tuple<NodeId, uint32_t, uint64_t>> to_invalidate;
   {
     MutexLock lock(mu_);
     auto it = directory_.find(page.Pack());
@@ -122,17 +131,22 @@ Status BufferFusion::NotifyPush(NodeId node, PageId page, Llsn llsn,
       entry.dirty = true;
     }
     if (!clean_load && !already_current) {
-      for (const auto& [copy_node, offset] : entry.copies) {
-        if (copy_node == node) continue;
-        to_invalidate.emplace_back(copy_node, offset);
+      for (const auto& [copy_key, offset] : entry.copies) {
+        // Skip only the pusher's own LBP frame — its content IS the new
+        // version. The pusher's index-cache slot (if any) still holds the
+        // old image and must be invalidated like everyone else's.
+        if (copy_key.first == node && copy_key.second == kLbpFlagsRegion) {
+          continue;
+        }
+        to_invalidate.emplace_back(copy_key.first, copy_key.second, offset);
       }
     }
   }
-  for (const auto& [copy_node, offset] : to_invalidate) {
+  for (const auto& [copy_node, region, offset] : to_invalidate) {
     // One-sided write of the copy's invalid flag (Fig. 4). A dead endpoint
     // just means the copy died with its node.
-    const Status s = fabric_->Store64(kPmfsEndpoint, copy_node,
-                                      kLbpFlagsRegion, offset, 1);
+    const Status s =
+        fabric_->Store64(kPmfsEndpoint, copy_node, region, offset, 1);
     if (s.ok()) invalidations_.Inc();
   }
   return Status::OK();
@@ -148,6 +162,14 @@ Status BufferFusion::PushPage(EndpointId from, DsmPtr frame,
                               const char* src) const {
   pushes_.Inc();
   return dsm_->WriteSeqlocked(from, frame, src, options_.page_size);
+}
+
+Status BufferFusion::FetchPageVersioned(EndpointId from, DsmPtr frame,
+                                        char* dst,
+                                        uint64_t* version_out) const {
+  fetches_.Inc();
+  return dsm_->ReadSeqlocked(from, frame, dst, options_.page_size,
+                             version_out);
 }
 
 Status BufferFusion::FlushEntryLocked(PageId page) {
@@ -243,7 +265,7 @@ Status BufferFusion::ReadPageForRecovery(EndpointId from, PageId page,
 
 Status BufferFusion::HostWritePage(PageId page, const char* data, Llsn llsn,
                                    bool flushed) {
-  std::vector<std::pair<NodeId, uint64_t>> to_invalidate;
+  std::vector<std::tuple<NodeId, uint32_t, uint64_t>> to_invalidate;
   DsmPtr frame;
   {
     MutexLock lock(mu_);
@@ -265,14 +287,14 @@ Status BufferFusion::HostWritePage(PageId page, const char* data, Llsn llsn,
     } else if (llsn > entry.flushed_llsn) {
       entry.dirty = true;
     }
-    for (const auto& [copy_node, offset] : entry.copies) {
-      to_invalidate.emplace_back(copy_node, offset);
+    for (const auto& [copy_key, offset] : entry.copies) {
+      to_invalidate.emplace_back(copy_key.first, copy_key.second, offset);
     }
   }
   dsm_->HostWriteSeqlocked(frame, data, options_.page_size);
-  for (const auto& [copy_node, offset] : to_invalidate) {
-    const Status s = fabric_->Store64(kPmfsEndpoint, copy_node,
-                                      kLbpFlagsRegion, offset, 1);
+  for (const auto& [copy_node, region, offset] : to_invalidate) {
+    const Status s =
+        fabric_->Store64(kPmfsEndpoint, copy_node, region, offset, 1);
     if (s.ok()) invalidations_.Inc();
   }
   return Status::OK();

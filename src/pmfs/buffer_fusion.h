@@ -6,6 +6,7 @@
 #include <map>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/lock_rank.h"
@@ -18,6 +19,12 @@ namespace polarmp {
 // Fabric region at each node endpoint holding the LBP frames' invalid
 // flags, so Buffer Fusion can invalidate copies with one-sided writes.
 inline constexpr uint32_t kLbpFlagsRegion = 2;
+
+// Fabric region at each node endpoint holding the compute-side index
+// cache's slot invalid flags. The cache registers its copies in the same
+// directory as LBP copies, under this region, so one NotifyPush invalidates
+// both kinds of replica with the same one-sided flag writes.
+inline constexpr uint32_t kCacheFlagsRegion = 3;
 
 // Buffer Fusion (§4.2, Fig. 4): the distributed buffer pool (DBP) living in
 // disaggregated shared memory plus the directory that keeps all nodes'
@@ -64,15 +71,20 @@ class BufferFusion {
   };
 
   // RPC — node `node` wants to cache `page`; `flag_offset` addresses the
-  // invalid flag of the LBP frame the node chose, inside its
-  // kLbpFlagsRegion. If !present the node must load the page from storage
-  // and push it ("once loaded by a node, the page is registered to the DBP
-  // and remotely written to it").
+  // invalid flag of the frame/slot the node chose, inside its `flag_region`
+  // (kLbpFlagsRegion for LBP frames, kCacheFlagsRegion for index-cache
+  // slots — a node may hold both kinds of copy of the same page at once).
+  // If !present the node must load the page from storage and push it ("once
+  // loaded by a node, the page is registered to the DBP and remotely
+  // written to it").
   StatusOr<RegisterResult> RegisterCopy(NodeId node, PageId page,
-                                        uint64_t flag_offset);
+                                        uint64_t flag_offset,
+                                        uint32_t flag_region = kLbpFlagsRegion);
 
-  // RPC — the node evicted its LBP copy of `page`.
-  Status UnregisterCopy(NodeId node, PageId page);
+  // RPC — the node evicted its copy of `page` from the given region's
+  // structure (LBP frame or cache slot).
+  Status UnregisterCopy(NodeId node, PageId page,
+                        uint32_t flag_region = kLbpFlagsRegion);
 
   // RPC — the node finished a one-sided push of `page` at `llsn`. Marks the
   // DBP content valid/dirty and remotely invalidates every other copy.
@@ -83,6 +95,12 @@ class BufferFusion {
   // One-sided data plane. `dst`/`src` are page_size() bytes.
   Status FetchPage(EndpointId from, DsmPtr frame, char* dst) const;
   Status PushPage(EndpointId from, DsmPtr frame, const char* src) const;
+
+  // FetchPage that also returns the frame's seqlock word at the stable
+  // read — a content version the index cache uses to detect refreshes that
+  // pulled an unchanged image.
+  Status FetchPageVersioned(EndpointId from, DsmPtr frame, char* dst,
+                            uint64_t* version_out) const;
 
   // RPC — synchronously flush the given pages (if dirty) to storage.
   Status FlushPages(NodeId node, const std::vector<PageId>& pages);
@@ -123,12 +141,14 @@ class BufferFusion {
 
  private:
   struct Entry {
-    DsmPtr frame;                         // seq(u64) + page bytes
-    bool present = false;                 // frame holds valid content
-    bool dirty = false;                   // newer than storage
-    Llsn pushed_llsn = 0;                 // latest version pushed
-    Llsn flushed_llsn = 0;                // latest version in storage
-    std::map<NodeId, uint64_t> copies;    // node -> invalid-flag offset
+    DsmPtr frame;          // seq(u64) + page bytes
+    bool present = false;  // frame holds valid content
+    bool dirty = false;    // newer than storage
+    Llsn pushed_llsn = 0;  // latest version pushed
+    Llsn flushed_llsn = 0; // latest version in storage
+    // (node, flag region) -> invalid-flag offset. One node can appear twice:
+    // once for its LBP frame and once for its index-cache slot.
+    std::map<std::pair<NodeId, uint32_t>, uint64_t> copies;
   };
 
   // Allocates or reuses a frame.

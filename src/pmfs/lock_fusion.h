@@ -87,6 +87,8 @@ class LockFusion {
   // (deadlock forensics).
   std::string DebugDump() const;
 
+  Fabric* fabric() const { return fabric_; }
+
   // ---- telemetry -------------------------------------------------------------
   // Thin shims over this instance's registry handles ("lock_fusion.*"
   // families). Safe to read lock-free from any thread; wait-time

@@ -3,8 +3,34 @@
 #include "obs/trace.h"
 
 #include <cstring>
+#include <vector>
 
 namespace polarmp {
+
+namespace {
+
+// One open doorbell batch: while it is on the stack, further RPCs from
+// `from` to `to` on this Fabric ride the first RPC's doorbell.
+struct RpcBatchFrame {
+  const Fabric* fabric;
+  EndpointId from;
+  EndpointId to;
+  bool charged;  // the batch's first (paying) RPC has happened
+};
+
+// Batches are a property of the issuing thread (a real doorbell is rung by
+// one CPU posting a WR chain), so a plain thread_local stack needs no lock.
+thread_local std::vector<RpcBatchFrame> g_rpc_batches;
+
+RpcBatchFrame* FindBatch(const Fabric* fabric, EndpointId from,
+                         EndpointId to) {
+  for (auto it = g_rpc_batches.rbegin(); it != g_rpc_batches.rend(); ++it) {
+    if (it->fabric == fabric && it->from == from && it->to == to) return &*it;
+  }
+  return nullptr;
+}
+
+}  // namespace
 
 Status Fabric::RegisterRegion(EndpointId endpoint, uint32_t region, void* base,
                               size_t size) {
@@ -64,11 +90,24 @@ StatusOr<char*> Fabric::Resolve(EndpointId to, uint32_t region,
   return it->second.base + offset;
 }
 
+void Fabric::CountService(EndpointId to) const {
+  if (to == kPmfsEndpoint) {
+    ops_pmfs_.Inc();
+  } else if (to == kStorageEndpoint) {
+    ops_storage_.Inc();
+  } else if (to >= kDsmEndpointBase) {
+    ops_dsm_.Inc();
+  } else {
+    ops_node_.Inc();
+  }
+}
+
 Status Fabric::Read(EndpointId from, EndpointId to, uint32_t region,
                     uint64_t offset, void* dst, size_t len) const {
   POLARMP_ASSIGN_OR_RETURN(char* src, Resolve(to, region, offset, len));
   if (from != to) {
     remote_reads_.Inc();
+    CountService(to);
     obs::TraceSpan span(&read_ns_);
     SimDelay(profile_.rdma_read_ns);
   }
@@ -81,6 +120,7 @@ Status Fabric::Write(EndpointId from, EndpointId to, uint32_t region,
   POLARMP_ASSIGN_OR_RETURN(char* dst, Resolve(to, region, offset, len));
   if (from != to) {
     remote_writes_.Inc();
+    CountService(to);
     obs::TraceSpan span(&write_ns_);
     SimDelay(profile_.rdma_write_ns);
   }
@@ -94,6 +134,7 @@ StatusOr<uint64_t> Fabric::FetchAdd64(EndpointId from, EndpointId to,
   POLARMP_ASSIGN_OR_RETURN(char* p, Resolve(to, region, offset, 8));
   if (from != to) {
     remote_atomics_.Inc();
+    CountService(to);
     obs::TraceSpan span(&atomic_ns_);
     SimDelay(profile_.rdma_cas_ns);
   }
@@ -108,6 +149,7 @@ StatusOr<uint64_t> Fabric::CompareSwap64(EndpointId from, EndpointId to,
   POLARMP_ASSIGN_OR_RETURN(char* p, Resolve(to, region, offset, 8));
   if (from != to) {
     remote_atomics_.Inc();
+    CountService(to);
     obs::TraceSpan span(&atomic_ns_);
     SimDelay(profile_.rdma_cas_ns);
   }
@@ -122,6 +164,7 @@ StatusOr<uint64_t> Fabric::Load64(EndpointId from, EndpointId to,
   POLARMP_ASSIGN_OR_RETURN(char* p, Resolve(to, region, offset, 8));
   if (from != to) {
     remote_reads_.Inc();
+    CountService(to);
     obs::TraceSpan span(&read_ns_);
     SimDelay(profile_.rdma_read_ns);
   }
@@ -134,6 +177,7 @@ Status Fabric::Store64(EndpointId from, EndpointId to, uint32_t region,
   POLARMP_ASSIGN_OR_RETURN(char* p, Resolve(to, region, offset, 8));
   if (from != to) {
     remote_writes_.Inc();
+    CountService(to);
     obs::TraceSpan span(&write_ns_);
     SimDelay(profile_.rdma_write_ns);
   }
@@ -143,11 +187,49 @@ Status Fabric::Store64(EndpointId from, EndpointId to, uint32_t region,
 }
 
 void Fabric::ChargeRpc(EndpointId from, EndpointId to) const {
-  if (from != to) {
-    rpcs_.Inc();
-    obs::TraceSpan span(&rpc_ns_);
-    SimDelay(profile_.rpc_ns);
+  if (from == to) return;
+  if (RpcBatchFrame* batch = FindBatch(this, from, to)) {
+    if (batch->charged) {
+      // Rides the batch's already-rung doorbell: no extra round trip, no
+      // extra latency. Counted separately so benches can report how many
+      // control messages the batching absorbed.
+      rpcs_coalesced_.Inc();
+      return;
+    }
+    batch->charged = true;
   }
+  rpcs_.Inc();
+  CountService(to);
+  obs::TraceSpan span(&rpc_ns_);
+  SimDelay(profile_.rpc_ns);
+}
+
+void Fabric::ChargeOneSidedRead(EndpointId from, EndpointId to) const {
+  if (from == to) return;
+  remote_reads_.Inc();
+  CountService(to);
+  obs::TraceSpan span(&read_ns_);
+  SimDelay(profile_.rdma_read_ns);
+}
+
+void Fabric::ChargeOneSidedWrite(EndpointId from, EndpointId to) const {
+  if (from == to) return;
+  remote_writes_.Inc();
+  CountService(to);
+  obs::TraceSpan span(&write_ns_);
+  SimDelay(profile_.rdma_write_ns);
+}
+
+void Fabric::BeginRpcBatch(EndpointId from, EndpointId to) const {
+  g_rpc_batches.push_back(RpcBatchFrame{this, from, to, /*charged=*/false});
+}
+
+void Fabric::EndRpcBatch(EndpointId from, EndpointId to) const {
+  POLARMP_CHECK(!g_rpc_batches.empty());
+  const RpcBatchFrame& top = g_rpc_batches.back();
+  POLARMP_CHECK(top.fabric == this && top.from == from && top.to == to)
+      << "mismatched EndRpcBatch";
+  g_rpc_batches.pop_back();
 }
 
 void Fabric::ResetCounters() {
@@ -155,6 +237,11 @@ void Fabric::ResetCounters() {
   remote_writes_.Reset();
   remote_atomics_.Reset();
   rpcs_.Reset();
+  rpcs_coalesced_.Reset();
+  ops_pmfs_.Reset();
+  ops_storage_.Reset();
+  ops_dsm_.Reset();
+  ops_node_.Reset();
   read_ns_.Reset();
   write_ns_.Reset();
   atomic_ns_.Reset();

@@ -78,14 +78,35 @@ class Fabric {
   // control messages ride RDMA-based RPC).
   void ChargeRpc(EndpointId from, EndpointId to) const;
 
+  // Accounting entry points for seqlock-framed page transfers. The payload
+  // memcpy and the guard-word discipline live in src/dsm (the frame layout
+  // is Dsm's business), but the latency and the round-trip count belong to
+  // the fabric so every cross-endpoint op lands in one set of books.
+  // No-ops when from == to.
+  void ChargeOneSidedRead(EndpointId from, EndpointId to) const;
+  void ChargeOneSidedWrite(EndpointId from, EndpointId to) const;
+
+  // Doorbell batching (§4.1-style WR chaining): between BeginRpcBatch and
+  // the matching EndRpcBatch on the SAME thread, the first ChargeRpc to
+  // (from, to) pays latency and counts as a round trip; every further
+  // ChargeRpc to the same pair rides the same doorbell — it counts only in
+  // fabric.rpcs_coalesced and is free. Batches nest LIFO (a handler that
+  // runs inside an RPC may open its own batch for a different pair).
+  // Prefer the RpcBatch RAII wrapper in rdma/rpc.h.
+  void BeginRpcBatch(EndpointId from, EndpointId to) const;
+  void EndRpcBatch(EndpointId from, EndpointId to) const;
+
   // Telemetry: number of remote (cross-endpoint) operations by kind. Thin
   // shims over this instance's registry handles ("fabric.*" families); the
   // per-verb latency distributions live in "fabric.{read,write,atomic,
-  // rpc}_ns".
+  // rpc}_ns". Per-destination-service totals (every remote verb + rpc,
+  // classified by target endpoint) are in "fabric.ops_{pmfs,storage,dsm,
+  // node}".
   uint64_t remote_reads() const { return remote_reads_.Value(); }
   uint64_t remote_writes() const { return remote_writes_.Value(); }
   uint64_t remote_atomics() const { return remote_atomics_.Value(); }
   uint64_t rpcs() const { return rpcs_.Value(); }
+  uint64_t rpcs_coalesced() const { return rpcs_coalesced_.Value(); }
   void ResetCounters();
 
  private:
@@ -97,6 +118,9 @@ class Fabric {
   // Resolves (endpoint, region, offset, len) to a host pointer or fails.
   StatusOr<char*> Resolve(EndpointId to, uint32_t region, uint64_t offset,
                           size_t len) const;
+
+  // Bumps the per-destination-service op counter for a remote op to `to`.
+  void CountService(EndpointId to) const;
 
   static uint64_t Key(EndpointId endpoint, uint32_t region) {
     return (static_cast<uint64_t>(endpoint) << 32) | region;
@@ -111,6 +135,11 @@ class Fabric {
   mutable obs::Counter remote_writes_{"fabric.remote_writes"};
   mutable obs::Counter remote_atomics_{"fabric.remote_atomics"};
   mutable obs::Counter rpcs_{"fabric.rpcs"};
+  mutable obs::Counter rpcs_coalesced_{"fabric.rpcs_coalesced"};
+  mutable obs::Counter ops_pmfs_{"fabric.ops_pmfs"};
+  mutable obs::Counter ops_storage_{"fabric.ops_storage"};
+  mutable obs::Counter ops_dsm_{"fabric.ops_dsm"};
+  mutable obs::Counter ops_node_{"fabric.ops_node"};
   mutable obs::LatencyHistogram read_ns_{"fabric.read_ns"};
   mutable obs::LatencyHistogram write_ns_{"fabric.write_ns"};
   mutable obs::LatencyHistogram atomic_ns_{"fabric.atomic_ns"};

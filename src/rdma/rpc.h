@@ -45,6 +45,31 @@ class Rpc {
   std::unordered_map<uint64_t, Handler> handlers_ GUARDED_BY(mu_);
 };
 
+// Doorbell batch scope: while alive, every RPC this thread issues from
+// `from` to `to` after the first one rides the first one's doorbell — one
+// fabric round trip carries all of them (a WR chain posted with a single
+// doorbell ring). Used by multi-RPC sequences that a real client would
+// batch: Mtr::Acquire's PLock-pin + page-fetch pair, the buffer pool's
+// evict-time release + copy-unregister pair, the PLock release's
+// flush-notify + unlock pair. Scopes nest LIFO; destruction order must
+// mirror construction order on the thread.
+class RpcBatch {
+ public:
+  RpcBatch(Fabric* fabric, EndpointId from, EndpointId to)
+      : fabric_(fabric), from_(from), to_(to) {
+    fabric_->BeginRpcBatch(from_, to_);
+  }
+  ~RpcBatch() { fabric_->EndRpcBatch(from_, to_); }
+
+  RpcBatch(const RpcBatch&) = delete;
+  RpcBatch& operator=(const RpcBatch&) = delete;
+
+ private:
+  Fabric* const fabric_;
+  const EndpointId from_;
+  const EndpointId to_;
+};
+
 }  // namespace polarmp
 
 #endif  // POLARMP_RDMA_RPC_H_

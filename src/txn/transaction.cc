@@ -374,10 +374,12 @@ void TrxManager::CommitAsync(Transaction* trx, CommitCallback done) {
     // Read-only: no row ever carries this gid; the slot can recycle now.
     tit_->FreeSlot(trx->gid());
     FinishWaiters(trx);
+    all_commits_.Inc();
     done(Status::OK());
     return;
   }
   commits_.Inc();
+  all_commits_.Inc();
   const uint64_t commit_start_ns = obs::TraceSpan::NowNanos();
   obs::TraceSpan enqueue_span(&commit_enqueue_ns_);
   // 1. Commit timestamp from the TSO (one-sided RDMA fetch-add).

@@ -331,6 +331,9 @@ class TrxManager {
   obs::Counter lock_waits_{"txn.lock_waits"};
   obs::Counter deadlock_aborts_{"txn.deadlock_aborts"};
   obs::Counter commits_{"txn_fusion.commits"};
+  // All committed transactions INCLUDING read-only ones (which skip the
+  // commit pipeline above). Benches derive fabric_ops_per_txn from this.
+  obs::Counter all_commits_{"trx.commits"};
 
   // Commit-path segments, pipelined decomposition: enqueue (CTS fetch +
   // provisional publish + record append + force enqueue, on the committer

@@ -1,0 +1,45 @@
+// polarlint-fixture-path: src/engine/traversal_fixture.cc
+//
+// Engine traversal code (anything in src/engine other than the LBP and the
+// undo log) must not reach Dsm or the Buffer Fusion RPC surface directly:
+// the guarded path goes through Mtr/BufferPool, the one-sided fast path
+// through the compute-side IndexCache (src/cache/). Every banned token
+// reports, whether it names a type or a call.
+
+struct FixtureDescent {
+  // Mentioning the banned names in a comment (FetchPage, NotifyPush) is
+  // fine: the scrubber removes comments before matching.
+  int depth = 0;
+};
+
+int EvilSearch(Dsm* dsm,  // polarlint-fixture-expect: fusion-bypass
+               FixtureDescent* d) {
+  char frame[4096];
+  unsigned long seq = 0;
+  int s = dsm->ReadSeqlocked(0, frame, &seq);  // polarlint-fixture-expect: fusion-bypass
+  if (s != 0) {
+    s = fusion->FetchPage(1, 0, frame);  // polarlint-fixture-expect: fusion-bypass
+  }
+  if (s != 0) {
+    s = fusion->NotifyPush(1, 7, seq, false);  // polarlint-fixture-expect: fusion-bypass
+  }
+  d->depth += 1;
+  return s;
+}
+
+int EvilRegister(int node) {
+  int s = fusion->RegisterCopy(node, 7, 0);  // polarlint-fixture-expect: fusion-bypass
+  ChargeRpc(fabric, node, 60000);  // polarlint-fixture-expect: fusion-bypass
+  return s;
+}
+
+// Identifier boundaries: DsmPtr shares the Dsm prefix but is a different
+// token, and the cache/Mtr route is exactly what the rule steers toward.
+int GoodSearch(DsmPtr base, FixtureDescent* d) {
+  d->depth += 1;
+  return static_cast<int>(base.offset);
+}
+
+int EscapedEdge(Dsm* dsm) {  // polarlint: allow(fusion-bypass) fixture edge: documented escape hatch
+  return dsm != nullptr ? 0 : 1;
+}

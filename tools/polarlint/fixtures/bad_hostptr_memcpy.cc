@@ -10,6 +10,7 @@
 
 namespace polarmp {
 
+// polarlint: allow(fusion-bypass) fixture exercises no-hostptr-memcpy only
 void BadHostPtrCopy(Dsm* dsm, DsmPtr ptr, const char* src, char* local,
                     uint64_t n) {
   std::memcpy(dsm->HostPtr(ptr), src, n);  // polarlint-fixture-expect: no-hostptr-memcpy

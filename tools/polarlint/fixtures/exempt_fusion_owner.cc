@@ -1,0 +1,24 @@
+// polarlint-fixture-path: src/engine/buffer_pool.cc
+//
+// buffer_pool.* (like undo.*) owns the engine's fusion/DSM plumbing, so
+// fusion-bypass does not apply there: the LBP is the guarded path the rule
+// points everything else at. Zero findings expected.
+
+int FixtureLoadFrame(int node, unsigned long r_addr, char* out) {
+  int s = fusion->FetchPage(node, r_addr, out);
+  if (s == 0) {
+    s = fusion->RegisterCopy(node, 7, 0);
+  }
+  return s;
+}
+
+int FixtureEvictFrame(int node, unsigned long r_addr, const char* in) {
+  int s = fusion->PushPage(node, r_addr, in);
+  if (s == 0) {
+    s = fusion->NotifyPush(node, 7, 11, false);
+  }
+  if (s == 0) {
+    s = fusion->UnregisterCopy(node, 7);
+  }
+  return s;
+}

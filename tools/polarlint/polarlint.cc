@@ -48,6 +48,18 @@
 //                      test/edge-only so a committer can never sneak back
 //                      to one-force-per-caller.
 //
+//   fusion-bypass      Dsm / the Buffer Fusion RPC surface (FetchPage,
+//                      PushPage, RegisterCopy, UnregisterCopy, NotifyPush,
+//                      seqlocked reads/writes, ChargeRpc) named from
+//                      src/engine outside buffer_pool.* and undo.*, which
+//                      own the engine's fusion/DSM plumbing. Traversal code
+//                      reaches remote pages through Mtr/BufferPool (the
+//                      guarded path) or the compute-side IndexCache
+//                      (src/cache/, the version-validated one-sided path) —
+//                      never by talking to the fabric itself, so every
+//                      remote access stays visible to the cache's
+//                      invalidation protocol and the fabric-ops accounting.
+//
 //   unguarded-field    a mutable data member of a class that owns a
 //                      RankedMutex/RankedSharedMutex, where the member is
 //                      neither GUARDED_BY/PT_GUARDED_BY-annotated, nor
@@ -441,6 +453,7 @@ class Linter {
     CheckHostPtrMemcpy(rel, display, s);
     CheckNondeterminism(rel, display, s);
     CheckBlockingForce(rel, display, s);
+    CheckFusionBypass(rel, display, s);
     CheckUnguardedFields(rel, display, s);
   }
 
@@ -602,6 +615,29 @@ class Linter {
                    "LogWriter::ForceAsync/ForceAllAsync and continue, or "
                    "Wait() on the handle if the site is inherently "
                    "synchronous");
+      }
+    }
+  }
+
+  void CheckFusionBypass(const std::string& rel, const std::string& display,
+                         const Scrubbed& s) {
+    if (!StartsWith(rel, "src/engine/")) return;
+    // The LBP and the undo log own the engine's fusion/DSM plumbing; every
+    // other engine file goes through them or through the IndexCache.
+    if (StartsWith(rel, "src/engine/buffer_pool.") ||
+        StartsWith(rel, "src/engine/undo.")) {
+      return;
+    }
+    for (const char* token :
+         {"Dsm", "ReadSeqlocked", "WriteSeqlocked", "FetchPage",
+          "FetchPageVersioned", "PushPage", "RegisterCopy", "UnregisterCopy",
+          "NotifyPush", "ChargeRpc"}) {
+      for (size_t pos : TokenHits(s.text, token)) {
+        Report(display, s, pos, "fusion-bypass",
+               std::string(token) +
+                   ": engine traversal code must not touch Dsm or the "
+                   "fusion RPC surface directly; go through Mtr/BufferPool "
+                   "or the compute-side IndexCache (src/cache/)");
       }
     }
   }
