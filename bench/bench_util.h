@@ -19,6 +19,8 @@
 
 #include "baselines/database.h"
 #include "obs/metrics.h"
+#include "rdma/fabric.h"
+#include "rdma/fault_injector.h"
 #include "workload/driver.h"
 
 namespace polarmp {
@@ -77,6 +79,20 @@ inline ClusterOptions MakeBenchClusterOptions(int nodes) {
     options.node.lbp.frames = static_cast<uint32_t>(std::atoi(v));
   }
   return options;
+}
+
+// POLARMP_FAULT_SEED=<nonzero>: arm the fabric's fault injector with the
+// seeded DefaultChaosPlan — the chaos CI mode. Called AFTER workload
+// loading (load phases use POLARMP_CHECK and run at time-scale 0, where a
+// surfaced Busy would abort the bench rather than measure resilience), so
+// only the measured traffic sees injected faults. Returns the seed, 0 when
+// chaos is off.
+inline uint64_t ArmChaosFromEnv(Fabric* fabric) {
+  const char* v = std::getenv("POLARMP_FAULT_SEED");
+  if (v == nullptr) return 0;
+  const uint64_t seed = std::strtoull(v, nullptr, 10);
+  if (seed != 0) fabric->fault_injector()->Arm(DefaultChaosPlan(seed));
+  return seed;
 }
 
 // Fabric round trips (one-sided reads/writes/atomics + RPCs; coalesced

@@ -61,6 +61,10 @@ Point RunPoint(int committers, bool async_commit,
     POLARMP_CHECK(s.Commit().ok());
   }
   SetSimTimeScale(1.0);
+  // Chaos mode: measured traffic (not the load above) runs under the
+  // seeded fault plan; the retry/dedup wrappers must absorb every injected
+  // transient or the committers start failing and the point reads low.
+  bench::ArmChaosFromEnv(cluster->fabric());
 
   std::atomic<bool> measuring{false};
   std::atomic<bool> stop{false};

@@ -5,10 +5,20 @@
 // Lock Fusion's wait-for graph keep the invariant — total balance constant —
 // while deadlock victims are detected and retried.
 //
+// The transfer reads MUST be locking reads (Session::GetForUpdate). A plain
+// snapshot Get under read committed re-creates the textbook lost update:
+// two transfers read the same base balance, both compute new values, and
+// one update silently overwrites the other — the total drifts. GetForUpdate
+// serializes the read-modify-write cycles on the embedded row lock
+// (acquired in key order to keep deadlocks rare).
+//
 // Build & run:   ./build/examples/bank_transfer
+// Seeded run:    POLARMP_BANK_SEED=23 ./build/examples/bank_transfer
+// Exit code is the self-check: 0 iff the total balance is exact.
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -23,9 +33,17 @@ constexpr int64_t kInitialBalance = 1'000;
 constexpr int kTransfersPerWorker = 150;
 
 int64_t ParseBalance(const std::string& s) { return std::stoll(s); }
+
+uint64_t SeedFromEnv() {
+  if (const char* v = std::getenv("POLARMP_BANK_SEED")) {
+    return std::strtoull(v, nullptr, 10);
+  }
+  return 17;
+}
 }  // namespace
 
 int main() {
+  const uint64_t seed = SeedFromEnv();
   auto cluster = Cluster::Create(ClusterOptions()).value();
   std::vector<DbNode*> nodes;
   for (int i = 0; i < 3; ++i) nodes.push_back(cluster->AddNode().value());
@@ -42,43 +60,47 @@ int main() {
     session.Commit().ok();
   }
 
-  std::atomic<int> committed{0}, deadlock_retries{0};
+  std::atomic<int> committed{0}, conflict_retries{0};
   std::vector<std::thread> workers;
   for (size_t n = 0; n < nodes.size(); ++n) {
     workers.emplace_back([&, n] {
       DbNode* node = nodes[n];
       TableHandle table = node->OpenTable("accounts").value();
-      Random rng(17 * (n + 1));
+      Random rng(seed * (n + 1));
       for (int t = 0; t < kTransfersPerWorker; ++t) {
         const int64_t from = static_cast<int64_t>(rng.Uniform(kAccounts));
         int64_t to = static_cast<int64_t>(rng.Uniform(kAccounts));
         if (to == from) to = (to + 1) % kAccounts;
         const int64_t amount = 1 + static_cast<int64_t>(rng.Uniform(20));
+        const int64_t lo = std::min(from, to);
+        const int64_t hi = std::max(from, to);
 
         for (;;) {  // retry deadlock victims / lock timeouts
           Session session(node, IsolationLevel::kReadCommitted);
           session.Begin().ok();
-          auto from_balance = session.Get(table, from);
-          auto to_balance = session.Get(table, to);
-          if (!from_balance.ok() || !to_balance.ok()) break;
-          // Lock in a consistent order to keep deadlocks rare (they are
-          // still possible across nodes; Lock Fusion aborts one victim).
+          // Locking reads in key order: the row locks pin both balances
+          // until commit, so the arithmetic below cannot race anyone.
+          auto lo_balance = session.GetForUpdate(table, lo);
+          if (!lo_balance.ok()) {
+            conflict_retries.fetch_add(1);
+            continue;
+          }
+          auto hi_balance = session.GetForUpdate(table, hi);
+          if (!hi_balance.ok()) {
+            conflict_retries.fetch_add(1);
+            continue;
+          }
+          const int64_t lo_delta = lo == from ? -amount : amount;
           const Status s1 = session.Update(
-              table, std::min(from, to),
-              std::to_string(ParseBalance(from < to ? *from_balance
-                                                    : *to_balance) +
-                             (from < to ? -amount : amount)));
+              table, lo, std::to_string(ParseBalance(*lo_balance) + lo_delta));
           if (!s1.ok()) {
-            deadlock_retries.fetch_add(1);
+            conflict_retries.fetch_add(1);
             continue;
           }
           const Status s2 = session.Update(
-              table, std::max(from, to),
-              std::to_string(ParseBalance(from < to ? *to_balance
-                                                    : *from_balance) +
-                             (from < to ? amount : -amount)));
+              table, hi, std::to_string(ParseBalance(*hi_balance) - lo_delta));
           if (!s2.ok()) {
-            deadlock_retries.fetch_add(1);
+            conflict_retries.fetch_add(1);
             continue;
           }
           if (session.Commit().ok()) {
@@ -104,8 +126,9 @@ int main() {
   session.Commit().ok();
 
   const int64_t expected = kAccounts * kInitialBalance;
-  std::printf("transfers committed: %d (deadlock retries: %d)\n",
-              committed.load(), deadlock_retries.load());
+  std::printf("seed %llu: transfers committed: %d (conflict retries: %d)\n",
+              static_cast<unsigned long long>(seed), committed.load(),
+              conflict_retries.load());
   std::printf("total balance: %lld (expected %lld) — %s\n",
               static_cast<long long>(total),
               static_cast<long long>(expected),

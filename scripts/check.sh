@@ -13,7 +13,12 @@
 #                               # (SKIP if clang is missing)
 #   scripts/check.sh smoke      # micro_commit commit-path smoke run with a
 #                               # short measure window; fails if the bench
-#                               # errors or the metrics sidecar is missing
+#                               # errors or the metrics sidecar is missing;
+#                               # also runs the bank_transfer example whose
+#                               # exit code checks balance conservation
+#   scripts/check.sh chaos      # seeded fault-injection soak: benches under
+#                               # DefaultChaosPlan(42) plus an online node
+#                               # takeover; sidecars must show faults fired
 #   scripts/check.sh --all      # every mode above, in order; fail fast
 #
 # (legacy spellings `thread`/`address` are accepted for tsan/asan.)
@@ -136,10 +141,63 @@ run_mode() {
         echo "FAIL: ${cache_sidecar} lacks derived fabric_ops_per_txn" >&2
         return 1
       fi
+      # Bank-transfer invariant: the example's exit code IS its self-check
+      # (total balance exactly conserved across concurrent cross-node
+      # transfers). Two seeds keep the smoke fast; EXPERIMENTS.md records
+      # the 20-seed sweep.
+      cmake --build build -j "${JOBS}" --target bank_transfer
+      for seed in 17 23; do
+        POLARMP_BANK_SEED="${seed}" ./build/examples/bank_transfer
+      done
       echo "smoke OK: sidecars ${sidecar} ${cache_sidecar}"
       ;;
+    chaos)
+      # Seeded fault-plan soak. The fabric injects transient unavailability,
+      # timeouts, delayed/duplicated writes and torn seqlocked writes at the
+      # DefaultChaosPlan(42) rates while micro_commit runs its normal
+      # sweep, and fig15 additionally crashes a node under load and has the
+      # survivor take it over online. Green means the retry/backoff wrappers
+      # absorbed every transient (the benches exit 0) and the sidecars
+      # prove faults actually fired — a chaos run where nothing was
+      # injected is a configuration bug, not a pass.
+      cmake -B build -S .
+      cmake --build build -j "${JOBS}" --target micro_commit
+      cmake --build build -j "${JOBS}" --target fig15_recovery
+      local chaos_dir="build/chaos"
+      mkdir -p "${chaos_dir}"
+      POLARMP_FAULT_SEED=42 POLARMP_BENCH_MEASURE_MS=300 \
+        POLARMP_BENCH_WARMUP_MS=100 POLARMP_METRICS_DIR="${chaos_dir}" \
+        ./build/bench/micro_commit
+      local mc_sidecar="${chaos_dir}/micro_commit.metrics.json"
+      if ! grep -Eq '"fabric\.faults_injected": [1-9]' "${mc_sidecar}"; then
+        echo "FAIL: ${mc_sidecar}: no faults injected under chaos" >&2
+        return 1
+      fi
+      if ! grep -Eq '"fabric\.retries": [1-9]' "${mc_sidecar}"; then
+        echo "FAIL: ${mc_sidecar}: no retries under chaos" >&2
+        return 1
+      fi
+      # Reply-loss dedup hits are plan-rate dependent, so require the
+      # counter family, not a count.
+      if ! grep -q 'fabric.rpc_dedup_hits' "${mc_sidecar}"; then
+        echo "FAIL: ${mc_sidecar} lacks fabric.rpc_dedup_hits" >&2
+        return 1
+      fi
+      POLARMP_FAULT_SEED=42 POLARMP_BENCH_CRASH_MS=1500 \
+        POLARMP_METRICS_DIR="${chaos_dir}" ./build/bench/fig15_recovery
+      local f15_sidecar="${chaos_dir}/fig15_recovery.metrics.json"
+      if ! grep -Eq '"cluster\.takeovers": [1-9]' "${f15_sidecar}"; then
+        echo "FAIL: ${f15_sidecar}: online takeover did not run" >&2
+        return 1
+      fi
+      if ! grep -Eq '"fabric\.faults_injected": [1-9]' "${f15_sidecar}"; then
+        echo "FAIL: ${f15_sidecar}: no faults injected under chaos" >&2
+        return 1
+      fi
+      echo "chaos OK: sidecars ${mc_sidecar} ${f15_sidecar}"
+      ;;
     *)
-      echo "usage: $0 [plain|lint|format|tidy|tsan|asan|ubsan|wthread|smoke|--all]" >&2
+      echo "usage: $0 [plain|lint|format|tidy|tsan|asan|ubsan|wthread|smoke|chaos|--all]" >&2
       return 2
       ;;
   esac
@@ -152,7 +210,7 @@ case "${MODE}" in
 esac
 
 if [[ "${MODE}" == "--all" ]]; then
-  for m in format lint plain smoke wthread ubsan asan tsan tidy; do
+  for m in format lint plain smoke chaos wthread ubsan asan tsan tidy; do
     run_mode "${m}"
   done
   echo "==== check.sh: all modes passed ===="

@@ -34,6 +34,8 @@ IndexCache::IndexCache(NodeId node, Fabric* fabric,
 
 IndexCache::~IndexCache() {
   if (!enabled()) return;
+  // polarlint: allow(unchecked-fabric-status) teardown: the fabric may
+  // already have dropped the endpoint; there is no caller to report to.
   (void)fabric_->DeregisterRegion(node_, kCacheFlagsRegion);
 }
 
@@ -183,6 +185,10 @@ Status IndexCache::Install(PageId page, const char* bytes, uint8_t level) {
       // register between the unbind and this unregister, so the unregister
       // can never erase a fresh registration and orphan its invalid flag
       // (which would silently lose invalidations).
+      // polarlint: allow(unchecked-fabric-status) best-effort eviction: a
+      // failed unregister leaves a stale copy entry whose future
+      // invalidations hit an unbound slot — harmless, and retrying under
+      // mu_ would stall the read path.
       (void)buffer_fusion_->UnregisterCopy(node_, PageId::Unpack(old_key),
                                            kCacheFlagsRegion);
       evictions_.Inc();
@@ -197,6 +203,9 @@ Status IndexCache::Install(PageId page, const char* bytes, uint8_t level) {
       // page sits in the local LBP, whose load already pushed it, so the
       // !present case is rare.)
       if (reg.ok()) {
+        // polarlint: allow(unchecked-fabric-status) undo of a registration
+        // we just made and will not use; a leak here only costs a stale
+        // copy entry, and the caller already takes the uncached path.
         (void)buffer_fusion_->UnregisterCopy(node_, page, kCacheFlagsRegion);
         // Keep the backoff set bounded; internal pages number far fewer
         // than slots in any healthy tree, so a reset is essentially free.

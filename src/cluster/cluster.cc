@@ -4,6 +4,9 @@ namespace polarmp {
 
 Cluster::Cluster(const ClusterOptions& options) : options_(options) {
   fabric_ = std::make_unique<Fabric>(options.latency);
+  if (options.chaos_fault_seed != 0) {
+    fabric_->fault_injector()->Arm(DefaultChaosPlan(options.chaos_fault_seed));
+  }
   dsm_ = std::make_unique<Dsm>(fabric_.get(), options.dsm_servers,
                                options.dsm_bytes_per_server);
   page_store_ =
@@ -88,6 +91,69 @@ StatusOr<DbNode*> Cluster::RestartNode(NodeId id) {
   DbNode* ptr = node.get();
   nodes_[id] = std::move(node);
   return ptr;
+}
+
+std::vector<NodeId> Cluster::DeadNodes() const {
+  std::vector<NodeId> dead;
+  for (NodeId node : log_store_->AllLogs()) {
+    if (nodes_.count(node) != 0) continue;      // live (or gracefully leaving)
+    if (fabric_->EndpointAlive(node)) continue;
+    if (tit_->IsDeparted(node)) continue;       // already taken over/stopped
+    dead.push_back(node);
+  }
+  return dead;
+}
+
+StatusOr<RecoveryStats> Cluster::TakeoverNode(NodeId dead, NodeId survivor) {
+  if (nodes_.count(dead) != 0) {
+    return Status::InvalidArgument("node still present: " +
+                                   std::to_string(dead));
+  }
+  auto it = nodes_.find(survivor);
+  if (it == nodes_.end() || !it->second->running()) {
+    return Status::InvalidArgument("survivor not running: " +
+                                   std::to_string(survivor));
+  }
+  if (fabric_->EndpointAlive(dead)) {
+    return Status::InvalidArgument("endpoint still alive: node " +
+                                   std::to_string(dead));
+  }
+  if (tit_->IsDeparted(dead)) {
+    return Status::AlreadyExists("node already recovered: " +
+                                 std::to_string(dead));
+  }
+  // Crash() normally drops the dead node's LBP/cache copies on its way
+  // down; repeat it here in case the node died before its epilogue ran.
+  buffer_fusion_->RemoveNode(dead);
+  // Survivors keep running: the dead node's un-pushed dirty pages are
+  // fenced by its retained exclusive PLocks (RemoveNode keeps X holds as
+  // ghosts), so nothing below races live writers on those pages. The undo
+  // segment lives in DSM and survived the node, so replay skips rebuilding
+  // it — survivors may be reading those bytes right now.
+  Recovery::Options ro;
+  ro.reader = survivor;
+  ro.rebuild_undo = false;
+  Recovery recovery(log_store_.get(), page_store_.get(), undo_.get(),
+                    buffer_fusion_.get(), options_.page_size, ro);
+  POLARMP_ASSIGN_OR_RETURN(auto uncommitted, recovery.RedoReplay({dead}));
+  POLARMP_RETURN_IF_ERROR(recovery.OfflineRollback(uncommitted));
+  POLARMP_RETURN_IF_ERROR(recovery.FlushPages());
+  POLARMP_RETURN_IF_ERROR(recovery.AdvanceCheckpoints({dead}));
+  // Re-baseline the TIT before releasing locks: once survivors can touch
+  // the recovered pages, the dead node's old g_trx_ids must already resolve
+  // as "slot reused ⇒ visible" rather than block on an unreachable table.
+  // Deliberately NOT Tit::AddNode here: re-registering the TIT region would
+  // resurrect the dead endpoint on the fabric (RegisterRegion marks it
+  // alive), making the node look undead to DeadNodes/TakeoverNode. The
+  // departed mark answers all visibility questions locally without fabric
+  // reads; the node's own restart re-registers under a fresh epoch.
+  tit_->ResetNode(dead);
+  tit_->MarkDeparted(dead, true);
+  // Last: drop the ghost fence. Waiters blocked on the dead node's PLocks
+  // resume against fully recovered state.
+  lock_fusion_->ReleaseAllHolds(dead);
+  takeovers_.Inc();
+  return recovery.stats();
 }
 
 DbNode* Cluster::node(NodeId id) {

@@ -8,6 +8,7 @@
 
 #include "node/db_node.h"
 #include "node/session.h"
+#include "obs/metrics.h"
 
 namespace polarmp {
 
@@ -22,6 +23,10 @@ struct ClusterOptions {
   uint64_t dbp_flush_interval_ms = 50;
   uint32_t tit_slots_per_node = 4096;
   uint64_t undo_segment_bytes = 48ull << 20;
+  // Nonzero: arm the fabric's fault injector with DefaultChaosPlan(seed) at
+  // construction, so the whole run sees seeded transient faults (chaos CI
+  // mode; benches wire this to POLARMP_FAULT_SEED).
+  uint64_t chaos_fault_seed = 0;
   NodeOptions node;
 };
 
@@ -47,6 +52,23 @@ class Cluster {
   // Restart after CrashNode: replays the node's log, rolls back in-flight
   // transactions, rejoins the cluster.
   StatusOr<DbNode*> RestartNode(NodeId id);
+
+  // Crashed nodes that still need takeover or restart: their fabric
+  // endpoint is down and no recovery has re-baselined them yet.
+  std::vector<NodeId> DeadNodes() const;
+
+  // Online single-node failure takeover: `survivor` recovers `dead`'s state
+  // while the rest of the cluster keeps committing. Ordering (see DESIGN.md
+  // § Fault injection & failure takeover): detect death via fabric
+  // liveness, replay the dead node's log tail (DBP fast path, undo segment
+  // kept — it survived in DSM), roll back its in-flight transactions
+  // offline, publish recovered pages (which invalidates stale copies), then
+  // re-baseline its TIT (epoch bump + departed) and finally release its
+  // ghost PLocks — the locks fence survivors off the dead node's dirty
+  // pages until every earlier step has made them consistent.
+  StatusOr<RecoveryStats> TakeoverNode(NodeId dead, NodeId survivor);
+
+  uint64_t takeovers() const { return takeovers_.Value(); }
 
   DbNode* node(NodeId id);
   std::vector<DbNode*> live_nodes();
@@ -89,6 +111,8 @@ class Cluster {
 
   NodeId next_node_id_ = 1;
   std::map<NodeId, std::unique_ptr<DbNode>> nodes_;
+
+  obs::Counter takeovers_{"cluster.takeovers"};
 };
 
 }  // namespace polarmp

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <thread>
 
+#include "rdma/retry_policy.h"
+
 namespace polarmp {
 
 Dsm::Dsm(Fabric* fabric, uint32_t num_servers, uint64_t bytes_per_server)
@@ -45,38 +47,77 @@ StatusOr<DsmPtr> Dsm::Allocate(uint64_t size) {
   return ptr;
 }
 
+// Every DSM access is idempotent at this layer (reads, full-image writes,
+// and atomics whose faults are injected before execution), so each verb
+// retries injected transients with capped backoff. Genuine errors — the
+// memory server really deregistered — pass straight through.
+
 Status Dsm::Read(EndpointId from, DsmPtr ptr, void* dst, uint64_t len) const {
-  return fabric_->Read(from, ServerEndpoint(ptr.server), 0, ptr.offset, dst,
-                       len);
+  return RetryTransient(fabric_, [&] {
+    return fabric_->Read(from, ServerEndpoint(ptr.server), 0, ptr.offset, dst,
+                         len);
+  });
 }
 
 Status Dsm::Write(EndpointId from, DsmPtr ptr, const void* src,
                   uint64_t len) const {
-  return fabric_->Write(from, ServerEndpoint(ptr.server), 0, ptr.offset, src,
-                        len);
+  return RetryTransient(fabric_, [&] {
+    return fabric_->Write(from, ServerEndpoint(ptr.server), 0, ptr.offset, src,
+                          len);
+  });
 }
 
 StatusOr<uint64_t> Dsm::FetchAdd64(EndpointId from, DsmPtr ptr,
                                    uint64_t delta) const {
-  return fabric_->FetchAdd64(from, ServerEndpoint(ptr.server), 0, ptr.offset,
-                             delta);
+  return RetryTransientOr(fabric_, [&] {
+    return fabric_->FetchAdd64(from, ServerEndpoint(ptr.server), 0, ptr.offset,
+                               delta);
+  });
 }
 
 StatusOr<uint64_t> Dsm::Load64(EndpointId from, DsmPtr ptr) const {
-  return fabric_->Load64(from, ServerEndpoint(ptr.server), 0, ptr.offset);
+  return RetryTransientOr(fabric_, [&] {
+    return fabric_->Load64(from, ServerEndpoint(ptr.server), 0, ptr.offset);
+  });
 }
 
 Status Dsm::Store64(EndpointId from, DsmPtr ptr, uint64_t value) const {
-  return fabric_->Write(from, ServerEndpoint(ptr.server), 0, ptr.offset,
-                        &value, sizeof(value));
+  return RetryTransient(fabric_, [&] {
+    return fabric_->Write(from, ServerEndpoint(ptr.server), 0, ptr.offset,
+                          &value, sizeof(value));
+  });
 }
 
 Status Dsm::WriteSeqlocked(EndpointId from, DsmPtr frame, const void* src,
                            uint64_t len) const {
-  if (!fabric_->EndpointAlive(ServerEndpoint(frame.server))) {
+  const EndpointId server = ServerEndpoint(frame.server);
+  if (!fabric_->EndpointAlive(server)) {
     return Status::Unavailable("memory server down");
   }
-  fabric_->ChargeOneSidedWrite(from, ServerEndpoint(frame.server));
+  if (from != server) {
+    const FaultDecision fault =
+        fabric_->fault_injector()->Decide(FaultOp::kSeqlockedWrite);
+    if (fault.kind == FaultKind::kTorn) {
+      // Torn delivery: the guard word goes odd, the leading cachelines
+      // land, and the tail trails in after a window. The seqlock is what
+      // makes this survivable — a concurrent ReadSeqlocked sees an odd (or
+      // changed) guard and retries until the tail lands; no reader can
+      // observe the half-written image as stable.
+      fabric_->CountFaultInjected();
+      fabric_->ChargeOneSidedWrite(from, server);
+      auto* seq = reinterpret_cast<std::atomic<uint64_t>*>(HostPtr(frame));
+      char* data = HostPtr(DsmPtr{frame.server, frame.offset + 8});
+      seq->fetch_add(1, std::memory_order_acq_rel);  // odd: write in flight
+      const uint64_t head = len / 2;
+      std::memcpy(data, src, head);
+      SimDelay(fault.delay_ns);  // the torn window readers must survive
+      std::memcpy(data + head, static_cast<const char*>(src) + head,
+                  len - head);
+      seq->fetch_add(1, std::memory_order_acq_rel);  // even: stable
+      return Status::OK();
+    }
+  }
+  fabric_->ChargeOneSidedWrite(from, server);
   HostWriteSeqlocked(frame, src, len);
   return Status::OK();
 }
@@ -88,10 +129,30 @@ Status Dsm::ReadSeqlocked(EndpointId from, DsmPtr frame, void* dst,
 
 Status Dsm::ReadSeqlocked(EndpointId from, DsmPtr frame, void* dst,
                           uint64_t len, uint64_t* version_out) const {
-  if (!fabric_->EndpointAlive(ServerEndpoint(frame.server))) {
+  return RetryTransient(fabric_, [&] {
+    return ReadSeqlockedOnce(from, frame, dst, len, version_out);
+  });
+}
+
+Status Dsm::ReadSeqlockedOnce(EndpointId from, DsmPtr frame, void* dst,
+                              uint64_t len, uint64_t* version_out) const {
+  const EndpointId server = ServerEndpoint(frame.server);
+  if (!fabric_->EndpointAlive(server)) {
     return Status::Unavailable("memory server down");
   }
-  fabric_->ChargeOneSidedRead(from, ServerEndpoint(frame.server));
+  if (from != server) {
+    const FaultDecision fault =
+        fabric_->fault_injector()->Decide(FaultOp::kRead);
+    if (fault.kind == FaultKind::kUnavailable) {
+      fabric_->CountFaultInjected();
+      return InjectedUnavailable("seqlocked read");
+    }
+    if (fault.kind == FaultKind::kDelay) {
+      fabric_->CountFaultInjected();
+      SimDelay(fault.delay_ns);
+    }
+  }
+  fabric_->ChargeOneSidedRead(from, server);
   auto* seq = reinterpret_cast<std::atomic<uint64_t>*>(HostPtr(frame));
   const char* data = HostPtr(DsmPtr{frame.server, frame.offset + 8});
   for (int attempt = 0; attempt < 100000; ++attempt) {

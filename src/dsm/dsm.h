@@ -105,6 +105,11 @@ class Dsm {
   }
 
  private:
+  // One attempt of the seqlocked read; the public entry retries injected
+  // transients (rdma/retry_policy.h) around it.
+  Status ReadSeqlockedOnce(EndpointId from, DsmPtr frame, void* dst,
+                           uint64_t len, uint64_t* version_out) const;
+
   Fabric* const fabric_;
   const uint32_t num_servers_;
   const uint64_t bytes_per_server_;

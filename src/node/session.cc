@@ -137,6 +137,17 @@ StatusOr<std::string> Session::Get(const TableHandle& table, int64_t key) {
   return node_->trx_manager()->ReadRow(trx_, table.primary, key);
 }
 
+StatusOr<std::string> Session::GetForUpdate(const TableHandle& table,
+                                            int64_t key) {
+  POLARMP_CHECK(trx_ != nullptr) << "no open transaction";
+  auto value =
+      node_->trx_manager()->ReadRowForUpdate(trx_, table.primary, key);
+  if (value.status().IsAborted() || value.status().IsBusy()) {
+    return FailAndRollback(value.status());
+  }
+  return value;
+}
+
 Status Session::Scan(
     const TableHandle& table, int64_t lo, int64_t hi,
     const std::function<bool(int64_t, const std::string&)>& fn) {

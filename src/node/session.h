@@ -49,6 +49,11 @@ class Session {
   Status Delete(const TableHandle& table, int64_t key);
   // Snapshot point read.
   StatusOr<std::string> Get(const TableHandle& table, int64_t key);
+  // Locking read (SELECT ... FOR UPDATE): returns the latest committed
+  // value and holds the row lock until commit/rollback, so a
+  // read-modify-write built on it cannot lose updates to a concurrent
+  // writer. On Aborted/Busy the transaction is rolled back (like writes).
+  StatusOr<std::string> GetForUpdate(const TableHandle& table, int64_t key);
   // Snapshot range scan over [lo, hi]; fn returns false to stop.
   Status Scan(const TableHandle& table, int64_t lo, int64_t hi,
               const std::function<bool(int64_t, const std::string&)>& fn);

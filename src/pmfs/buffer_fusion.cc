@@ -4,6 +4,8 @@
 #include <cstring>
 #include <tuple>
 
+#include "rdma/retry_policy.h"
+
 namespace polarmp {
 
 BufferFusion::BufferFusion(Fabric* fabric, Dsm* dsm, PageStore* page_store,
@@ -83,6 +85,19 @@ bool BufferFusion::EvictOneLocked() {
 
 StatusOr<BufferFusion::RegisterResult> BufferFusion::RegisterCopy(
     NodeId node, PageId page, uint64_t flag_offset, uint32_t flag_region) {
+  return RetryTransientOr(fabric_, [&]() -> StatusOr<RegisterResult> {
+    POLARMP_RETURN_IF_ERROR(
+        fabric_->InjectRpcFault(node, kPmfsEndpoint, FaultOp::kRpcRequest));
+    auto result = RegisterCopyImpl(node, page, flag_offset, flag_region);
+    if (!result.ok()) return result;
+    POLARMP_RETURN_IF_ERROR(
+        fabric_->InjectRpcFault(node, kPmfsEndpoint, FaultOp::kRpcReply));
+    return result;
+  });
+}
+
+StatusOr<BufferFusion::RegisterResult> BufferFusion::RegisterCopyImpl(
+    NodeId node, PageId page, uint64_t flag_offset, uint32_t flag_region) {
   fabric_->ChargeRpc(node, kPmfsEndpoint);
   MutexLock lock(mu_);
   auto it = directory_.find(page.Pack());
@@ -100,6 +115,16 @@ StatusOr<BufferFusion::RegisterResult> BufferFusion::RegisterCopy(
 
 Status BufferFusion::UnregisterCopy(NodeId node, PageId page,
                                     uint32_t flag_region) {
+  return RetryTransient(fabric_, [&] {
+    POLARMP_RETURN_IF_ERROR(
+        fabric_->InjectRpcFault(node, kPmfsEndpoint, FaultOp::kRpcRequest));
+    POLARMP_RETURN_IF_ERROR(UnregisterCopyImpl(node, page, flag_region));
+    return fabric_->InjectRpcFault(node, kPmfsEndpoint, FaultOp::kRpcReply);
+  });
+}
+
+Status BufferFusion::UnregisterCopyImpl(NodeId node, PageId page,
+                                        uint32_t flag_region) {
   fabric_->ChargeRpc(node, kPmfsEndpoint);
   MutexLock lock(mu_);
   auto it = directory_.find(page.Pack());
@@ -110,6 +135,18 @@ Status BufferFusion::UnregisterCopy(NodeId node, PageId page,
 
 Status BufferFusion::NotifyPush(NodeId node, PageId page, Llsn llsn,
                                 bool clean_load) {
+  // Idempotent: replaying a push notification re-marks the same state and
+  // re-sets invalid flags that are already 1.
+  return RetryTransient(fabric_, [&] {
+    POLARMP_RETURN_IF_ERROR(
+        fabric_->InjectRpcFault(node, kPmfsEndpoint, FaultOp::kRpcRequest));
+    POLARMP_RETURN_IF_ERROR(NotifyPushImpl(node, page, llsn, clean_load));
+    return fabric_->InjectRpcFault(node, kPmfsEndpoint, FaultOp::kRpcReply);
+  });
+}
+
+Status BufferFusion::NotifyPushImpl(NodeId node, PageId page, Llsn llsn,
+                                    bool clean_load) {
   fabric_->ChargeRpc(node, kPmfsEndpoint);
   // (node, flag region, flag offset)
   std::vector<std::tuple<NodeId, uint32_t, uint64_t>> to_invalidate;
@@ -143,13 +180,34 @@ Status BufferFusion::NotifyPush(NodeId node, PageId page, Llsn llsn,
     }
   }
   for (const auto& [copy_node, region, offset] : to_invalidate) {
-    // One-sided write of the copy's invalid flag (Fig. 4). A dead endpoint
-    // just means the copy died with its node.
-    const Status s =
-        fabric_->Store64(kPmfsEndpoint, copy_node, region, offset, 1);
-    if (s.ok()) invalidations_.Inc();
+    InvalidateCopy(copy_node, region, offset);
   }
   return Status::OK();
+}
+
+void BufferFusion::InvalidateCopy(NodeId node, uint32_t flag_region,
+                                  uint64_t flag_offset) {
+  // One-sided write of the copy's invalid flag (Fig. 4). Widened retry
+  // budget: a dropped invalidation leaves a STALE VALID copy, so transient
+  // faults must not be allowed to win here.
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  const Status s = RetryTransient(
+      fabric_,
+      [&] {
+        return fabric_->Store64(kPmfsEndpoint, node, flag_region, flag_offset,
+                                1);
+      },
+      policy);
+  if (s.ok()) {
+    invalidations_.Inc();
+  } else if (!s.IsUnavailable() && !s.IsNotFound()) {
+    // Unavailable/NotFound: the copy died with its node (endpoint or flag
+    // region deregistered) — nothing left to invalidate. Anything else is
+    // a coherence hole worth shouting about.
+    POLARMP_LOG(Warn) << "copy invalidation failed for node " << node << ": "
+                      << s.ToString();
+  }
 }
 
 Status BufferFusion::FetchPage(EndpointId from, DsmPtr frame,
@@ -293,9 +351,7 @@ Status BufferFusion::HostWritePage(PageId page, const char* data, Llsn llsn,
   }
   dsm_->HostWriteSeqlocked(frame, data, options_.page_size);
   for (const auto& [copy_node, region, offset] : to_invalidate) {
-    const Status s =
-        fabric_->Store64(kPmfsEndpoint, copy_node, region, offset, 1);
-    if (s.ok()) invalidations_.Inc();
+    InvalidateCopy(copy_node, region, offset);
   }
   return Status::OK();
 }

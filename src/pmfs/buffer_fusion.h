@@ -140,6 +140,20 @@ class BufferFusion {
   uint64_t storage_flushes() const { return storage_flushes_.Value(); }
 
  private:
+  // Service bodies behind the fault-injected RPC stubs. All three control
+  // RPCs are idempotent (directory writes of the same values), so the
+  // public stubs retry injected transients without request-id dedup.
+  StatusOr<RegisterResult> RegisterCopyImpl(NodeId node, PageId page,
+                                            uint64_t flag_offset,
+                                            uint32_t flag_region);
+  Status UnregisterCopyImpl(NodeId node, PageId page, uint32_t flag_region);
+  Status NotifyPushImpl(NodeId node, PageId page, Llsn llsn, bool clean_load);
+
+  // One-sided invalidation of a cached copy's invalid flag, retried under a
+  // widened budget: a LOST invalidation is a stale read waiting to happen,
+  // so only a genuinely dead copy holder excuses skipping it.
+  void InvalidateCopy(NodeId node, uint32_t flag_region, uint64_t flag_offset);
+
   struct Entry {
     DsmPtr frame;          // seq(u64) + page bytes
     bool present = false;  // frame holds valid content

@@ -145,6 +145,35 @@ void LockFusion::TryGrant(PageId page, PLockEntry* entry,
 
 Status LockFusion::AcquirePLock(NodeId node, PageId page, LockMode mode,
                                 uint64_t timeout_ms) {
+  // One request id per logical call, reused across retransmits, so the
+  // service can recognize a retry of an acquire it already executed.
+  const uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  return RetryTransient(fabric_, [&] {
+    return AcquirePLockRpc(node, page, mode, timeout_ms, request_id);
+  });
+}
+
+Status LockFusion::AcquirePLockRpc(NodeId node, PageId page, LockMode mode,
+                                   uint64_t timeout_ms, uint64_t request_id) {
+  POLARMP_RETURN_IF_ERROR(
+      fabric_->InjectRpcFault(node, kPmfsEndpoint, FaultOp::kRpcRequest));
+  if (auto hit = dedup_.Lookup(node, request_id)) {
+    // Retransmit of an acquire that already executed (reply was lost):
+    // replay the recorded outcome — one round trip, no second grant.
+    fabric_->CountRpcDedupHit();
+    fabric_->ChargeRpc(node, kPmfsEndpoint);
+    return *hit;
+  }
+  const Status result = AcquirePLockImpl(node, page, mode, timeout_ms);
+  dedup_.Record(node, request_id, result);
+  POLARMP_RETURN_IF_ERROR(
+      fabric_->InjectRpcFault(node, kPmfsEndpoint, FaultOp::kRpcReply));
+  return result;
+}
+
+Status LockFusion::AcquirePLockImpl(NodeId node, PageId page, LockMode mode,
+                                    uint64_t timeout_ms) {
   plock_acquire_rpcs_.Inc();
   // Request arrival to grant/timeout: the PLock wait time of §4.3.1
   // (covers the negotiate -> release -> grant round when contended).
@@ -210,6 +239,32 @@ Status LockFusion::AcquirePLock(NodeId node, PageId page, LockMode mode,
 }
 
 Status LockFusion::ReleasePLock(NodeId node, PageId page) {
+  const uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  return RetryTransient(fabric_, [&] {
+    return ReleasePLockRpc(node, page, request_id);
+  });
+}
+
+Status LockFusion::ReleasePLockRpc(NodeId node, PageId page,
+                                   uint64_t request_id) {
+  POLARMP_RETURN_IF_ERROR(
+      fabric_->InjectRpcFault(node, kPmfsEndpoint, FaultOp::kRpcRequest));
+  if (auto hit = dedup_.Lookup(node, request_id)) {
+    // Without dedup a re-executed release would see "node does not hold
+    // PLock" and turn a lost reply into a spurious NotFound.
+    fabric_->CountRpcDedupHit();
+    fabric_->ChargeRpc(node, kPmfsEndpoint);
+    return *hit;
+  }
+  const Status result = ReleasePLockImpl(node, page);
+  dedup_.Record(node, request_id, result);
+  POLARMP_RETURN_IF_ERROR(
+      fabric_->InjectRpcFault(node, kPmfsEndpoint, FaultOp::kRpcReply));
+  return result;
+}
+
+Status LockFusion::ReleasePLockImpl(NodeId node, PageId page) {
   plock_release_rpcs_.Inc();
   fabric_->ChargeRpc(node, kPmfsEndpoint);
   std::vector<NodeId> targets;
@@ -253,6 +308,20 @@ bool LockFusion::HoldsPLock(NodeId node, PageId page, LockMode mode) const {
 
 Status LockFusion::RegisterWait(GTrxId waiter, GTrxId holder) {
   POLARMP_CHECK_NE(waiter, holder);
+  // Only the request leg is injected here: a wait registration mutates the
+  // wait-for graph, and re-registering an already-registered waiter is a
+  // protocol violation (the CHECK below), so retries are safe exactly when
+  // the request was lost BEFORE execution. Reply loss is not modeled for
+  // this verb — in the real system the registration rides the (idempotent)
+  // ref-flag write's completion.
+  return RetryTransient(fabric_, [&] {
+    POLARMP_RETURN_IF_ERROR(fabric_->InjectRpcFault(
+        GTrxNode(waiter), kPmfsEndpoint, FaultOp::kRpcRequest));
+    return RegisterWaitImpl(waiter, holder);
+  });
+}
+
+Status LockFusion::RegisterWaitImpl(GTrxId waiter, GTrxId holder) {
   fabric_->ChargeRpc(GTrxNode(waiter), kPmfsEndpoint);
   MutexLock lock(mu_);
   rlock_waits_.Inc();

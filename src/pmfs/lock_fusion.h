@@ -13,6 +13,7 @@
 #include "common/types.h"
 #include "obs/metrics.h"
 #include "rdma/fabric.h"
+#include "rdma/retry_policy.h"
 
 namespace polarmp {
 
@@ -62,6 +63,12 @@ class LockFusion {
   // Blocks until granted. If the node already holds the page, the call is an
   // upgrade request (granted when no other node holds the page). Returns
   // Busy on timeout, Unavailable if the node was removed while waiting.
+  //
+  // Acquire/Release are NOT idempotent, so the client stub mints a request
+  // id per logical call and retries injected transients with it; the
+  // service keeps a per-client outcome window (RpcDedupCache) and replays
+  // the recorded result for a retransmit whose original execution finished
+  // (the lost-reply case) instead of granting twice.
   Status AcquirePLock(NodeId node, PageId page, LockMode mode,
                       uint64_t timeout_ms);
   // Gives the node's hold back entirely (called when the local reference
@@ -121,6 +128,18 @@ class LockFusion {
     bool done = false;
   };
 
+  // RPC wire layer: request-leg fault injection, dedup lookup, execution,
+  // outcome recording, reply-leg fault injection. The public stubs retry
+  // injected transients around these with the SAME request id.
+  Status AcquirePLockRpc(NodeId node, PageId page, LockMode mode,
+                         uint64_t timeout_ms, uint64_t request_id);
+  Status ReleasePLockRpc(NodeId node, PageId page, uint64_t request_id);
+  // Service bodies (the pre-fault-injection semantics, verbatim).
+  Status AcquirePLockImpl(NodeId node, PageId page, LockMode mode,
+                          uint64_t timeout_ms);
+  Status ReleasePLockImpl(NodeId node, PageId page);
+  Status RegisterWaitImpl(GTrxId waiter, GTrxId holder);
+
   // Grants as many FIFO waiters as compatibility allows. Returns the pages'
   // holders that need (new) negotiation messages.
   void TryGrant(PageId page, PLockEntry* entry,
@@ -133,6 +152,15 @@ class LockFusion {
   void RemoveWaitLocked(GTrxId waiter) REQUIRES(mu_);
 
   Fabric* const fabric_;
+
+  // Client-side request-id mint for the dedup-capable RPCs. Monotonic and
+  // process-wide unique; never read back, so no ordering is needed.
+  // polarlint: allow(raw-atomic) lock-free id mint, no associated state
+  // polarlint: unguarded(atomic mint, independent of lock-fusion state)
+  std::atomic<uint64_t> next_request_id_{1};
+  // Service-side request-id -> outcome window (keyed by client node).
+  // polarlint: unguarded(internally synchronized: own RankedMutex at kRpc)
+  RpcDedupCache dedup_{"lock_fusion.dedup"};
 
   mutable RankedMutex mu_{LockRank::kPmfsService, "lock_fusion.state"};
   CondVar cv_;

@@ -1,5 +1,7 @@
 #include "pmfs/transaction_fusion.h"
 
+#include "rdma/retry_policy.h"
+
 namespace polarmp {
 
 TransactionFusion::TransactionFusion(Fabric* fabric)
@@ -14,7 +16,10 @@ TransactionFusion::TransactionFusion(Fabric* fabric)
 }
 
 TransactionFusion::~TransactionFusion() {
+  // Teardown: nothing to report to.
+  // polarlint: allow(unchecked-fabric-status)
   (void)fabric_->DeregisterRegion(kPmfsEndpoint, kGlobalMinViewRegion);
+  // polarlint: allow(unchecked-fabric-status)
   (void)fabric_->DeregisterRegion(kPmfsEndpoint, kGlobalLlsnRegion);
 }
 
@@ -43,17 +48,24 @@ void TransactionFusion::RemoveNode(NodeId node) {
 }
 
 Status TransactionFusion::ReportMinView(NodeId node, Csn min_view) {
-  min_view_reports_.Inc();
-  fabric_->ChargeRpc(node, kPmfsEndpoint);
-  MutexLock lock(mu_);
-  auto it = reported_.find(node);
-  if (it == reported_.end()) {
-    return Status::NotFound("node not registered with transaction fusion");
-  }
-  // Views only move forward; a late report must not regress the minimum.
-  if (min_view > it->second) it->second = min_view;
-  Recompute();
-  return Status::OK();
+  // Idempotent RPC (monotone max), so retransmits re-execute freely.
+  return RetryTransient(fabric_, [&]() -> Status {
+    POLARMP_RETURN_IF_ERROR(
+        fabric_->InjectRpcFault(node, kPmfsEndpoint, FaultOp::kRpcRequest));
+    min_view_reports_.Inc();
+    fabric_->ChargeRpc(node, kPmfsEndpoint);
+    {
+      MutexLock lock(mu_);
+      auto it = reported_.find(node);
+      if (it == reported_.end()) {
+        return Status::NotFound("node not registered with transaction fusion");
+      }
+      // Views only move forward; a late report must not regress the minimum.
+      if (min_view > it->second) it->second = min_view;
+      Recompute();
+    }
+    return fabric_->InjectRpcFault(node, kPmfsEndpoint, FaultOp::kRpcReply);
+  });
 }
 
 void TransactionFusion::Recompute() {
@@ -80,8 +92,10 @@ void TransactionFusion::Recompute() {
 
 StatusOr<Csn> TransactionFusion::GlobalMinView(EndpointId from) const {
   min_view_reads_.Inc();
-  return fabric_->Load64(from, kPmfsEndpoint, kGlobalMinViewRegion,
-                         /*offset=*/0);
+  return RetryTransientOr(fabric_, [&] {
+    return fabric_->Load64(from, kPmfsEndpoint, kGlobalMinViewRegion,
+                           /*offset=*/0);
+  });
 }
 
 void TransactionFusion::ResetCounters() {

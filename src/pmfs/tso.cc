@@ -1,5 +1,7 @@
 #include "pmfs/tso.h"
 
+#include "rdma/retry_policy.h"
+
 namespace polarmp {
 
 Tso::Tso(Fabric* fabric) : fabric_(fabric), counter_(kCsnFirst - 1) {
@@ -8,17 +10,26 @@ Tso::Tso(Fabric* fabric) : fabric_(fabric), counter_(kCsnFirst - 1) {
   POLARMP_CHECK(s.ok()) << s.ToString();
 }
 
+// polarlint: allow(unchecked-fabric-status) teardown: nothing to report to.
 Tso::~Tso() { (void)fabric_->DeregisterRegion(kPmfsEndpoint, kTsoRegion); }
 
 StatusOr<Csn> Tso::NextCts(EndpointId from) {
-  POLARMP_ASSIGN_OR_RETURN(
-      uint64_t prev, fabric_->FetchAdd64(from, kPmfsEndpoint, kTsoRegion,
-                                         /*offset=*/0, /*delta=*/1));
+  // Safe to retry: the fabric injects atomic faults BEFORE execution, so a
+  // failed fetch-add never consumed a timestamp. (A retry that does skip a
+  // CSN would still be harmless — the sequence only needs to be monotone.)
+  POLARMP_ASSIGN_OR_RETURN(uint64_t prev, RetryTransientOr(fabric_, [&] {
+                             return fabric_->FetchAdd64(from, kPmfsEndpoint,
+                                                        kTsoRegion,
+                                                        /*offset=*/0,
+                                                        /*delta=*/1);
+                           }));
   return prev + 1;
 }
 
 StatusOr<Csn> Tso::CurrentCts(EndpointId from) {
-  return fabric_->Load64(from, kPmfsEndpoint, kTsoRegion, /*offset=*/0);
+  return RetryTransientOr(fabric_, [&] {
+    return fabric_->Load64(from, kPmfsEndpoint, kTsoRegion, /*offset=*/0);
+  });
 }
 
 StatusOr<Csn> TsoClient::ReadTimestamp() {

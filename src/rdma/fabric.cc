@@ -102,8 +102,61 @@ void Fabric::CountService(EndpointId to) const {
   }
 }
 
+Status Fabric::InjectVerbFault(EndpointId from, EndpointId to, FaultOp op,
+                               bool* duplicate) const {
+  if (from == to) return Status::OK();  // loopback: the NIC is not involved
+  const FaultDecision fault = injector_.Decide(op);
+  switch (fault.kind) {
+    case FaultKind::kNone:
+      return Status::OK();
+    case FaultKind::kUnavailable:
+      faults_injected_.Inc();
+      return InjectedUnavailable("verb to endpoint " + std::to_string(to));
+    case FaultKind::kDelay:
+      faults_injected_.Inc();
+      SimDelay(fault.delay_ns);
+      return Status::OK();
+    case FaultKind::kDuplicate:
+      faults_injected_.Inc();
+      if (duplicate != nullptr) *duplicate = true;
+      return Status::OK();
+    default:
+      // kTimeout / kTorn are RPC- and seqlock-specific; a plan that asks
+      // for them on a plain verb degrades to a transparent delivery.
+      return Status::OK();
+  }
+}
+
+Status Fabric::InjectRpcFault(EndpointId from, EndpointId to,
+                              FaultOp stage) const {
+  if (from == to) return Status::OK();
+  const FaultDecision fault = injector_.Decide(stage);
+  switch (fault.kind) {
+    case FaultKind::kNone:
+      return Status::OK();
+    case FaultKind::kUnavailable:
+      faults_injected_.Inc();
+      return InjectedUnavailable(
+          (stage == FaultOp::kRpcRequest ? "rpc request to endpoint "
+                                         : "rpc reply from endpoint ") +
+          std::to_string(to));
+    case FaultKind::kTimeout:
+      // The caller waited a full round trip for nothing.
+      faults_injected_.Inc();
+      SimDelay(profile_.rpc_ns);
+      return InjectedTimeout("rpc to endpoint " + std::to_string(to));
+    case FaultKind::kDelay:
+      faults_injected_.Inc();
+      SimDelay(fault.delay_ns);
+      return Status::OK();
+    default:
+      return Status::OK();
+  }
+}
+
 Status Fabric::Read(EndpointId from, EndpointId to, uint32_t region,
                     uint64_t offset, void* dst, size_t len) const {
+  POLARMP_RETURN_IF_ERROR(InjectVerbFault(from, to, FaultOp::kRead));
   POLARMP_ASSIGN_OR_RETURN(char* src, Resolve(to, region, offset, len));
   if (from != to) {
     remote_reads_.Inc();
@@ -117,6 +170,9 @@ Status Fabric::Read(EndpointId from, EndpointId to, uint32_t region,
 
 Status Fabric::Write(EndpointId from, EndpointId to, uint32_t region,
                      uint64_t offset, const void* src, size_t len) const {
+  bool duplicate = false;
+  POLARMP_RETURN_IF_ERROR(
+      InjectVerbFault(from, to, FaultOp::kWrite, &duplicate));
   POLARMP_ASSIGN_OR_RETURN(char* dst, Resolve(to, region, offset, len));
   if (from != to) {
     remote_writes_.Inc();
@@ -125,12 +181,21 @@ Status Fabric::Write(EndpointId from, EndpointId to, uint32_t region,
     SimDelay(profile_.rdma_write_ns);
   }
   std::memcpy(dst, src, len);
+  if (duplicate) {
+    // Duplicated delivery: the same payload lands twice. Idempotent for
+    // plain writes by construction; the fault exists to prove callers never
+    // layer non-idempotent semantics onto raw write verbs.
+    std::memcpy(dst, src, len);
+  }
   return Status::OK();
 }
 
 StatusOr<uint64_t> Fabric::FetchAdd64(EndpointId from, EndpointId to,
                                       uint32_t region, uint64_t offset,
                                       uint64_t delta) const {
+  // Inject BEFORE executing: a failed atomic must not have mutated the
+  // target, so the caller's retry re-runs exactly one effective op.
+  POLARMP_RETURN_IF_ERROR(InjectVerbFault(from, to, FaultOp::kAtomic));
   POLARMP_ASSIGN_OR_RETURN(char* p, Resolve(to, region, offset, 8));
   if (from != to) {
     remote_atomics_.Inc();
@@ -146,6 +211,7 @@ StatusOr<uint64_t> Fabric::CompareSwap64(EndpointId from, EndpointId to,
                                          uint32_t region, uint64_t offset,
                                          uint64_t expected,
                                          uint64_t desired) const {
+  POLARMP_RETURN_IF_ERROR(InjectVerbFault(from, to, FaultOp::kAtomic));
   POLARMP_ASSIGN_OR_RETURN(char* p, Resolve(to, region, offset, 8));
   if (from != to) {
     remote_atomics_.Inc();
@@ -161,6 +227,7 @@ StatusOr<uint64_t> Fabric::CompareSwap64(EndpointId from, EndpointId to,
 
 StatusOr<uint64_t> Fabric::Load64(EndpointId from, EndpointId to,
                                   uint32_t region, uint64_t offset) const {
+  POLARMP_RETURN_IF_ERROR(InjectVerbFault(from, to, FaultOp::kRead));
   POLARMP_ASSIGN_OR_RETURN(char* p, Resolve(to, region, offset, 8));
   if (from != to) {
     remote_reads_.Inc();
@@ -174,6 +241,7 @@ StatusOr<uint64_t> Fabric::Load64(EndpointId from, EndpointId to,
 
 Status Fabric::Store64(EndpointId from, EndpointId to, uint32_t region,
                        uint64_t offset, uint64_t value) const {
+  POLARMP_RETURN_IF_ERROR(InjectVerbFault(from, to, FaultOp::kAtomic));
   POLARMP_ASSIGN_OR_RETURN(char* p, Resolve(to, region, offset, 8));
   if (from != to) {
     remote_writes_.Inc();
@@ -242,6 +310,9 @@ void Fabric::ResetCounters() {
   ops_storage_.Reset();
   ops_dsm_.Reset();
   ops_node_.Reset();
+  faults_injected_.Reset();
+  retries_.Reset();
+  rpc_dedup_hits_.Reset();
   read_ns_.Reset();
   write_ns_.Reset();
   atomic_ns_.Reset();

@@ -9,6 +9,7 @@
 #include "common/sim_latency.h"
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "rdma/fault_injector.h"
 
 namespace polarmp {
 
@@ -78,6 +79,25 @@ class Fabric {
   // control messages ride RDMA-based RPC).
   void ChargeRpc(EndpointId from, EndpointId to) const;
 
+  // Fault injection (rdma/fault_injector.h). The injector is consulted by
+  // every verb; service stubs additionally call InjectRpcFault on the
+  // request and reply legs of their RPCs. Disarmed injection costs one
+  // atomic load per verb.
+  FaultInjector* fault_injector() const { return &injector_; }
+
+  // Consults the injector for an RPC leg (`stage` is kRpcRequest or
+  // kRpcReply). Returns OK, a tagged transient Unavailable (leg lost), or a
+  // tagged Busy after charging a full round trip (timeout). No-op when
+  // from == to (local loopback cannot lose messages).
+  Status InjectRpcFault(EndpointId from, EndpointId to, FaultOp stage) const;
+
+  // Bookkeeping hooks for the retry layer (rdma/retry_policy.h) and the
+  // dedup-capable service stubs: all robustness events land in the fabric's
+  // books so one sidecar carries the whole chaos story.
+  void CountRetry() const { retries_.Inc(); }
+  void CountRpcDedupHit() const { rpc_dedup_hits_.Inc(); }
+  void CountFaultInjected() const { faults_injected_.Inc(); }
+
   // Accounting entry points for seqlock-framed page transfers. The payload
   // memcpy and the guard-word discipline live in src/dsm (the frame layout
   // is Dsm's business), but the latency and the round-trip count belong to
@@ -107,6 +127,9 @@ class Fabric {
   uint64_t remote_atomics() const { return remote_atomics_.Value(); }
   uint64_t rpcs() const { return rpcs_.Value(); }
   uint64_t rpcs_coalesced() const { return rpcs_coalesced_.Value(); }
+  uint64_t faults_injected() const { return faults_injected_.Value(); }
+  uint64_t retries() const { return retries_.Value(); }
+  uint64_t rpc_dedup_hits() const { return rpc_dedup_hits_.Value(); }
   void ResetCounters();
 
  private:
@@ -122,11 +145,19 @@ class Fabric {
   // Bumps the per-destination-service op counter for a remote op to `to`.
   void CountService(EndpointId to) const;
 
+  // Consults the injector for a one-sided verb. Returns a tagged transient
+  // error, or OK after applying any kDelay in place; a kDuplicate decision
+  // (write path) is reported through *duplicate for the caller to apply.
+  Status InjectVerbFault(EndpointId from, EndpointId to, FaultOp op,
+                         bool* duplicate = nullptr) const;
+
   static uint64_t Key(EndpointId endpoint, uint32_t region) {
     return (static_cast<uint64_t>(endpoint) << 32) | region;
   }
 
   const LatencyProfile profile_;
+  // polarlint: unguarded(internally synchronized: own RankedMutex + armed flag)
+  mutable FaultInjector injector_;
   mutable RankedSharedMutex mu_{LockRank::kFabric, "fabric.regions"};
   std::unordered_map<uint64_t, Region> regions_ GUARDED_BY(mu_);
   std::unordered_map<EndpointId, bool> endpoint_alive_ GUARDED_BY(mu_);
@@ -140,6 +171,9 @@ class Fabric {
   mutable obs::Counter ops_storage_{"fabric.ops_storage"};
   mutable obs::Counter ops_dsm_{"fabric.ops_dsm"};
   mutable obs::Counter ops_node_{"fabric.ops_node"};
+  mutable obs::Counter faults_injected_{"fabric.faults_injected"};
+  mutable obs::Counter retries_{"fabric.retries"};
+  mutable obs::Counter rpc_dedup_hits_{"fabric.rpc_dedup_hits"};
   mutable obs::LatencyHistogram read_ns_{"fabric.read_ns"};
   mutable obs::LatencyHistogram write_ns_{"fabric.write_ns"};
   mutable obs::LatencyHistogram atomic_ns_{"fabric.atomic_ns"};

@@ -1,0 +1,116 @@
+#include "rdma/fault_injector.h"
+
+namespace polarmp {
+
+namespace {
+
+// SplitMix64: one multiply-xorshift pass per draw keeps Decide cheap while
+// giving per-op-class streams that diverge even for adjacent seeds.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void FaultInjector::Arm(const FaultPlan& plan) {
+  MutexLock lock(mu_);
+  plan_ = plan;
+  plan_armed_ = true;
+  for (int i = 0; i < kFaultOpCount; ++i) draws_[i] = 0;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  MutexLock lock(mu_);
+  plan_armed_ = false;
+  for (int i = 0; i < kFaultOpCount; ++i) scripted_[i].clear();
+  armed_.store(false, std::memory_order_release);
+}
+
+void FaultInjector::ScriptFault(FaultOp op, FaultKind kind, int count,
+                                uint64_t delay_ns) {
+  MutexLock lock(mu_);
+  for (int i = 0; i < count; ++i) {
+    scripted_[static_cast<int>(op)].push_back(FaultDecision{kind, delay_ns});
+  }
+  armed_.store(true, std::memory_order_release);
+}
+
+FaultDecision FaultInjector::Decide(FaultOp op) {
+  if (!armed_.load(std::memory_order_acquire)) return FaultDecision{};
+  MutexLock lock(mu_);
+  return DecideLocked(op);
+}
+
+FaultDecision FaultInjector::DecideLocked(FaultOp op) {
+  std::deque<FaultDecision>& queue = scripted_[static_cast<int>(op)];
+  if (!queue.empty()) {
+    FaultDecision decision = queue.front();
+    queue.pop_front();
+    return decision;
+  }
+  if (!plan_armed_) return FaultDecision{};
+  // One seeded draw per op, banded over the plan's cumulative per-mille
+  // rates for this op class. The draw sequence is per-class, so the
+  // decision stream for (seed, class) depends only on how many ops of that
+  // class ran before — reordering reads against writes does not reshuffle
+  // either stream.
+  const uint64_t n = ++draws_[static_cast<int>(op)];
+  const uint64_t draw =
+      Mix64(plan_.seed ^ (static_cast<uint64_t>(op) << 56) ^ n) % 1000;
+  uint64_t band = 0;
+  auto hits = [&](uint32_t pm) {
+    band += pm;
+    return draw < band;
+  };
+  switch (op) {
+    case FaultOp::kRead:
+      if (hits(plan_.read_unavailable_pm)) {
+        return FaultDecision{FaultKind::kUnavailable, 0};
+      }
+      break;
+    case FaultOp::kWrite:
+      if (hits(plan_.write_unavailable_pm)) {
+        return FaultDecision{FaultKind::kUnavailable, 0};
+      }
+      if (hits(plan_.write_delay_pm)) {
+        return FaultDecision{FaultKind::kDelay, plan_.delay_ns};
+      }
+      if (hits(plan_.write_duplicate_pm)) {
+        return FaultDecision{FaultKind::kDuplicate, 0};
+      }
+      break;
+    case FaultOp::kAtomic:
+      if (hits(plan_.atomic_unavailable_pm)) {
+        return FaultDecision{FaultKind::kUnavailable, 0};
+      }
+      break;
+    case FaultOp::kSeqlockedWrite:
+      if (hits(plan_.seqlock_torn_pm)) {
+        return FaultDecision{FaultKind::kTorn, plan_.delay_ns};
+      }
+      break;
+    case FaultOp::kRpcRequest:
+      if (hits(plan_.rpc_request_lost_pm)) {
+        return FaultDecision{FaultKind::kUnavailable, 0};
+      }
+      if (hits(plan_.rpc_timeout_pm)) {
+        return FaultDecision{FaultKind::kTimeout, 0};
+      }
+      break;
+    case FaultOp::kRpcReply:
+      if (hits(plan_.rpc_reply_lost_pm)) {
+        return FaultDecision{FaultKind::kUnavailable, 0};
+      }
+      if (hits(plan_.rpc_timeout_pm)) {
+        return FaultDecision{FaultKind::kTimeout, 0};
+      }
+      break;
+  }
+  return FaultDecision{};
+}
+
+}  // namespace polarmp

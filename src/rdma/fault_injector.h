@@ -1,0 +1,141 @@
+#ifndef POLARMP_RDMA_FAULT_INJECTOR_H_
+#define POLARMP_RDMA_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/lock_rank.h"
+#include "common/status.h"
+
+namespace polarmp {
+
+// Deterministic fault injection for the simulated RDMA fabric.
+//
+// Real fabrics fail in finer ways than a clean node crash: verbs come back
+// with transient completion errors, RPCs time out, writes are delivered
+// late or twice, and a multi-cacheline write can land torn if the reader
+// races the NIC. The injector models exactly those modes, seeded so a
+// given (seed, op-stream) pair always injects the same faults — chaos runs
+// are reproducible and test failures replay.
+//
+// Two sources of faults, scripted taking priority over planned:
+//   - ScriptFault() queues N one-shot faults for an op class (tests).
+//   - Arm(plan) draws per-op-class faults from seeded per-mille bands.
+//
+// Injected errors are TAGGED in the status message (kInjectedFaultTag) so
+// retry wrappers (rdma/retry_policy.h) can distinguish a transient injected
+// fault (retry) from a genuine endpoint-down Unavailable (propagate: the
+// node really is dead and takeover, not retry, is the answer).
+
+// What kind of operation a fault decision is being made for.
+enum class FaultOp : uint8_t {
+  kRead = 0,            // one-sided read / Load64
+  kWrite = 1,           // one-sided write
+  kAtomic = 2,          // FetchAdd64 / CompareSwap64 / Store64
+  kSeqlockedWrite = 3,  // seqlock-framed page write (torn-write candidate)
+  kRpcRequest = 4,      // RPC request leg (lost before the service ran)
+  kRpcReply = 5,        // RPC reply leg (lost after the service ran)
+};
+inline constexpr int kFaultOpCount = 6;
+
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kUnavailable,  // transient verb failure (retryable when injected)
+  kTimeout,      // RPC timed out: latency charged, Busy returned
+  kDelay,        // delivered, but late (extra latency)
+  kDuplicate,    // one-sided write applied twice
+  kTorn,         // seqlocked write left mid-flight for a window
+};
+
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  uint64_t delay_ns = 0;  // for kDelay / kTorn: how long the window lasts
+};
+
+// Per-mille fault rates per op class. Rates in one class are cumulative
+// bands over a single draw, so their sum must stay <= 1000.
+struct FaultPlan {
+  uint64_t seed = 0;
+  uint32_t read_unavailable_pm = 0;
+  uint32_t write_unavailable_pm = 0;
+  uint32_t atomic_unavailable_pm = 0;
+  uint32_t rpc_request_lost_pm = 0;
+  uint32_t rpc_reply_lost_pm = 0;
+  uint32_t rpc_timeout_pm = 0;
+  uint32_t write_delay_pm = 0;
+  uint32_t write_duplicate_pm = 0;
+  uint32_t seqlock_torn_pm = 0;
+  uint64_t delay_ns = 50'000;  // extra latency for kDelay / torn window
+};
+
+// The plan used by `scripts/check.sh chaos` and POLARMP_FAULT_SEED: every
+// fault mode on, at rates low enough that retry budgets absorb them.
+inline FaultPlan DefaultChaosPlan(uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.read_unavailable_pm = 5;
+  plan.write_unavailable_pm = 5;
+  plan.atomic_unavailable_pm = 3;
+  plan.rpc_request_lost_pm = 5;
+  plan.rpc_reply_lost_pm = 5;
+  plan.rpc_timeout_pm = 2;
+  plan.write_delay_pm = 10;
+  plan.write_duplicate_pm = 5;
+  plan.seqlock_torn_pm = 5;
+  plan.delay_ns = 50'000;
+  return plan;
+}
+
+// Message tag marking a status as injector-made. Retry wrappers retry ONLY
+// tagged transients; a real "endpoint down" passes through untouched.
+inline constexpr const char kInjectedFaultTag[] = "injected-fault: ";
+
+inline Status InjectedUnavailable(const std::string& what) {
+  return Status::Unavailable(std::string(kInjectedFaultTag) + what);
+}
+inline Status InjectedTimeout(const std::string& what) {
+  return Status::Busy(std::string(kInjectedFaultTag) + what + " timed out");
+}
+inline bool IsInjectedTransient(const Status& s) {
+  if (!s.IsUnavailable() && !s.IsBusy()) return false;
+  return s.message().rfind(kInjectedFaultTag, 0) == 0;
+}
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Installs a seeded plan; subsequent Decide() calls draw from it.
+  void Arm(const FaultPlan& plan);
+  // Stops all injection (planned and scripted).
+  void Disarm();
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+  // Queues `count` one-shot faults of `kind` for `op`; scripted faults are
+  // consumed before the plan is consulted. Deterministic by construction.
+  void ScriptFault(FaultOp op, FaultKind kind, int count,
+                   uint64_t delay_ns = 0);
+
+  // The per-verb hook: what (if anything) fails for this operation. Cheap
+  // when disarmed (one relaxed atomic load, no lock).
+  FaultDecision Decide(FaultOp op);
+
+ private:
+  FaultDecision DecideLocked(FaultOp op) REQUIRES(mu_);
+
+  // Fast path: disarmed fabrics pay a single atomic load per verb.
+  std::atomic<bool> armed_{false};
+  mutable RankedMutex mu_{LockRank::kFabric, "fabric.injector"};
+  bool plan_armed_ GUARDED_BY(mu_) = false;
+  FaultPlan plan_ GUARDED_BY(mu_);
+  uint64_t draws_[kFaultOpCount] GUARDED_BY(mu_) = {};
+  std::deque<FaultDecision> scripted_[kFaultOpCount] GUARDED_BY(mu_);
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_RDMA_FAULT_INJECTOR_H_

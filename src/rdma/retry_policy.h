@@ -1,0 +1,134 @@
+#ifndef POLARMP_RDMA_RETRY_POLICY_H_
+#define POLARMP_RDMA_RETRY_POLICY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/lock_rank.h"
+#include "common/sim_latency.h"
+#include "common/status.h"
+#include "rdma/fabric.h"
+
+namespace polarmp {
+
+// Retry/backoff policy for fabric operations, and the request-id dedup
+// cache that makes non-idempotent RPCs safe to retransmit.
+//
+// Per-site policy (DESIGN.md § Fault injection & failure takeover):
+//   - Idempotent one-sided ops (reads, flag stores, page pushes) retry
+//     injected transients with capped exponential backoff.
+//   - Non-idempotent RPCs carry a client-minted request id; the service
+//     records the outcome per id, so a retransmit after a lost reply
+//     returns the recorded result instead of re-executing.
+//   - Exhausted budgets degrade to Busy backpressure — the caller's
+//     existing Busy handling (abort-and-retry the statement) takes over;
+//     nothing in the stack turns a transient into a hard failure.
+//
+// Only statuses tagged by the fault injector are retried
+// (IsInjectedTransient): a GENUINE Unavailable means the target endpoint is
+// really gone, and the correct reaction is failure takeover, not a retry
+// loop against a dead node.
+
+struct RetryPolicy {
+  int max_attempts = 4;                  // 1 try + up to 3 retries
+  uint64_t initial_backoff_ns = 20'000;  // ~1.3 RDMA ops
+  uint64_t max_backoff_ns = 1'000'000;   // cap: under one log force
+};
+
+// Runs `op` (returning Status) under the policy. Retries only injected
+// transients; first genuine status (ok or error) is returned as-is.
+template <typename F>
+Status RetryTransient(const Fabric* fabric, F&& op, RetryPolicy policy = {}) {
+  uint64_t backoff = policy.initial_backoff_ns;
+  Status last;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      fabric->CountRetry();
+      SimDelay(backoff);
+      backoff = std::min(backoff * 2, policy.max_backoff_ns);
+    }
+    last = op();
+    if (!IsInjectedTransient(last)) return last;
+  }
+  // Budget exhausted: degrade to Busy. The message drops the injected tag,
+  // so an outer wrapper never re-retries an already-exhausted budget.
+  return Status::Busy("fabric retry budget exhausted: " + last.message());
+}
+
+// StatusOr flavor of RetryTransient for the value-returning verbs.
+template <typename F>
+auto RetryTransientOr(const Fabric* fabric, F&& op, RetryPolicy policy = {})
+    -> decltype(op()) {
+  uint64_t backoff = policy.initial_backoff_ns;
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0) {
+      fabric->CountRetry();
+      SimDelay(backoff);
+      backoff = std::min(backoff * 2, policy.max_backoff_ns);
+    }
+    auto result = op();
+    if (!IsInjectedTransient(result.status())) return result;
+    if (attempt + 1 >= policy.max_attempts) {
+      return Status::Busy("fabric retry budget exhausted: " +
+                          result.status().message());
+    }
+  }
+}
+
+// Service-side dedup for non-idempotent RPCs. The client mints a request id
+// per logical call and reuses it across retransmits; the service consults
+// Lookup before executing and Records the outcome after. A retransmit whose
+// original execution completed (reply lost on the wire) replays the
+// recorded result without re-executing. The window is bounded per client:
+// a retransmit always lands within a handful of ids of the newest, so 256
+// outcomes of history is orders of magnitude more than retry budgets need.
+class RpcDedupCache {
+ public:
+  explicit RpcDedupCache(const char* name) : mu_(LockRank::kRpc, name) {}
+  RpcDedupCache(const RpcDedupCache&) = delete;
+  RpcDedupCache& operator=(const RpcDedupCache&) = delete;
+
+  std::optional<Status> Lookup(uint64_t client, uint64_t request_id) const {
+    MutexLock lock(mu_);
+    auto it = windows_.find(client);
+    if (it == windows_.end()) return std::nullopt;
+    auto hit = it->second.results.find(request_id);
+    if (hit == it->second.results.end()) return std::nullopt;
+    return hit->second;
+  }
+
+  void Record(uint64_t client, uint64_t request_id, Status result) {
+    MutexLock lock(mu_);
+    Window& window = windows_[client];
+    if (window.results.emplace(request_id, std::move(result)).second) {
+      window.order.push_back(request_id);
+      while (window.order.size() > kWindowSize) {
+        window.results.erase(window.order.front());
+        window.order.pop_front();
+      }
+    }
+  }
+
+  void ForgetClient(uint64_t client) {
+    MutexLock lock(mu_);
+    windows_.erase(client);
+  }
+
+ private:
+  struct Window {
+    std::unordered_map<uint64_t, Status> results;
+    std::deque<uint64_t> order;
+  };
+  static constexpr size_t kWindowSize = 256;
+
+  mutable RankedMutex mu_;
+  std::unordered_map<uint64_t, Window> windows_ GUARDED_BY(mu_);
+};
+
+}  // namespace polarmp
+
+#endif  // POLARMP_RDMA_RETRY_POLICY_H_

@@ -130,6 +130,12 @@ void Tit::MarkDeparted(NodeId node, bool departed) {
   departed_[node] = departed;
 }
 
+bool Tit::IsDeparted(NodeId node) const {
+  MutexLock lock(mu_);
+  auto it = departed_.find(node);
+  return it != departed_.end() && it->second;
+}
+
 StatusOr<Tit::SlotRead> Tit::ReadSlot(EndpointId from, GTrxId trx) const {
   const NodeId owner = GTrxNode(trx);
   if (!fabric_->EndpointAlive(owner)) {

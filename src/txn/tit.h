@@ -77,6 +77,12 @@ class Tit {
   // is what keeps its in-flight transactions' rows conservatively locked.
   void MarkDeparted(NodeId node, bool departed);
 
+  // True once the node has been marked departed (graceful stop or completed
+  // takeover/recovery). A crashed-but-unrecovered node reads false, which
+  // is how Cluster::DeadNodes distinguishes "needs takeover" from "already
+  // re-baselined".
+  bool IsDeparted(NodeId node) const;
+
   // Restart path: frees every slot while bumping versions, so g_trx_ids
   // minted before the crash resolve as "slot reused" (their transactions
   // were either committed — correct — or rolled back by recovery before the

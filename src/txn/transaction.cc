@@ -228,6 +228,8 @@ Status TrxManager::WaitForRowLock(Transaction* trx, GTrxId holder) {
     return reg;
   }
   POLARMP_RETURN_IF_ERROR(reg);
+  // polarlint: allow(unchecked-fabric-status) best-effort flag raise; the
+  // IsTrxActive recheck below covers a failed write (we just wait longer)
   (void)tit_->SetRefRemote(node(), holder);
   if (!IsTrxActive(holder)) {
     lock_fusion_->CancelWait(trx->gid());
@@ -354,6 +356,86 @@ Status TrxManager::WriteRow(Transaction* trx, BTree* tree, int64_t key,
     waited_for = conflict_holder;
   }
   return Status::Busy("row write did not converge");
+}
+
+StatusOr<std::string> TrxManager::ReadRowForUpdate(Transaction* trx,
+                                                   BTree* tree, int64_t key) {
+  POLARMP_CHECK_EQ(trx->state_, TrxState::kActive);
+  POLARMP_RETURN_IF_ERROR(RefreshView(trx));
+
+  GTrxId waited_for = kInvalidGTrxId;
+  for (int attempt = 0; attempt < options_.write_retry_limit; ++attempt) {
+    GTrxId conflict_holder = kInvalidGTrxId;
+    {
+      Mtr mtr(engine_);
+      // The lock image is the same size as the current row, so an in-place
+      // rewrite always fits: the header size is only the split hint.
+      POLARMP_ASSIGN_OR_RETURN(
+          BTree::LeafPos pos,
+          tree->SearchLeafForWrite(&mtr, key, kRowHeaderSize));
+      if (!pos.found) return Status::NotFound("no row for key");
+      Page leaf = mtr.PageAt(pos.guard);
+      POLARMP_ASSIGN_OR_RETURN(RowView row, leaf.RowAt(pos.slot));
+
+      if (row.g_trx_id == trx->gid()) {
+        // Already locked (or written) by this transaction.
+        if (row.tombstone()) return Status::NotFound("row deleted");
+        return row.value.ToString();
+      }
+      const Csn row_commit_cts = GetCtsForVersion(row.g_trx_id, row.cts);
+      if (row_commit_cts == kCsnMax) {
+        // Embedded row lock held by another live transaction (§4.3.2).
+        conflict_holder = row.g_trx_id;
+      } else {
+        if (trx->iso_ == IsolationLevel::kSnapshotIsolation &&
+            (!trx->view().VisibleCts(row_commit_cts) ||
+             row.g_trx_id == waited_for)) {
+          // Same first-committer/first-updater-wins rule as WriteRow: a
+          // locking read that admitted a version invisible to the snapshot
+          // would let the transaction build on state it cannot have seen.
+          return Status::Aborted("write-write conflict (SI)");
+        }
+        if (row.tombstone()) return Status::NotFound("row deleted");
+
+        UndoRecord undo_rec;
+        undo_rec.space = tree->space();
+        undo_rec.key = key;
+        undo_rec.trx = trx->gid();
+        undo_rec.trx_prev = trx->last_undo();
+        undo_rec.type = UndoType::kUpdate;
+        undo_rec.prev_trx = row.g_trx_id;
+        undo_rec.prev_cts = row.cts;
+        undo_rec.prev_undo = row.undo_ptr;
+        undo_rec.prev_flags = row.flags;
+        undo_rec.prev_value = row.value.ToString();
+        // Copy out before LogWriteRow: row.value points into the page.
+        std::string value = row.value.ToString();
+
+        POLARMP_ASSIGN_OR_RETURN(UndoStore::AppendResult undo_res,
+                                 undo_->Append(node(), undo_rec));
+        mtr.LogUndoAppend(undo_res.offset, undo_res.bytes);
+        const std::string image = EncodeRow(key, trx->gid(), kCsnInit,
+                                            undo_res.ptr, row.flags, value);
+        POLARMP_RETURN_IF_ERROR(mtr.LogWriteRow(pos.guard, image));
+        mtr.Commit();
+        if (trx->first_lsn_ == 0) {
+          std::atomic_ref<Lsn>(trx->first_lsn_)
+              .store(mtr.commit_start_lsn(), std::memory_order_release);
+        }
+        trx->last_undo_ = undo_res.ptr;
+        std::atomic_ref<uint64_t>(trx->first_undo_offset_)
+            .store(std::min(trx->first_undo_offset_, undo_res.offset),
+                   std::memory_order_release);
+        trx->touched_.push_back(Transaction::TouchedRow{
+            mtr.PageIdAt(pos.guard), key, tree->space(), /*tombstone=*/false});
+        return value;
+      }
+    }
+    const Status wait = WaitForRowLock(trx, conflict_holder);
+    if (!wait.ok()) return wait;
+    waited_for = conflict_holder;
+  }
+  return Status::Busy("locking read did not converge");
 }
 
 Status TrxManager::Commit(Transaction* trx) {

@@ -194,6 +194,19 @@ class TrxManager {
   // MVCC point read. NotFound if no visible version (or visible tombstone).
   StatusOr<std::string> ReadRow(Transaction* trx, BTree* tree, int64_t key);
 
+  // Locking point read (SELECT ... FOR UPDATE): acquires the embedded row
+  // lock by re-publishing the current committed version under this
+  // transaction's gid (regular kUpdate undo restores it on rollback), then
+  // returns that value. Unlike ReadRow this reads the LATEST committed
+  // version, not the snapshot — which is the point: read-modify-write
+  // cycles built on plain ReadRow lose updates under read committed (two
+  // transactions read the same base, both write), while a ForUpdate read
+  // serializes them on the row lock. Errors mirror WriteRow: Aborted
+  // (deadlock victim / SI conflict), Busy (lock wait timeout), NotFound
+  // (missing row or visible tombstone).
+  StatusOr<std::string> ReadRowForUpdate(Transaction* trx, BTree* tree,
+                                         int64_t key);
+
   // MVCC range scan: visible versions of rows with lo <= key <= hi.
   Status ScanRows(Transaction* trx, BTree* tree, int64_t lo, int64_t hi,
                   const std::function<bool(int64_t, const std::string&)>& fn);

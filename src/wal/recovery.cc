@@ -52,9 +52,11 @@ Status Recovery::ApplyRecord(const LogRecord& rec) {
   ++stats_.records_scanned;
   switch (rec.type) {
     case LogRecordType::kUndoAppend: {
-      POLARMP_RETURN_IF_ERROR(
-          undo_store_->WriteRaw(rec.node, rec.aux, rec.body));
-      stats_.undo_bytes_rebuilt += rec.body.size();
+      if (options_.rebuild_undo) {
+        POLARMP_RETURN_IF_ERROR(
+            undo_store_->WriteRaw(rec.node, rec.aux, rec.body));
+        stats_.undo_bytes_rebuilt += rec.body.size();
+      }
       return Status::OK();
     }
     case LogRecordType::kTrxCommit:

@@ -47,6 +47,11 @@ class Recovery {
     uint64_t chunk_bytes = 1 << 20;
     // Endpoint charged for DBP page fetches (the recovering node).
     EndpointId reader = kPmfsEndpoint;
+    // Replay kUndoAppend records into the undo store. A full restart needs
+    // this (the store may be empty/lost); an online takeover must NOT — the
+    // dead node's undo segment survived in DSM and survivors are concurrently
+    // reading it, so rewriting identical bytes would only manufacture races.
+    bool rebuild_undo = true;
   };
 
   // `buffer_fusion` may be null (full-cluster restart with DSM lost).

@@ -141,6 +141,131 @@ TEST_F(FailureTest, CrashUnderConcurrentLoadKeepsAcknowledgedWrites) {
   ASSERT_TRUE(check.Commit().ok());
 }
 
+// The headline robustness scenario (ISSUE 8): 3 primaries under load, one
+// crashes, a SURVIVOR takes its state over while the others keep
+// committing — no global halt, zero acknowledged commits lost, and the
+// ghost of the victim's in-flight transaction is rolled back.
+TEST_F(FailureTest, OnlineTakeoverKeepsClusterAvailable) {
+  DbNode* victim = cluster_->AddNode().value();
+  DbNode* s1 = cluster_->AddNode().value();
+  DbNode* s2 = cluster_->AddNode().value();
+  ASSERT_TRUE(cluster_->CreateTable("tv").ok());
+  ASSERT_TRUE(cluster_->CreateTable("t1").ok());
+  ASSERT_TRUE(cluster_->CreateTable("t2").ok());
+
+  std::mutex acked_mu;
+  std::set<int64_t> acked_victim, acked_s1, acked_s2;
+  std::atomic<bool> stop_victim{false}, stop_all{false};
+  std::atomic<int64_t> key_source{0};
+  const NodeId victim_id = victim->id();
+
+  std::thread victim_writer([&] {
+    TableHandle t = victim->OpenTable("tv").value();
+    while (!stop_victim.load()) {
+      Session s(victim, IsolationLevel::kReadCommitted);
+      if (!s.Begin().ok()) break;
+      const int64_t key = key_source.fetch_add(1);
+      if (!s.Insert(t, key, "v").ok()) {
+        s.Disarm();
+        break;
+      }
+      if (s.Commit().ok()) {
+        std::lock_guard lock(acked_mu);
+        acked_victim.insert(key);
+      } else {
+        s.Disarm();
+        break;
+      }
+    }
+  });
+  auto survivor_loop = [&](DbNode* node, const char* table,
+                           std::set<int64_t>* acked) {
+    TableHandle t = node->OpenTable(table).value();
+    while (!stop_all.load()) {
+      Session s(node, IsolationLevel::kReadCommitted);
+      if (!s.Begin().ok()) break;
+      const int64_t key = key_source.fetch_add(1);
+      if (!s.Insert(t, key, "s").ok()) continue;
+      if (s.Commit().ok()) {
+        std::lock_guard lock(acked_mu);
+        acked->insert(key);
+      }
+    }
+  };
+  std::thread s1_writer(survivor_loop, s1, "t1", &acked_s1);
+  std::thread s2_writer(survivor_loop, s2, "t2", &acked_s2);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  // Quiesce only the victim's client, leave an in-flight ghost, then yank
+  // the node — survivors keep writing throughout.
+  stop_victim.store(true);
+  victim_writer.join();
+  Session in_flight(victim, IsolationLevel::kReadCommitted);
+  ASSERT_TRUE(in_flight.Begin().ok());
+  TableHandle tv_pre = victim->OpenTable("tv").value();
+  const int64_t ghost = key_source.fetch_add(1);
+  ASSERT_TRUE(in_flight.Insert(tv_pre, ghost, "never-acked").ok());
+  ASSERT_TRUE(cluster_->CrashNode(victim_id).ok());
+  in_flight.Disarm();
+
+  // Dead-node detection via the fabric liveness map.
+  const std::vector<NodeId> dead = cluster_->DeadNodes();
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], victim_id);
+
+  // Survivor s1 takes over while s2 (and s1's own writer) keep committing.
+  const size_t s2_acked_before = [&] {
+    std::lock_guard lock(acked_mu);
+    return acked_s2.size();
+  }();
+  auto stats = cluster_->TakeoverNode(victim_id, s1->id());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(cluster_->takeovers(), 1u);
+  EXPECT_TRUE(cluster_->DeadNodes().empty());
+  // No double takeover.
+  EXPECT_TRUE(cluster_->TakeoverNode(victim_id, s1->id()).status()
+                  .IsAlreadyExists());
+
+  // Survivors never stalled: they kept acknowledging during the takeover.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop_all.store(true);
+  s1_writer.join();
+  s2_writer.join();
+  {
+    std::lock_guard lock(acked_mu);
+    EXPECT_GT(acked_s2.size(), s2_acked_before);
+  }
+
+  // Every acknowledged key — victim's included — reads back through a
+  // survivor; the ghost is gone.
+  TableHandle tv = s2->OpenTable("tv").value();
+  TableHandle t1 = s2->OpenTable("t1").value();
+  TableHandle t2 = s2->OpenTable("t2").value();
+  Session check(s2, IsolationLevel::kReadCommitted);
+  ASSERT_TRUE(check.Begin().ok());
+  for (int64_t key : acked_victim) {
+    EXPECT_TRUE(check.Get(tv, key).ok()) << "lost victim-acked key " << key;
+  }
+  for (int64_t key : acked_s1) {
+    EXPECT_TRUE(check.Get(t1, key).ok()) << "lost s1 key " << key;
+  }
+  for (int64_t key : acked_s2) {
+    EXPECT_TRUE(check.Get(t2, key).ok()) << "lost s2 key " << key;
+  }
+  EXPECT_TRUE(check.Get(tv, ghost).status().IsNotFound());
+  ASSERT_TRUE(check.Commit().ok());
+
+  // The node can come back later; restart is a no-op replay (checkpoint
+  // already advanced by the takeover) and the cluster accepts its writes.
+  auto revived = cluster_->RestartNode(victim_id);
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+  TableHandle tr = revived.value()->OpenTable("tv").value();
+  Session again(revived.value(), IsolationLevel::kReadCommitted);
+  ASSERT_TRUE(again.Begin().ok());
+  ASSERT_TRUE(again.Insert(tr, key_source.fetch_add(1), "back").ok());
+  ASSERT_TRUE(again.Commit().ok());
+}
+
 TEST_F(FailureTest, FullClusterCrashWithDsmLossKeepsAcknowledged) {
   DbNode* n1 = cluster_->AddNode().value();
   DbNode* n2 = cluster_->AddNode().value();

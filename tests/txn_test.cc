@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+
 #include "cluster/cluster.h"
 
 namespace polarmp {
@@ -404,6 +407,93 @@ TEST_F(TxnGsiTest, IndexMaintainedOnInsertUpdateDelete) {
   EXPECT_EQ(r3.LookupByIndex(table_, 0, 7)->size(), 1u);
   EXPECT_EQ(r3.LookupByIndex(table_, 1, 8)->size(), 1u);
   ASSERT_TRUE(r3.Commit().ok());
+}
+
+// Deterministic repro of the bank_transfer balance drift (ROADMAP): under
+// read committed, a read-modify-write built on plain snapshot Gets loses
+// updates — both transactions read the same base, both write, one delta
+// vanishes. This is expected RC behavior, which is exactly why the example
+// was wrong to rely on it; the fixed example (and the test below) use
+// GetForUpdate.
+TEST_F(TxnTest, PlainReadModifyWriteLosesUpdates) {
+  {
+    Session s = NewSession();
+    ASSERT_TRUE(s.Insert(table_, 1, "100").ok());
+    ASSERT_TRUE(s.Commit().ok());
+  }
+  Session a = NewSession();
+  Session b = NewSession();
+  const int64_t base_a = std::stoll(a.Get(table_, 1).value());
+  const int64_t base_b = std::stoll(b.Get(table_, 1).value());
+  ASSERT_EQ(base_a, 100);
+  ASSERT_EQ(base_b, 100);
+  ASSERT_TRUE(a.Update(table_, 1, std::to_string(base_a + 10)).ok());
+  ASSERT_TRUE(a.Commit().ok());
+  ASSERT_TRUE(b.Update(table_, 1, std::to_string(base_b - 5)).ok());
+  ASSERT_TRUE(b.Commit().ok());
+  Session r = NewSession();
+  // The +10 is gone: 95, not 105. (Documents the hazard, not a defect.)
+  EXPECT_EQ(r.Get(table_, 1).value(), "95");
+  ASSERT_TRUE(r.Commit().ok());
+}
+
+TEST_F(TxnTest, GetForUpdateSerializesReadModifyWrite) {
+  {
+    Session s = NewSession();
+    ASSERT_TRUE(s.Insert(table_, 1, "100").ok());
+    ASSERT_TRUE(s.Commit().ok());
+  }
+  Session a = NewSession();
+  const auto locked = a.GetForUpdate(table_, 1);
+  ASSERT_TRUE(locked.ok());
+  ASSERT_EQ(*locked, "100");
+  // The second RMW cycle blocks on the row lock until `a` commits, then
+  // reads a's result — no lost update.
+  std::thread other([&] {
+    Session b(node_, IsolationLevel::kReadCommitted);
+    ASSERT_TRUE(b.Begin().ok());
+    const auto base = b.GetForUpdate(table_, 1);
+    ASSERT_TRUE(base.ok());
+    EXPECT_EQ(*base, "110");
+    ASSERT_TRUE(
+        b.Update(table_, 1, std::to_string(std::stoll(*base) - 5)).ok());
+    ASSERT_TRUE(b.Commit().ok());
+  });
+  ASSERT_TRUE(a.Update(table_, 1, std::to_string(std::stoll(*locked) + 10))
+                  .ok());
+  ASSERT_TRUE(a.Commit().ok());
+  other.join();
+  Session r = NewSession();
+  EXPECT_EQ(r.Get(table_, 1).value(), "105");
+  ASSERT_TRUE(r.Commit().ok());
+}
+
+TEST_F(TxnTest, GetForUpdateBasicsAndRollback) {
+  EXPECT_TRUE(NewSession().GetForUpdate(table_, 9).status().IsNotFound());
+  {
+    Session s = NewSession();
+    ASSERT_TRUE(s.Insert(table_, 1, "v1").ok());
+    ASSERT_TRUE(s.Commit().ok());
+  }
+  // Lock write rolls back cleanly: the prior version survives, unlocked.
+  {
+    Session s = NewSession();
+    EXPECT_EQ(s.GetForUpdate(table_, 1).value(), "v1");
+    // Idempotent within the transaction (own-gid fast path).
+    EXPECT_EQ(s.GetForUpdate(table_, 1).value(), "v1");
+    ASSERT_TRUE(s.Rollback().ok());
+  }
+  Session r = NewSession();
+  EXPECT_EQ(r.Get(table_, 1).value(), "v1");
+  EXPECT_EQ(r.GetForUpdate(table_, 1).value(), "v1");  // lock acquirable
+  ASSERT_TRUE(r.Commit().ok());
+  // A deleted row reads NotFound, same as Get.
+  {
+    Session s = NewSession();
+    ASSERT_TRUE(s.Delete(table_, 1).ok());
+    ASSERT_TRUE(s.Commit().ok());
+  }
+  EXPECT_TRUE(NewSession().GetForUpdate(table_, 1).status().IsNotFound());
 }
 
 TEST_F(TxnGsiTest, RollbackRevertsIndexEntries) {

@@ -1,0 +1,36 @@
+// polarlint-fixture-path: src/txn/bad_unchecked_fabric_status.cc
+//
+// Fixture for the unchecked-fabric-status rule: a fabric-verb call whose
+// Status/StatusOr is silently discarded reports, whether as a bare
+// expression statement or behind a (void) cast. Calls whose result is
+// assigned, returned, tested or macro-wrapped do not, and neither do
+// Read/Write on receivers that are not the fabric or the DSM.
+
+struct FixtureFile {
+  // A declaration is not a call site: preceded by its return type.
+  int Read(unsigned long off, void* dst, unsigned long len);
+};
+
+int Checked(Fabric* fabric, Dsm* dsm, LockFusion* lock_fusion,
+            FixtureFile* file) {
+  unsigned long word = 0;
+  // Consumed into a variable, returned, tested, macro-wrapped: all fine.
+  int s = dsm->Load64(1, 0);
+  if (s != 0) return s;
+  POLARMP_RETURN_IF_ERROR(fabric->Write(1, 2, 3, 0, &word, 8));
+  if (lock_fusion->ReleasePLock(1, 2) != 0) {
+    return 1;
+  }
+  // polarlint: allow(unchecked-fabric-status) fixture: best-effort release
+  lock_fusion->ReleasePLock(1, 3);
+  (void)file->Read(0, &word, 8);  // not a fabric/dsm receiver: out of scope
+  return dsm->Read(1, 0, &word, 8);
+}
+
+void Bad(Fabric* fabric_, Dsm* dsm_, LockFusion* lock_fusion_, Node* node) {
+  unsigned long word = 0;
+  dsm_->Store64(1, 0, 7);  // polarlint-fixture-expect: unchecked-fabric-status
+  fabric_->Read(1, 2, 3, 0, &word, 8);  // polarlint-fixture-expect: unchecked-fabric-status
+  (void)fabric_->DeregisterRegion(1, 2);  // polarlint-fixture-expect: unchecked-fabric-status
+  node->lock_fusion()->AcquirePLock(1, 2, 0, 10);  // polarlint-fixture-expect: unchecked-fabric-status
+}

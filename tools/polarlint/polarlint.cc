@@ -60,6 +60,21 @@
 //                      remote access stays visible to the cache's
 //                      invalidation protocol and the fabric-ops accounting.
 //
+//   unchecked-fabric-status
+//                      a fabric-verb call (one-sided DSM verbs, seqlocked
+//                      reads/writes, region registration, the Lock Fusion /
+//                      Buffer Fusion / TIT RPC surfaces) whose returned
+//                      Status or StatusOr is discarded — either a bare
+//                      expression statement or a (void) cast. Every verb can
+//                      fail with an injected transient, a genuine endpoint
+//                      death, or a retry-budget Busy; dropping the status
+//                      silently turns a recoverable fault into corruption.
+//                      Consume it, POLARMP_RETURN_IF_ERROR it, or document
+//                      the deliberate discard with an allow() reason.
+//                      `Read`/`Write` are only matched when the receiver
+//                      chain names the fabric or the DSM (a file's Read is
+//                      out of scope).
+//
 //   unguarded-field    a mutable data member of a class that owns a
 //                      RankedMutex/RankedSharedMutex, where the member is
 //                      neither GUARDED_BY/PT_GUARDED_BY-annotated, nor
@@ -423,6 +438,48 @@ bool HasToken(const std::string& stmt, const std::string& token) {
   return !TokenHits(stmt, token).empty();
 }
 
+// Start of the receiver chain ending at the method token at `pos`: for
+// `node->lock_fusion()->Release` it walks back over `()` segments and
+// identifiers joined by `.` / `->` / `::` and returns the index of `node`.
+// A bare (unqualified) call returns `pos` itself. Stops conservatively at
+// anything it cannot parse (e.g. a cast), leaving the chain shorter.
+size_t ChainStart(const std::string& text, size_t pos) {
+  size_t start = pos;
+  for (;;) {
+    size_t k = start;
+    while (k > 0 && std::isspace(static_cast<unsigned char>(text[k - 1]))) --k;
+    size_t conn = 0;
+    if (k >= 1 && text[k - 1] == '.') {
+      conn = 1;
+    } else if (k >= 2 && text[k - 2] == '-' && text[k - 1] == '>') {
+      conn = 2;
+    } else if (k >= 2 && text[k - 2] == ':' && text[k - 1] == ':') {
+      conn = 2;
+    }
+    if (conn == 0) return start;
+    k -= conn;
+    while (k > 0 && std::isspace(static_cast<unsigned char>(text[k - 1]))) --k;
+    if (k >= 1 && text[k - 1] == ')') {
+      // A call segment in the chain, e.g. the `()` of `lock_fusion()`.
+      int depth = 0;
+      size_t m = k;
+      while (m > 0) {
+        --m;
+        if (text[m] == ')') ++depth;
+        if (text[m] == '(' && --depth == 0) break;
+      }
+      if (depth != 0) return start;
+      k = m;
+      while (k > 0 && std::isspace(static_cast<unsigned char>(text[k - 1]))) {
+        --k;
+      }
+    }
+    if (k == 0 || !IsIdentChar(text[k - 1])) return start;
+    while (k > 0 && IsIdentChar(text[k - 1])) --k;
+    start = k;
+  }
+}
+
 // Is `stmt` a declaration of a lock the class owns by value
 // (`RankedMutex name...`, as opposed to a reference/pointer/parameter)?
 bool DeclaresOwnedMutex(const std::string& stmt) {
@@ -454,6 +511,7 @@ class Linter {
     CheckNondeterminism(rel, display, s);
     CheckBlockingForce(rel, display, s);
     CheckFusionBypass(rel, display, s);
+    CheckUncheckedFabricStatus(rel, display, s);
     CheckUnguardedFields(rel, display, s);
   }
 
@@ -640,6 +698,61 @@ class Linter {
                    "or the compute-side IndexCache (src/cache/)");
       }
     }
+  }
+
+  void CheckUncheckedFabricStatus(const std::string& rel,
+                                  const std::string& display,
+                                  const Scrubbed& s) {
+    (void)rel;  // applies to all of src/: every layer calls into the fabric
+    // Verbs whose Status/StatusOr carries the only record of a fault.
+    // Declarations and definitions are naturally skipped: their name is
+    // preceded by a return type, not a statement boundary.
+    static const char* kVerbs[] = {
+        "FetchAdd64",     "CompareSwap64",  "Load64",
+        "Store64",        "ReadSeqlocked",  "WriteSeqlocked",
+        "RegisterRegion", "DeregisterRegion", "AcquirePLock",
+        "ReleasePLock",   "RegisterWait",   "AwaitHolder",
+        "FetchPage",      "FetchPageVersioned", "PushPage",
+        "RegisterCopy",   "UnregisterCopy", "NotifyPush",
+        "FlushPages",     "FlushAllDirty",  "ReadSlot",
+        "SetRefRemote",   "InjectRpcFault"};
+    // Read/Write are too generic to ban bare: only receivers that name the
+    // fabric or the DSM are in scope.
+    static const char* kGated[] = {"Read", "Write"};
+    auto check = [&](const char* name, bool gated) {
+      for (size_t pos : TokenHits(s.text, name)) {
+        const size_t open = SkipSpaces(s.text, pos + std::string(name).size());
+        if (open >= s.text.size() || s.text[open] != '(') continue;  // no call
+        const size_t chain = ChainStart(s.text, pos);
+        if (gated) {
+          std::string recv = s.text.substr(chain, pos - chain);
+          std::transform(recv.begin(), recv.end(), recv.begin(),
+                         [](unsigned char c) { return std::tolower(c); });
+          if (recv.find("fabric") == std::string::npos &&
+              recv.find("dsm") == std::string::npos) {
+            continue;
+          }
+        }
+        size_t k = chain;
+        while (k > 0 &&
+               std::isspace(static_cast<unsigned char>(s.text[k - 1]))) {
+          --k;
+        }
+        // The status is discarded when the chain opens a statement (after
+        // ';', '{', '}' or at file start) or sits behind a ')' — a (void)
+        // cast or a brace-less if/for body, both of which drop it.
+        const char prev = k == 0 ? ';' : s.text[k - 1];
+        if (prev != ';' && prev != '{' && prev != '}' && prev != ')') continue;
+        Report(display, s, pos, "unchecked-fabric-status",
+               std::string(name) +
+                   ": fabric-verb Status discarded; handle it, wrap it in "
+                   "POLARMP_RETURN_IF_ERROR, or document the deliberate "
+                   "discard with `// polarlint: "
+                   "allow(unchecked-fabric-status) <reason>`");
+      }
+    };
+    for (const char* name : kVerbs) check(name, /*gated=*/false);
+    for (const char* name : kGated) check(name, /*gated=*/true);
   }
 
   void CheckUnguardedFields(const std::string& rel, const std::string& display,
