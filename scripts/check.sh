@@ -3,7 +3,11 @@
 #
 #   scripts/check.sh            # plain: RelWithDebInfo build + ctest
 #   scripts/check.sh plain      # same, spelled out
-#   scripts/check.sh lint       # build polarlint, run self-test + tree lint
+#   scripts/check.sh lint       # build polarlint, prove it on the fixture
+#                               # corpus, lint the tree + audit tsan.supp;
+#                               # prints per-pass timing and the per-rule
+#                               # findings table, validates the JSON
+#                               # findings sidecar
 #   scripts/check.sh format     # clang-format --dry-run (SKIP if missing)
 #   scripts/check.sh tidy       # clang-tidy build (SKIP if missing)
 #   scripts/check.sh tsan       # ThreadSanitizer build + tests
@@ -57,11 +61,34 @@ run_mode() {
       build_and_test build
       ;;
     lint)
-      # The lint/lint_selftest ctest targets also run in every full suite;
-      # this mode is the fast loop: build only the linter, run only them.
+      # The lint/lint_selftest/lint_perf ctest targets also run in every
+      # full suite; this mode is the fast loop AND the reporting surface:
+      # running the binary directly (instead of through ctest) shows the
+      # per-pass timing and per-rule findings tables, enforces the perf
+      # bound, and leaves the findings sidecar where CI can diff it.
       cmake -B build-lint -S .
       cmake --build build-lint -j "${JOBS}" --target polarlint
-      ctest --test-dir build-lint --output-on-failure -R '^lint'
+      ./build-lint/tools/polarlint/polarlint \
+        --self-test tools/polarlint/fixtures
+      local lint_sidecar="build-lint/polarlint.findings.json"
+      ./build-lint/tools/polarlint/polarlint --root . \
+        --json "${lint_sidecar}" --tsan-supp tsan.supp \
+        --max-wall-ms 20000 src
+      # The sidecar is load-bearing (the lock-order edge list ships in it),
+      # so its absence or an empty schema is a failure, not a shrug.
+      if [[ ! -s "${lint_sidecar}" ]]; then
+        echo "FAIL: findings sidecar ${lint_sidecar} missing or empty" >&2
+        return 1
+      fi
+      if ! grep -q '"schema": "polarlint.findings.v1"' "${lint_sidecar}"; then
+        echo "FAIL: ${lint_sidecar} lacks the polarlint.findings.v1 tag" >&2
+        return 1
+      fi
+      if ! grep -q '"lock_order"' "${lint_sidecar}"; then
+        echo "FAIL: ${lint_sidecar} lacks the lock_order edge list" >&2
+        return 1
+      fi
+      echo "lint OK: sidecar ${lint_sidecar}"
       ;;
     format)
       if ! command -v clang-format >/dev/null 2>&1; then

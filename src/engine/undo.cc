@@ -98,6 +98,8 @@ StatusOr<UndoStore::AppendResult> UndoStore::Append(NodeId node,
   return AppendResult{MakeUndoPtr(node, off), off, std::move(bytes)};
 }
 
+// polarlint: seqlock-payload(record header is re-validated after the copy;
+// a torn read loses the length-field race and retries via the caller)
 StatusOr<UndoRecord> UndoStore::Read(EndpointId from, UndoPtr ptr) const {
   const NodeId owner = UndoPtrNode(ptr);
   const uint64_t off = UndoPtrOffset(ptr);

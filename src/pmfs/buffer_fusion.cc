@@ -230,6 +230,8 @@ Status BufferFusion::FetchPageVersioned(EndpointId from, DsmPtr frame,
                              version_out);
 }
 
+// polarlint: seqlock-payload(stable-read loop over the frame's seq word; a
+// torn copy fails the seq recheck and retries — see tsan.supp)
 Status BufferFusion::FlushEntryLocked(PageId page) {
   auto it = directory_.find(page.Pack());
   if (it == directory_.end() || !it->second.dirty || !it->second.present) {

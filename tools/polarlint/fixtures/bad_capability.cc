@@ -1,0 +1,45 @@
+// polarlint-fixture-path: src/engine/bad_capability.cc
+//
+// Fixture for the capability pass (gcc-host GUARDED_BY subset): an access
+// to a GUARDED_BY(mu_) field reports unless the method holds mu_ via a
+// scoped guard, declares REQUIRES(mu_), or asserts a caller-locked path
+// with AssertHeld(). Manual lock()/unlock() spans count as held.
+
+struct Counter {
+  void Bump();
+  void BumpLocked() REQUIRES(mu_);
+  void BumpAsserted();
+  void BumpManual();
+  void BumpBad();
+  long PeekBad() const;
+
+  mutable RankedMutex mu_{LockRank::kTestLow, "fixture.counter"};
+  long n_ GUARDED_BY(mu_) = 0;
+};
+
+void Counter::Bump() {
+  MutexLock lock(mu_);
+  n_ += 1;  // guard in scope: fine
+}
+
+// REQUIRES on the in-class declaration transfers to this definition.
+void Counter::BumpLocked() { n_ += 1; }
+
+void Counter::BumpAsserted() {
+  mu_.AssertHeld();
+  n_ += 1;  // caller-locked path, asserted: fine
+}
+
+void Counter::BumpManual() {
+  mu_.lock();
+  n_ += 1;  // inside a manual lock()/unlock() span: fine
+  mu_.unlock();
+}
+
+void Counter::BumpBad() {
+  n_ += 1;  // polarlint-fixture-expect: capability
+}
+
+long Counter::PeekBad() const {
+  return n_;  // polarlint-fixture-expect: capability
+}

@@ -1,0 +1,29 @@
+// polarlint-fixture-path: src/pmfs/bad_fabric_retry.cc
+//
+// Fixture for the fabric-retry rule: idempotent fabric verbs (Read, Write,
+// Load64, Store64, FetchAdd64, CompareSwap64) on a fabric receiver must
+// run inside RetryTransient/RetryTransientOr so injected transients are
+// absorbed with backoff instead of surfacing. Non-fabric receivers and
+// code under src/rdma/ (the retry machinery itself) are out of scope.
+
+int Good(Fabric* fabric_, FixtureFile* file) {
+  unsigned long w = 0;
+  // The canonical shape: the whole verb wrapped in the retry combinator.
+  int s = RetryTransient(*fabric_,
+                         [&] { return fabric_->Read(1, 2, 3, 0, &w, 8); });
+  if (s != 0) return s;
+  s = RetryTransientOr(*fabric_, 7, [&] {
+    return fabric_->CompareSwap64(1, 2, 3, 0, 1, &w);
+  });
+  if (s != 0) return s;
+  return file->Read(0, &w, 8);  // not a fabric receiver: out of scope
+}
+
+int Bad(Fabric* fabric_, Node* node) {
+  unsigned long w = 0;
+  int s = fabric_->Load64(1, 2, &w);  // polarlint-fixture-expect: fabric-retry
+  if (s != 0) return s;
+  s = node->fabric()->Store64(1, 2, 7);  // polarlint-fixture-expect: fabric-retry
+  if (s != 0) return s;
+  return fabric_->FetchAdd64(1, 2, 3, 1, &w);  // polarlint-fixture-expect: fabric-retry
+}

@@ -1,0 +1,44 @@
+// polarlint-fixture-path: src/engine/bad_lock_order.cc
+//
+// Fixture for the lock-order rank check: nested acquisitions must run
+// strictly down the LockRank ladder; equal ranks need SameRank::kAllow on
+// BOTH mutexes. Uses the rank extremes to pin the hardcoded rank table in
+// the analyzer against src/common/lock_rank.h (kObsHistogram is the ladder
+// bottom at 10, kTestHigh the top at 220 — if either drifts, this fixture
+// starts reporting on the wrong lines).
+
+struct Ladder {
+  void Descend();
+  void Invert();
+  void UnderBottom();
+  void SamePeers();
+
+  RankedMutex low_{LockRank::kTestLow, "fixture.low"};
+  RankedMutex high_{LockRank::kTestHigh, "fixture.high"};
+  RankedMutex bottom_{LockRank::kObsHistogram, "fixture.bottom"};
+  RankedMutex peer_a_{LockRank::kTestMid, "fixture.peer_a"};
+  RankedMutex peer_b_{LockRank::kTestMid, "fixture.peer_b"};
+};
+
+// Descends peer_b_ -> low_ (210 -> 200) rather than high_ -> low_: the
+// clean edge must not close a cycle with Invert's low_ -> high_ edge
+// (cycles are the cycle_corpus fixture's job).
+void Ladder::Descend() {
+  MutexLock a(peer_b_);
+  MutexLock b(low_);  // 210 -> 200, strictly decreasing: fine
+}
+
+void Ladder::Invert() {
+  MutexLock a(low_);
+  MutexLock b(high_);  // polarlint-fixture-expect: lock-order
+}
+
+void Ladder::UnderBottom() {
+  MutexLock a(bottom_);
+  MutexLock b(low_);  // polarlint-fixture-expect: lock-order
+}
+
+void Ladder::SamePeers() {
+  MutexLock a(peer_a_);
+  MutexLock b(peer_b_);  // polarlint-fixture-expect: lock-order
+}

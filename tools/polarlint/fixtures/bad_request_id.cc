@@ -1,0 +1,52 @@
+// polarlint-fixture-path: src/pmfs/bad_request_id.cc
+//
+// Fixture for the fabric-request-id rule. AcquireRpc is an RPC leg (its
+// parameter list names request_id), so every call of it must either run
+// inside RetryTransient with the minted `request_id` threaded through, or
+// sit inside another request-id-carrying leg. Minting inside the retry
+// lambda defeats the dedup cache (every attempt gets a fresh id).
+
+struct LockClient {
+  int AcquireRpc(int node, unsigned long request_id);
+  int AcquireRpcImpl(int node, unsigned long request_id);
+  int Acquire(int node);
+  int AcquireBare(int node);
+  int AcquireFreshId(int node);
+  int AcquireUnthreaded(int node);
+
+  Fabric* fabric_;
+  IdCounter next_request_id_;
+};
+
+// The leg forwards to its impl outside any retry — fine, its own header
+// carries the id, so the retransmit path is the caller's responsibility.
+int LockClient::AcquireRpc(int node, unsigned long request_id) {
+  return AcquireRpcImpl(node, request_id);
+}
+
+int LockClient::AcquireRpcImpl(int node, unsigned long request_id) {
+  return node + static_cast<int>(request_id);
+}
+
+// The canonical client shape: mint once, capture, retry the leg.
+int LockClient::Acquire(int node) {
+  const unsigned long request_id = next_request_id_.fetch_add(1);
+  return RetryTransient(*fabric_,
+                        [&] { return AcquireRpc(node, request_id); });
+}
+
+int LockClient::AcquireBare(int node) {
+  return AcquireRpc(node, 1);  // polarlint-fixture-expect: fabric-request-id
+}
+
+int LockClient::AcquireFreshId(int node) {
+  return RetryTransient(*fabric_, [&] {
+    const unsigned long request_id = next_request_id_.fetch_add(1);  // polarlint-fixture-expect: fabric-request-id
+    return AcquireRpc(node, request_id);
+  });
+}
+
+int LockClient::AcquireUnthreaded(int node) {
+  return RetryTransient(
+      *fabric_, [&] { return AcquireRpc(node, 7); });  // polarlint-fixture-expect: fabric-request-id
+}

@@ -1,0 +1,46 @@
+// polarlint-fixture-path: src/pmfs/bad_seqlock_payload.cc
+//
+// Fixture for the seqlock-payload rule: open-coding the seqlock stable-read
+// protocol against a DSM host pointer (HostPtr + explicit memory_order)
+// outside src/dsm reports at the function signature unless the torn-write
+// discipline is documented with a `// polarlint: seqlock-payload(...)`
+// marker above the definition.
+
+struct FrameReader {
+  unsigned long ReadBad(unsigned long frame, unsigned long* word);
+  unsigned long ReadDocumented(unsigned long frame, unsigned long* word);
+  unsigned long Delegated(unsigned long frame, char* dst);
+
+  Dsm* dsm_;
+};
+
+unsigned long FrameReader::ReadBad(unsigned long frame, unsigned long* word) {  // polarlint-fixture-expect: seqlock-payload
+  const char* base = dsm_->HostPtr(frame);
+  // polarlint: allow(raw-atomic) seqlock word view, not a counter
+  const auto* seq = reinterpret_cast<const std::atomic<uint64_t>*>(base);
+  for (;;) {
+    const unsigned long s1 = seq->load(std::memory_order_acquire);
+    if (s1 % 2 == 1) continue;
+    *word = *reinterpret_cast<const unsigned long*>(base + 8);
+    if (seq->load(std::memory_order_acquire) == s1) return s1;
+  }
+}
+
+// polarlint: seqlock-payload(fixture: torn reads fail the seq recheck and
+// loop; the payload word is never trusted before the second load)
+unsigned long FrameReader::ReadDocumented(unsigned long frame,
+                                          unsigned long* word) {
+  const char* base = dsm_->HostPtr(frame);
+  // polarlint: allow(raw-atomic) seqlock word view, not a counter
+  const auto* seq = reinterpret_cast<const std::atomic<uint64_t>*>(base);
+  const unsigned long s1 = seq->load(std::memory_order_acquire);
+  *word = *reinterpret_cast<const unsigned long*>(base + 8);
+  return s1 + seq->load(std::memory_order_acquire);
+}
+
+// Going through the Dsm seqlock API is always fine: no HostPtr in sight.
+unsigned long FrameReader::Delegated(unsigned long frame, char* dst) {
+  unsigned long version = 0;
+  const int s = dsm_->ReadSeqlocked(1, frame, dst, 8, &version);
+  return s == 0 ? version : 0;
+}

@@ -17,7 +17,8 @@ int Checked(Fabric* fabric, Dsm* dsm, LockFusion* lock_fusion,
   // Consumed into a variable, returned, tested, macro-wrapped: all fine.
   int s = dsm->Load64(1, 0);
   if (s != 0) return s;
-  POLARMP_RETURN_IF_ERROR(fabric->Write(1, 2, 3, 0, &word, 8));
+  // The consumed-but-unretried verb also violates fabric-retry (v2 pass).
+  POLARMP_RETURN_IF_ERROR(fabric->Write(1, 2, 3, 0, &word, 8));  // polarlint-fixture-expect: fabric-retry
   if (lock_fusion->ReleasePLock(1, 2) != 0) {
     return 1;
   }
@@ -30,7 +31,7 @@ int Checked(Fabric* fabric, Dsm* dsm, LockFusion* lock_fusion,
 void Bad(Fabric* fabric_, Dsm* dsm_, LockFusion* lock_fusion_, Node* node) {
   unsigned long word = 0;
   dsm_->Store64(1, 0, 7);  // polarlint-fixture-expect: unchecked-fabric-status
-  fabric_->Read(1, 2, 3, 0, &word, 8);  // polarlint-fixture-expect: unchecked-fabric-status
+  fabric_->Read(1, 2, 3, 0, &word, 8);  // polarlint-fixture-expect: unchecked-fabric-status polarlint-fixture-expect: fabric-retry
   (void)fabric_->DeregisterRegion(1, 2);  // polarlint-fixture-expect: unchecked-fabric-status
   node->lock_fusion()->AcquirePLock(1, 2, 0, 10);  // polarlint-fixture-expect: unchecked-fabric-status
 }

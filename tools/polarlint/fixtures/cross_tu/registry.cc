@@ -1,0 +1,21 @@
+// polarlint-fixture-path: src/engine/registry.cc
+//
+// Cross-TU capability corpus, definition half. Insert/InsertLocked/
+// SizeLocked prove the clean patterns resolve across TUs (the REQUIRES
+// annotations are only in registry.h). Drain is the seeded guard-removal
+// mutation: it touches size_ with no guard, no REQUIRES, no assert.
+
+void Registry::Insert(long k) {
+  MutexLock lock(mu_);
+  size_ += k;  // guard held locally: fine
+}
+
+// No annotation on this definition — the REQUIRES(mu_) lives on the
+// declaration in registry.h and must merge across the TU boundary.
+void Registry::InsertLocked(long k) { size_ += k; }
+
+long Registry::SizeLocked() const { return size_; }
+
+void Registry::Drain() {
+  size_ = 0;  // polarlint-fixture-expect: capability
+}

@@ -1,0 +1,19 @@
+// polarlint-fixture-path: src/engine/registry.h
+//
+// Cross-TU capability corpus, header half: the guarded field and the
+// REQUIRES contracts live here; the definitions (and the violation) live
+// in registry.cc. This is the seeded guard-removal scenario from the
+// acceptance criteria — the symbol table must carry GUARDED_BY(mu_) from
+// this header into the other TU for the violation to be visible at all.
+
+class Registry {
+ public:
+  void Insert(long k);
+  void InsertLocked(long k) REQUIRES(mu_);
+  long SizeLocked() const REQUIRES(mu_);
+  void Drain();
+
+ private:
+  mutable RankedMutex mu_{LockRank::kTestMid, "fixture.registry"};
+  long size_ GUARDED_BY(mu_) = 0;
+};

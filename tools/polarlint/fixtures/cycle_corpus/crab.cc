@@ -1,0 +1,16 @@
+// polarlint-fixture-path: src/engine/crab.cc
+//
+// Lock-order cycle corpus, definition half: the two-node inversion. The
+// cycle is reported once per strongly-connected component, anchored at the
+// first edge of the component in graph order (left_ -> right_ sorts before
+// right_ -> left_), which is the acquisition below in LeftThenRight.
+
+void Crab::LeftThenRight() {
+  MutexLock a(left_);
+  MutexLock b(right_);  // polarlint-fixture-expect: lock-order
+}
+
+void Crab::RightThenLeft() {
+  MutexLock a(right_);
+  MutexLock b(left_);  // the inversion: edge right_ -> left_
+}

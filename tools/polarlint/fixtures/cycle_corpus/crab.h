@@ -1,0 +1,18 @@
+// polarlint-fixture-path: src/engine/crab.h
+//
+// Lock-order cycle corpus, header half. Both latches sit at the same rank
+// with SameRank::kAllow (the page-latch crabbing pattern), so EVERY edge
+// between them passes the rank check individually. The two definitions in
+// crab.cc acquire them in opposite orders from functions that never run
+// concurrently in any test — only the static acquired-while-held graph can
+// see the inversion (the runtime checker would need the interleaving).
+
+class Crab {
+ public:
+  void LeftThenRight();
+  void RightThenLeft();
+
+ private:
+  RankedMutex left_{LockRank::kPageLatch, "fixture.left", SameRank::kAllow};
+  RankedMutex right_{LockRank::kPageLatch, "fixture.right", SameRank::kAllow};
+};

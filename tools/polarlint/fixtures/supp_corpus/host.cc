@@ -1,0 +1,30 @@
+// polarlint-fixture-path: src/engine/supp_host.cc
+//
+// tsan.supp audit corpus, code half: three functions the suppression file
+// next door names. TornWrite visibly implements the seqlock protocol
+// (explicit memory_order around the payload memcpy), so a race:
+// suppression on it is sanctioned. MarkedOnly carries the seqlock-payload
+// marker instead of visible discipline — also sanctioned. PlainTouch has
+// neither, so a suppression naming it hides a real race.
+
+struct FixtureHost {
+  void TornWrite(char* base, unsigned long word);
+  void MarkedOnly(unsigned long frame);
+  void PlainTouch(unsigned long frame);
+
+  unsigned long touched_ = 0;
+};
+
+void FixtureHost::TornWrite(char* base, unsigned long word) {
+  // polarlint: allow(raw-atomic) seqlock word view, not a counter
+  auto* seq = reinterpret_cast<std::atomic<uint64_t>*>(base);
+  seq->fetch_add(1, std::memory_order_acq_rel);
+  std::memcpy(base + 8, &word, sizeof(word));
+  seq->fetch_add(1, std::memory_order_acq_rel);
+}
+
+// polarlint: seqlock-payload(fixture: payload bytes published under the odd
+// seq window; readers retry on a seq mismatch)
+void FixtureHost::MarkedOnly(unsigned long frame) { touched_ = frame; }
+
+void FixtureHost::PlainTouch(unsigned long frame) { touched_ = frame; }

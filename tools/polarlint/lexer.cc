@@ -1,0 +1,282 @@
+#include "lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace polarlint {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+Scrubbed Scrub(const std::string& src) {
+  Scrubbed out;
+  out.text.assign(src.size(), ' ');
+  const size_t lines = 2 + std::count(src.begin(), src.end(), '\n');
+  out.comment_on_line.assign(lines + 1, std::string());
+
+  size_t i = 0;
+  int line = 1;
+  auto copy = [&](size_t n) {
+    for (size_t k = 0; k < n && i < src.size(); ++k, ++i) {
+      out.text[i] = src[i];
+      if (src[i] == '\n') ++line;
+    }
+  };
+  auto blank = [&](size_t n, bool record_comment) {
+    for (size_t k = 0; k < n && i < src.size(); ++k, ++i) {
+      if (src[i] == '\n') {
+        out.text[i] = '\n';
+        ++line;
+      } else {
+        out.text[i] = ' ';
+        if (record_comment) out.comment_on_line[line].push_back(src[i]);
+      }
+    }
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '/' && next == '/') {
+      size_t end = src.find('\n', i);
+      if (end == std::string::npos) end = src.size();
+      blank(end - i, /*record_comment=*/true);
+    } else if (c == '/' && next == '*') {
+      size_t end = src.find("*/", i + 2);
+      end = end == std::string::npos ? src.size() : end + 2;
+      blank(end - i, /*record_comment=*/true);
+    } else if (c == 'R' && next == '"' && !(i > 0 && IsIdentChar(src[i - 1]))) {
+      // Raw string: R"delim( ... )delim"
+      size_t open = src.find('(', i + 2);
+      if (open == std::string::npos) {
+        copy(src.size() - i);
+        break;
+      }
+      const std::string delim = src.substr(i + 2, open - (i + 2));
+      const std::string closer = ")" + delim + "\"";
+      size_t end = src.find(closer, open + 1);
+      end = end == std::string::npos ? src.size() : end + closer.size();
+      blank(end - i, /*record_comment=*/false);
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < src.size() && src[j] != quote) {
+        if (src[j] == '\\') ++j;
+        ++j;
+      }
+      blank(std::min(j + 1, src.size()) - i, /*record_comment=*/false);
+    } else {
+      copy(1);
+    }
+  }
+  out.code_on_line.assign(out.comment_on_line.size(), false);
+  int l = 1;
+  for (const char c : out.text) {
+    if (c == '\n') {
+      ++l;
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      out.code_on_line[l] = true;
+    }
+  }
+  return out;
+}
+
+std::vector<Token> Tokenize(const std::string& text) {
+  std::vector<Token> toks;
+  toks.reserve(text.size() / 6);
+  size_t i = 0;
+  int line = 1;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i + 1;
+      while (j < text.size() && IsIdentChar(text[j])) ++j;
+      toks.push_back({TokKind::kIdent, text.substr(i, j - i), i, line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i + 1;
+      while (j < text.size() &&
+             (IsIdentChar(text[j]) || text[j] == '\'' ||
+              ((text[j] == '+' || text[j] == '-') &&
+               (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                text[j - 1] == 'p' || text[j - 1] == 'P')))) {
+        ++j;
+      }
+      toks.push_back({TokKind::kNumber, text.substr(i, j - i), i, line});
+      i = j;
+      continue;
+    }
+    // Multi-char punctuators the analyses consume whole.
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if ((c == ':' && next == ':') || (c == '-' && next == '>')) {
+      toks.push_back({TokKind::kPunct, text.substr(i, 2), i, line});
+      i += 2;
+      continue;
+    }
+    toks.push_back({TokKind::kPunct, std::string(1, c), i, line});
+    ++i;
+  }
+  return toks;
+}
+
+int LineOf(const std::string& text, size_t pos) {
+  return 1 +
+         static_cast<int>(std::count(text.begin(), text.begin() + pos, '\n'));
+}
+
+std::vector<size_t> TokenHits(const std::string& text,
+                              const std::string& token) {
+  std::vector<size_t> hits;
+  size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    const size_t after = pos + token.size();
+    const bool right_ok = after >= text.size() || !IsIdentChar(text[after]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = after;
+  }
+  return hits;
+}
+
+size_t SkipSpaces(const std::string& text, size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+size_t MatchBrace(const std::string& text, size_t open) {
+  int depth = 0;
+  for (size_t j = open; j < text.size(); ++j) {
+    if (text[j] == '{') ++depth;
+    if (text[j] == '}' && --depth == 0) return j;
+  }
+  return text.size();
+}
+
+size_t MatchParen(const std::string& text, size_t open) {
+  int depth = 0;
+  for (size_t j = open; j < text.size(); ++j) {
+    if (text[j] == '(') ++depth;
+    if (text[j] == ')' && --depth == 0) return j;
+  }
+  return text.size();
+}
+
+std::string StripAngles(const std::string& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '<') {
+      int depth = 1;
+      size_t j = i + 1;
+      for (; j < s.size() && depth > 0; ++j) {
+        if (s[j] == '<') ++depth;
+        if (s[j] == '>') --depth;
+      }
+      if (depth == 0) {
+        i = j - 1;
+        continue;
+      }
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+size_t ChainStart(const std::string& text, size_t pos) {
+  size_t start = pos;
+  for (;;) {
+    size_t k = start;
+    while (k > 0 && std::isspace(static_cast<unsigned char>(text[k - 1]))) --k;
+    size_t conn = 0;
+    if (k >= 1 && text[k - 1] == '.') {
+      conn = 1;
+    } else if (k >= 2 && text[k - 2] == '-' && text[k - 1] == '>') {
+      conn = 2;
+    } else if (k >= 2 && text[k - 2] == ':' && text[k - 1] == ':') {
+      conn = 2;
+    }
+    if (conn == 0) return start;
+    k -= conn;
+    while (k > 0 && std::isspace(static_cast<unsigned char>(text[k - 1]))) --k;
+    if (k >= 1 && text[k - 1] == ')') {
+      // A call segment in the chain, e.g. the `()` of `lock_fusion()`.
+      int depth = 0;
+      size_t m = k;
+      while (m > 0) {
+        --m;
+        if (text[m] == ')') ++depth;
+        if (text[m] == '(' && --depth == 0) break;
+      }
+      if (depth != 0) return start;
+      k = m;
+      while (k > 0 && std::isspace(static_cast<unsigned char>(text[k - 1]))) {
+        --k;
+      }
+    }
+    if (k == 0 || !IsIdentChar(text[k - 1])) return start;
+    while (k > 0 && IsIdentChar(text[k - 1])) --k;
+    start = k;
+  }
+}
+
+std::string TrailingIdent(const std::string& expr) {
+  size_t e = expr.size();
+  while (e > 0 && !IsIdentChar(expr[e - 1])) --e;
+  size_t b = e;
+  while (b > 0 && IsIdentChar(expr[b - 1])) --b;
+  // A trailing identifier must start with a letter or underscore.
+  while (b < e && std::isdigit(static_cast<unsigned char>(expr[b]))) ++b;
+  return expr.substr(b, e - b);
+}
+
+bool LineHasMarker(const Scrubbed& s, int line, const std::string& key,
+                   const std::string& what) {
+  std::string needle = "polarlint: " + key + "(";
+  if (!what.empty()) needle += what + ")";
+  const auto has = [&](int l) {
+    return l >= 1 && l < static_cast<int>(s.comment_on_line.size()) &&
+           s.comment_on_line[l].find(needle) != std::string::npos;
+  };
+  // Same line or the line immediately above.
+  if (has(line) || has(line - 1)) return true;
+  // A contiguous comment-only block immediately above — lets several
+  // stacked polarlint escape lines document one declaration.
+  for (int l = line - 1; l >= 1 && l < static_cast<int>(s.code_on_line.size()) &&
+                         !s.code_on_line[l] && !s.comment_on_line[l].empty();
+       --l) {
+    if (has(l)) return true;
+  }
+  return false;
+}
+
+bool LineAllows(const Scrubbed& s, int line, const std::string& rule) {
+  return LineHasMarker(s, line, "allow", rule);
+}
+
+}  // namespace polarlint

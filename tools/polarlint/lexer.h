@@ -1,0 +1,96 @@
+#ifndef POLARLINT_LEXER_H_
+#define POLARLINT_LEXER_H_
+
+// polarlint's front end: comment/literal scrubbing, a C++ tokenizer, and
+// the handful of lexical helpers every pass shares.
+//
+// The scrubber blanks comments and string/char literals (newlines kept) so
+// downstream scans never match inside prose, while recording per-line
+// comment text so `// polarlint: allow(...)` escapes survive scrubbing.
+// The tokenizer runs over the SCRUBBED text and produces identifiers,
+// numbers and punctuators (multi-character operators the analyses care
+// about — `::`, `->` — are single tokens) with byte offsets and 1-based
+// lines, which is what the symbol table and the semantic passes walk.
+
+#include <string>
+#include <vector>
+
+namespace polarlint {
+
+// Source text with comments and string/char literals blanked out (replaced
+// by spaces, newlines preserved), plus the comment text per line so
+// allow() annotations can be looked up after scrubbing.
+struct Scrubbed {
+  std::string text;
+  std::vector<std::string> comment_on_line;  // index 0 unused; 1-based
+  std::vector<bool> code_on_line;            // non-space scrubbed content
+};
+
+Scrubbed Scrub(const std::string& src);
+
+// ---- tokens ---------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  size_t offset = 0;  // byte offset into the scrubbed text
+  int line = 0;       // 1-based
+};
+
+// Tokenizes scrubbed text. Multi-char punctuators kept whole: :: -> .* ...
+// (only the ones the analyses consume; the rest split into single chars).
+std::vector<Token> Tokenize(const std::string& scrubbed_text);
+
+// ---- lexical helpers -------------------------------------------------------
+
+bool IsIdentChar(char c);
+
+int LineOf(const std::string& text, size_t pos);
+
+// Occurrences of `token` in scrubbed text with identifier boundaries on
+// both sides.
+std::vector<size_t> TokenHits(const std::string& text,
+                              const std::string& token);
+
+size_t SkipSpaces(const std::string& text, size_t pos);
+
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+std::string Trim(const std::string& s);
+
+// Index of the '}' matching the '{' at `open` (text.size() if unmatched).
+size_t MatchBrace(const std::string& text, size_t open);
+
+// Index of the ')' matching the '(' at `open` (text.size() if unmatched).
+size_t MatchParen(const std::string& text, size_t open);
+
+// Removes balanced <...> spans (template argument lists) so that a '(' left
+// over marks a function rather than std::function<void()> and friends.
+// Unbalanced '<' (shifts, comparisons) are kept as-is.
+std::string StripAngles(const std::string& s);
+
+// Start of the receiver chain ending at the method token at `pos`: for
+// `node->lock_fusion()->Release` it walks back over `()` segments and
+// identifiers joined by `.` / `->` / `::` and returns the index of `node`.
+// A bare (unqualified) call returns `pos` itself. Stops conservatively at
+// anything it cannot parse (e.g. a cast), leaving the chain shorter.
+size_t ChainStart(const std::string& text, size_t pos);
+
+// Last identifier token inside `expr` (empty if none): the member name of
+// `state_->mu`, `*ctx_->commit_mu`, or a bare `mu_`.
+std::string TrailingIdent(const std::string& expr);
+
+// True when the line (or a contiguous comment block immediately above it)
+// carries `polarlint: <key>(<what>)` — the shared engine behind allow(),
+// unguarded() and seqlock-payload() escapes.
+bool LineHasMarker(const Scrubbed& s, int line, const std::string& key,
+                   const std::string& what);
+
+// allow(<rule>) convenience over LineHasMarker.
+bool LineAllows(const Scrubbed& s, int line, const std::string& rule);
+
+}  // namespace polarlint
+
+#endif  // POLARLINT_LEXER_H_

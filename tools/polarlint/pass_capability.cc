@@ -1,0 +1,154 @@
+// Capability subset checker: the core of clang's thread-safety analysis,
+// reimplemented over the polarlint symbol table so GUARDED_BY/REQUIRES are
+// machine-checked on gcc-only hosts.
+//
+// Every bare (or this->) access to a GUARDED_BY(m) field inside a method of
+// the declaring class must be covered by one of:
+//   - REQUIRES(m) / REQUIRES_SHARED(m) on the method's declaration or
+//     definition (cross-TU: the header's annotation covers the .cc body),
+//   - a scoped guard (MutexLock/UniqueLock/ReaderLock/WriterLock,
+//     std::lock_guard/unique_lock/scoped_lock/shared_lock) on m earlier in
+//     the body,
+//   - a direct m.lock()/m.lock_shared()/m.AssertHeld()/m.AssertAnyHeld()
+//     earlier in the body,
+//   - a REQUIRES(m)-annotated lambda opened earlier in the body (the
+//     CondVar-wait pattern).
+//
+// Deliberate subset (see DESIGN.md §7): flow-insensitive — "earlier in the
+// body" ignores brace scopes and unlocks, so release-then-access escapes
+// static detection (the runtime rank checker and tsan own that half);
+// accesses through another object (`other.field_`) are out of scope because
+// the object's identity is untracked; PT_GUARDED_BY pointees are not
+// followed. Constructors, destructors and NO_THREAD_SAFETY_ANALYSIS
+// functions are exempt, matching clang.
+
+#include <cctype>
+
+#include "lexer.h"
+#include "rules.h"
+
+namespace polarlint {
+
+namespace {
+
+// Does `args` (the inside of a guard constructor's parens) name `mu` as its
+// first argument? TrailingIdent tolerates &mu, *mu, state->mu.
+bool FirstArgIs(const std::string& args, const std::string& mu) {
+  std::string first;
+  int depth = 0;
+  for (const char c : args) {
+    if (c == '(' || c == '{') ++depth;
+    if (c == ')' || c == '}') --depth;
+    if (c == ',' && depth == 0) break;
+    first += c;
+  }
+  return TrailingIdent(first) == mu;
+}
+
+// Is `mu` acquired (or asserted held) anywhere in `prefix`?
+bool AcquiredIn(const std::string& prefix, const std::string& mu) {
+  static const char* kGuards[] = {
+      "MutexLock",   "UniqueLock",  "ReaderLock",  "WriterLock",
+      "lock_guard",  "unique_lock", "scoped_lock", "shared_lock"};
+  for (const char* g : kGuards) {
+    for (size_t p : TokenHits(prefix, g)) {
+      size_t q = SkipSpaces(prefix, p + std::string(g).size());
+      // Optional template argument list: std::lock_guard<...>.
+      if (q < prefix.size() && prefix[q] == '<') {
+        int depth = 0;
+        while (q < prefix.size()) {
+          if (prefix[q] == '<') ++depth;
+          if (prefix[q] == '>' && --depth == 0) {
+            ++q;
+            break;
+          }
+          ++q;
+        }
+        q = SkipSpaces(prefix, q);
+      }
+      // Variable name (absent for a temporary — which would be a bug, but
+      // not this rule's).
+      while (q < prefix.size() && IsIdentChar(prefix[q])) ++q;
+      q = SkipSpaces(prefix, q);
+      if (q >= prefix.size() || (prefix[q] != '(' && prefix[q] != '{')) {
+        continue;
+      }
+      const size_t close = prefix[q] == '(' ? MatchParen(prefix, q)
+                                            : MatchBrace(prefix, q);
+      if (close >= prefix.size()) continue;
+      if (FirstArgIs(prefix.substr(q + 1, close - q - 1), mu)) return true;
+    }
+  }
+  for (size_t p : TokenHits(prefix, mu)) {
+    size_t q = SkipSpaces(prefix, p + mu.size());
+    if (q < prefix.size() && prefix[q] == '.') {
+      const size_t b = q + 1;
+      size_t e = b;
+      while (e < prefix.size() && IsIdentChar(prefix[e])) ++e;
+      const std::string call = prefix.substr(b, e - b);
+      if (call == "lock" || call == "lock_shared" || call == "try_lock" ||
+          call == "try_lock_shared" || call == "AssertHeld" ||
+          call == "AssertAnyHeld") {
+        return true;
+      }
+    }
+  }
+  for (const char* m : {"REQUIRES", "REQUIRES_SHARED"}) {
+    for (size_t p : TokenHits(prefix, m)) {
+      const size_t open = prefix.find('(', p);
+      if (open == std::string::npos) continue;
+      const size_t close = MatchParen(prefix, open);
+      if (!TokenHits(prefix.substr(open + 1, close - open - 1), mu).empty()) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void RunCapabilityPass(const Corpus& corpus, std::vector<Finding>* out) {
+  for (const FunctionDef& fn : corpus.symtab.functions()) {
+    if (fn.class_name.empty() || fn.is_ctor() || fn.is_dtor() ||
+        fn.no_analysis || StartsWith(fn.name, "operator")) {
+      continue;
+    }
+    const ClassInfo* cls = corpus.symtab.FindClass(fn.class_name);
+    if (!cls || !cls->HasGuardedFields()) continue;
+    const SourceFile& file = corpus.files[fn.file];
+    if (!StartsWith(file.rel, "src/")) continue;
+    const std::string& text = file.scrubbed.text;
+    const std::string body =
+        text.substr(fn.body_open, fn.body_close - fn.body_open + 1);
+
+    for (const GuardedField& gf : cls->guarded_fields) {
+      if (gf.pointee) continue;  // PT_GUARDED_BY pointees are not followed
+      if (gf.mutex.empty()) continue;
+      if (fn.requires_mutexes.count(gf.mutex)) continue;  // body covered
+      for (size_t hit : TokenHits(body, gf.name)) {
+        const size_t pos = fn.body_open + hit;
+        // Receiver must be `this` (explicit or implicit): an access through
+        // another object is outside the subset.
+        const size_t chain = ChainStart(text, pos);
+        if (chain != pos) {
+          const std::string recv = Trim(text.substr(chain, pos - chain));
+          if (recv != "this->" && recv != "this .") {
+            // `this->field` is the only qualified receiver in scope.
+            if (recv.rfind("this", 0) != 0) continue;
+          }
+        }
+        if (AcquiredIn(body.substr(0, hit), gf.mutex)) continue;
+        Report(file, pos, "capability",
+               fn.class_name + "::" + fn.name + " accesses '" + gf.name +
+                   "' GUARDED_BY(" + gf.mutex + ") without holding it: add "
+                   "REQUIRES(" + gf.mutex + ") to the declaration, take a "
+                   "scoped guard first, or AssertHeld() on a "
+                   "caller-locked path",
+               out);
+      }
+    }
+  }
+}
+
+}  // namespace polarlint

@@ -1,0 +1,313 @@
+// Fabric-protocol rules: the static half of PR 8's retry/dedup discipline.
+//
+//   fabric-retry       an idempotent one-sided fabric verb (Read, Write,
+//                      Load64, Store64, FetchAdd64, CompareSwap64) called on
+//                      a fabric receiver outside a RetryTransient /
+//                      RetryTransientOr wrapper. A bare verb turns every
+//                      injected transient into a caller-visible error; the
+//                      wrapper absorbs them (and only them) with backoff.
+//                      src/rdma is exempt — it implements both sides.
+//
+//   fabric-request-id  the non-idempotent RPC discipline, three ways to
+//                      break it: (a) a call to a request-id-carrying RPC leg
+//                      (any method whose parameter list names `request_id`)
+//                      from a body that neither wraps it in RetryTransient
+//                      nor carries a request_id parameter itself — the
+//                      retransmit path is missing; (b) such a call inside
+//                      RetryTransient that does not pass the `request_id`
+//                      token — the dedup cache never sees a stable id;
+//                      (c) `next_request_id_` minted INSIDE the retry
+//                      lambda — a fresh id per attempt defeats dedup
+//                      entirely (the id must be minted once, before
+//                      RetryTransient, and captured).
+//
+//   seqlock-payload    a function outside src/dsm and src/rdma that
+//                      open-codes the seqlock stable-read/write protocol
+//                      (HostPtr access plus explicit memory_order
+//                      discipline). Each such site must carry
+//                      `// polarlint: seqlock-payload(<reason>)` above its
+//                      definition: the marker is what the tsan.supp audit
+//                      accepts as a by-design payload race, so an
+//                      unannotated open-coding either races undetected or
+//                      silently widens a suppression.
+//
+//   tsan-supp          (only with --tsan-supp) a suppression entry that does
+//                      not resolve to a corpus function recognized as a
+//                      seqlock payload site: not a race: entry, naming no
+//                      function in the corpus (stale), or naming one whose
+//                      body shows no seqlock discipline and no marker.
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "lexer.h"
+#include "rules.h"
+
+namespace polarlint {
+
+namespace {
+
+// Argument spans of RetryTransient / RetryTransientOr calls in `text`
+// (offsets of the '(' and its matching ')').
+std::vector<std::pair<size_t, size_t>> RetrySpans(const std::string& text) {
+  std::vector<std::pair<size_t, size_t>> spans;
+  for (const char* name : {"RetryTransient", "RetryTransientOr"}) {
+    for (size_t pos : TokenHits(text, name)) {
+      const size_t open = SkipSpaces(text, pos + std::string(name).size());
+      if (open >= text.size() || text[open] != '(') continue;
+      spans.emplace_back(open, MatchParen(text, open));
+    }
+  }
+  return spans;
+}
+
+bool InSpan(const std::vector<std::pair<size_t, size_t>>& spans, size_t pos) {
+  for (const auto& [open, close] : spans) {
+    if (open < pos && pos < close) return true;
+  }
+  return false;
+}
+
+void CheckFabricRetry(const SourceFile& f, std::vector<Finding>* out) {
+  if (!StartsWith(f.rel, "src/") || StartsWith(f.rel, "src/rdma/")) return;
+  const std::string& text = f.scrubbed.text;
+  const auto spans = RetrySpans(text);
+  static const char* kVerbs[] = {"Read",       "Write",         "Load64",
+                                 "Store64",    "FetchAdd64",    "CompareSwap64"};
+  for (const char* verb : kVerbs) {
+    for (size_t pos : TokenHits(text, verb)) {
+      const size_t open = SkipSpaces(text, pos + std::string(verb).size());
+      if (open >= text.size() || text[open] != '(') continue;  // not a call
+      const size_t chain = ChainStart(text, pos);
+      if (chain == pos) continue;  // bare name: a definition or local helper
+      std::string recv = text.substr(chain, pos - chain);
+      std::transform(recv.begin(), recv.end(), recv.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (recv.find("fabric") == std::string::npos) continue;
+      if (InSpan(spans, pos)) continue;
+      Report(f, pos, "fabric-retry",
+             std::string(verb) +
+                 ": idempotent fabric verb outside RetryTransient — an "
+                 "injected transient surfaces to the caller instead of "
+                 "being absorbed with backoff; wrap the call (or the "
+                 "enclosing op) in RetryTransient/RetryTransientOr",
+             out);
+    }
+  }
+}
+
+void CheckRequestId(const Corpus& corpus, std::vector<Finding>* out) {
+  // RPC legs: functions whose parameter list names `request_id`.
+  std::set<std::string> rpc_methods;
+  for (const FunctionDef& fn : corpus.symtab.functions()) {
+    const std::string& text = corpus.files[fn.file].scrubbed.text;
+    const std::string header =
+        text.substr(fn.header_begin, fn.body_open - fn.header_begin);
+    if (!TokenHits(header, "request_id").empty()) rpc_methods.insert(fn.name);
+  }
+  if (rpc_methods.empty()) return;
+
+  for (const FunctionDef& fn : corpus.symtab.functions()) {
+    const SourceFile& file = corpus.files[fn.file];
+    if (!StartsWith(file.rel, "src/")) continue;
+    const std::string& text = file.scrubbed.text;
+    const std::string header =
+        text.substr(fn.header_begin, fn.body_open - fn.header_begin);
+    const bool fn_has_id = !TokenHits(header, "request_id").empty();
+    const std::string body =
+        text.substr(fn.body_open, fn.body_close - fn.body_open + 1);
+    const auto spans = RetrySpans(body);
+
+    // (c) fresh id minted per retry attempt.
+    for (size_t hit : TokenHits(body, "next_request_id_")) {
+      if (!InSpan(spans, hit)) continue;
+      Report(file, fn.body_open + hit, "fabric-request-id",
+             "request id minted inside the RetryTransient lambda: every "
+             "attempt gets a fresh id, so the dedup cache can never "
+             "recognize a retransmit — mint once before RetryTransient and "
+             "capture the id",
+             out);
+    }
+
+    for (const std::string& m : rpc_methods) {
+      if (m == fn.name) continue;  // the leg's own recursion/overloads
+      for (size_t hit : TokenHits(body, m)) {
+        const size_t open = SkipSpaces(body, hit + m.size());
+        if (open >= body.size() || body[open] != '(') continue;
+        const size_t close = MatchParen(body, open);
+        const std::string args = body.substr(open + 1, close - open - 1);
+        if (InSpan(spans, hit)) {
+          // (b) inside the retry lambda: a stable id must be threaded in.
+          if (TokenHits(args, "request_id").empty()) {
+            Report(file, fn.body_open + hit, "fabric-request-id",
+                   m + ": non-idempotent RPC retried without a stable "
+                       "request id — pass the `request_id` minted before "
+                       "RetryTransient so the service-side dedup cache can "
+                       "recognize a retransmit",
+                   out);
+          }
+        } else if (!fn_has_id) {
+          // (a) invoked with no retransmit protection at all.
+          Report(file, fn.body_open + hit, "fabric-request-id",
+                 m + ": non-idempotent RPC invoked outside RetryTransient "
+                     "and outside a request-id-carrying leg — a lost reply "
+                     "has no retransmit path; mint an id and wrap the call "
+                     "in RetryTransient",
+                 out);
+        }
+      }
+    }
+  }
+}
+
+// The header span starts at the statement boundary after the previous
+// definition, so a marker comment sits BETWEEN header_begin and the
+// signature line. Accept the marker anywhere in that span.
+bool HeaderHasMarker(const SourceFile& file, const FunctionDef& fn,
+                     const std::string& key) {
+  // Start at the signature, not header_begin: the raw span begins on the
+  // PREVIOUS definition's closing line, and scanning that line would let a
+  // marker above the previous function leak onto this one. (Markers above
+  // the signature are still found — LineHasMarker walks the contiguous
+  // comment block above the line it is given.)
+  const int first = LineOf(file.scrubbed.text,
+                           SkipSpaces(file.scrubbed.text, fn.header_begin));
+  const int last = LineOf(file.scrubbed.text, fn.body_open);
+  for (int line = first; line <= last; ++line) {
+    if (LineHasMarker(file.scrubbed, line, key, "")) return true;
+  }
+  return false;
+}
+
+// Does this function open-code the seqlock payload protocol?
+bool OpenCodesSeqlock(const Corpus& corpus, const FunctionDef& fn) {
+  const std::string& text = corpus.files[fn.file].scrubbed.text;
+  const std::string body =
+      text.substr(fn.body_open, fn.body_close - fn.body_open + 1);
+  return !TokenHits(body, "HostPtr").empty() &&
+         body.find("memory_order") != std::string::npos;
+}
+
+void CheckSeqlockPayload(const Corpus& corpus, std::vector<Finding>* out) {
+  for (const FunctionDef& fn : corpus.symtab.functions()) {
+    const SourceFile& file = corpus.files[fn.file];
+    if (!StartsWith(file.rel, "src/") || StartsWith(file.rel, "src/dsm/") ||
+        StartsWith(file.rel, "src/rdma/")) {
+      continue;
+    }
+    if (!OpenCodesSeqlock(corpus, fn)) continue;
+    if (HeaderHasMarker(file, fn, "seqlock-payload")) continue;
+    // Anchor at the signature, not the raw header span (which starts right
+    // after the previous definition and reports a misleading line).
+    Report(file, SkipSpaces(file.scrubbed.text, fn.header_begin),
+           "seqlock-payload",
+           (fn.class_name.empty() ? fn.name
+                                  : fn.class_name + "::" + fn.name) +
+               " open-codes the seqlock payload protocol (HostPtr + "
+               "explicit memory_order) outside src/dsm: document the "
+               "torn-write discipline with `// polarlint: "
+               "seqlock-payload(<reason>)` above the definition, or go "
+               "through Dsm::ReadSeqlocked/WriteSeqlocked",
+           out);
+  }
+}
+
+// A function the tsan.supp audit accepts as a by-design payload race: it
+// carries the seqlock-payload marker, or its body visibly implements the
+// protocol (explicit memory_order plus a payload memcpy / HostPtr access).
+bool IsSeqlockPayloadSite(const Corpus& corpus, const FunctionDef& fn) {
+  const SourceFile& file = corpus.files[fn.file];
+  const std::string& text = file.scrubbed.text;
+  if (HeaderHasMarker(file, fn, "seqlock-payload")) return true;
+  const std::string body =
+      text.substr(fn.body_open, fn.body_close - fn.body_open + 1);
+  if (body.find("memory_order") == std::string::npos) return false;
+  return !TokenHits(body, "memcpy").empty() ||
+         !TokenHits(body, "HostPtr").empty();
+}
+
+}  // namespace
+
+void RunFabricPass(const Corpus& corpus, std::vector<Finding>* out) {
+  for (const SourceFile& f : corpus.files) CheckFabricRetry(f, out);
+  CheckRequestId(corpus, out);
+  CheckSeqlockPayload(corpus, out);
+}
+
+void RunTsanSuppAudit(const Corpus& corpus, const std::string& supp_display,
+                      const std::string& supp_content,
+                      std::vector<Finding>* out) {
+  std::istringstream lines(supp_content);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(lines, raw)) {
+    ++line_no;
+    const std::string line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      out->push_back(Finding{supp_display, line_no, "tsan-supp",
+                             "malformed suppression (expected type:pattern)"});
+      continue;
+    }
+    const std::string type = line.substr(0, colon);
+    // TSan patterns never contain whitespace; truncating there lets entries
+    // carry trailing comments (the fixture corpus tags expectations so).
+    std::string pattern = line.substr(colon + 1);
+    const size_t ws = pattern.find_first_of(" \t");
+    if (ws != std::string::npos) pattern = pattern.substr(0, ws);
+    if (type != "race") {
+      out->push_back(Finding{
+          supp_display, line_no, "tsan-supp",
+          type + ": only race: suppressions on seqlock payload sites are "
+                 "sanctioned; anything else hides a real bug class — fix "
+                 "the code or extend the audit with a reviewed rule"});
+      continue;
+    }
+    // polarmp::Class::Func — the last two :: segments identify the site.
+    // TSan matches suppressions as substrings of the frame, so the entry's
+    // Func accepts any corpus function it prefixes (ReadSeqlocked covers
+    // ReadSeqlockedOnce).
+    std::vector<std::string> segs;
+    size_t start = 0;
+    for (size_t p = 0; (p = pattern.find("::", start)) != std::string::npos;
+         start = p + 2) {
+      segs.push_back(pattern.substr(start, p - start));
+    }
+    segs.push_back(pattern.substr(start));
+    if (segs.size() < 2) {
+      out->push_back(Finding{supp_display, line_no, "tsan-supp",
+                             pattern + ": pattern must name Class::Function "
+                                       "so the audit can resolve it"});
+      continue;
+    }
+    const std::string cls = segs[segs.size() - 2];
+    const std::string func = segs.back();
+    bool found = false;
+    bool recognized = false;
+    for (const FunctionDef& fn : corpus.symtab.functions()) {
+      if (fn.class_name != cls || !StartsWith(fn.name, func)) continue;
+      found = true;
+      if (IsSeqlockPayloadSite(corpus, fn)) recognized = true;
+    }
+    if (!found) {
+      out->push_back(Finding{
+          supp_display, line_no, "tsan-supp",
+          pattern + ": stale suppression — no function " + cls + "::" + func +
+              "* in the linted tree; delete the entry"});
+    } else if (!recognized) {
+      out->push_back(Finding{
+          supp_display, line_no, "tsan-supp",
+          pattern + ": suppressed function is not a recognized seqlock "
+                    "payload site (no memory_order discipline over a "
+                    "HostPtr/memcpy payload and no `// polarlint: "
+                    "seqlock-payload(...)` marker) — the suppression hides "
+                    "a real race"});
+    }
+  }
+}
+
+}  // namespace polarlint

@@ -1,0 +1,409 @@
+// Static lock-order graph. Extracts every RankedMutex acquisition per
+// function body (scoped guards, manual .lock()/.lock_shared() with their
+// .unlock() extent, REQUIRES-annotated lambdas, AssertHeld), inlines one
+// call level, and builds the global acquired-while-held graph:
+//
+//   - an edge whose acquired rank is not strictly below the held rank is a
+//     declared-rank violation (same rank needs SameRank::kAllow on BOTH
+//     mutexes),
+//   - a strongly connected component of two or more mutexes is a potential
+//     static deadlock cycle even when every edge individually passes the
+//     rank check (the same-rank kAllow pair the RUNTIME checker can only
+//     catch if a test happens to interleave the two paths),
+//   - self-edges on a SameRank::kAllow mutex are the sanctioned page-latch
+//     crabbing pattern and are excused.
+//
+// Mutex identity is resolved conservatively: a member of the enclosing
+// class wins; otherwise a mutex member name unique across the corpus
+// resolves to its owner; anything else is dropped from the graph rather
+// than guessed. The full edge list lands in the JSON sidecar for CI
+// diffing regardless of violations.
+
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "lexer.h"
+#include "rules.h"
+
+namespace polarlint {
+
+namespace {
+
+struct Acq {
+  std::string node;  // "Class::mutex"
+  std::string rank;  // "kPageLatch" etc., "" unresolved
+  bool same_allow = false;
+  size_t pos = 0;  // body-relative
+  size_t end = 0;  // body-relative extent while held
+  // An assertion that the lock is ALREADY held (REQUIRES lambda, AssertHeld)
+  // contributes as a held-source but is not an acquisition (edge target).
+  bool assertion = false;
+};
+
+struct FnLocks {
+  std::vector<Acq> entry;   // held on entry (REQUIRES, AssertHeld)
+  std::vector<Acq> events;  // acquisitions inside the body
+};
+
+// End of the innermost block containing `pos` (body-relative).
+size_t EnclosingBlockEnd(const std::string& body, size_t pos) {
+  std::vector<size_t> stack;
+  for (size_t i = 0; i < pos && i < body.size(); ++i) {
+    if (body[i] == '{') stack.push_back(i);
+    if (body[i] == '}' && !stack.empty()) stack.pop_back();
+  }
+  if (stack.empty()) return body.size();
+  return MatchBrace(body, stack.back());
+}
+
+Acq MakeAcq(const SymbolTable& symtab, const std::string& cls,
+            const std::string& trailing, size_t pos, size_t end) {
+  Acq a;
+  std::string owner;
+  const MutexMember* mu = symtab.ResolveMutex(cls, trailing, &owner);
+  if (!mu) return a;  // node stays empty: unresolved
+  a.node = owner + "::" + mu->name;
+  a.rank = mu->rank;
+  a.same_allow = mu->same_allow;
+  a.pos = pos;
+  a.end = end;
+  return a;
+}
+
+FnLocks ExtractLocks(const Corpus& corpus, const FunctionDef& fn) {
+  FnLocks out;
+  const std::string& text = corpus.files[fn.file].scrubbed.text;
+  const std::string body =
+      text.substr(fn.body_open, fn.body_close - fn.body_open + 1);
+  const SymbolTable& st = corpus.symtab;
+
+  for (const std::string& req : fn.requires_mutexes) {
+    Acq a = MakeAcq(st, fn.class_name, req, 0, body.size());
+    if (!a.node.empty()) out.entry.push_back(a);
+  }
+
+  // Scoped guards.
+  static const char* kGuards[] = {
+      "MutexLock",   "UniqueLock",  "ReaderLock",  "WriterLock",
+      "lock_guard",  "unique_lock", "scoped_lock", "shared_lock"};
+  for (const char* g : kGuards) {
+    for (size_t q : TokenHits(body, g)) {
+      size_t k = SkipSpaces(body, q + std::string(g).size());
+      if (k < body.size() && body[k] == '<') {
+        int depth = 0;
+        while (k < body.size()) {
+          if (body[k] == '<') ++depth;
+          if (body[k] == '>' && --depth == 0) {
+            ++k;
+            break;
+          }
+          ++k;
+        }
+        k = SkipSpaces(body, k);
+      }
+      while (k < body.size() && IsIdentChar(body[k])) ++k;
+      k = SkipSpaces(body, k);
+      if (k >= body.size() || (body[k] != '(' && body[k] != '{')) continue;
+      const size_t close =
+          body[k] == '(' ? MatchParen(body, k) : MatchBrace(body, k);
+      if (close >= body.size()) continue;
+      std::string first;
+      int depth = 0;
+      for (size_t i = k + 1; i < close; ++i) {
+        const char c = body[i];
+        if (c == '(' || c == '{') ++depth;
+        if (c == ')' || c == '}') --depth;
+        if (c == ',' && depth == 0) break;
+        first += c;
+      }
+      Acq a = MakeAcq(st, fn.class_name, TrailingIdent(first), q,
+                      EnclosingBlockEnd(body, q));
+      if (!a.node.empty()) out.events.push_back(a);
+    }
+  }
+
+  // Manual .lock()/.lock_shared() with extent until the matching .unlock().
+  // AssertHeld/AssertAnyHeld count as held-on-entry.
+  size_t dot = 0;
+  while ((dot = body.find('.', dot)) != std::string::npos) {
+    const size_t q = dot++;
+    size_t e = q;
+    while (e > 0 && std::isspace(static_cast<unsigned char>(body[e - 1]))) --e;
+    size_t b = e;
+    while (b > 0 && IsIdentChar(body[b - 1])) --b;
+    const std::string recv = body.substr(b, e - b);
+    if (recv.empty()) continue;
+    size_t cb = SkipSpaces(body, q + 1);
+    size_t ce = cb;
+    while (ce < body.size() && IsIdentChar(body[ce])) ++ce;
+    const std::string call = body.substr(cb, ce - cb);
+    const size_t open = SkipSpaces(body, ce);
+    if (open >= body.size() || body[open] != '(') continue;
+    if (call == "lock" || call == "lock_shared") {
+      size_t extent = body.size();
+      for (size_t r : TokenHits(body, recv)) {
+        if (r <= q) continue;
+        const size_t rd = SkipSpaces(body, r + recv.size());
+        if (rd < body.size() && body[rd] == '.' &&
+            StartsWith(body.substr(SkipSpaces(body, rd + 1)), "unlock")) {
+          extent = r;
+          break;
+        }
+      }
+      Acq a = MakeAcq(st, fn.class_name, recv, q, extent);
+      if (!a.node.empty()) out.events.push_back(a);
+    } else if (call == "AssertHeld" || call == "AssertAnyHeld") {
+      Acq a = MakeAcq(st, fn.class_name, recv, 0, body.size());
+      if (!a.node.empty()) out.entry.push_back(a);
+    }
+  }
+
+  // A REQUIRES(m) lambda inside the body runs with m held (CondVar waits).
+  for (const char* m : {"REQUIRES", "REQUIRES_SHARED"}) {
+    for (size_t q : TokenHits(body, m)) {
+      const size_t open = body.find('(', q);
+      if (open == std::string::npos) continue;
+      const size_t close = MatchParen(body, open);
+      const std::string arg = body.substr(open + 1, close - open - 1);
+      Acq a = MakeAcq(st, fn.class_name, TrailingIdent(arg), q,
+                      EnclosingBlockEnd(body, q));
+      a.assertion = true;
+      if (!a.node.empty()) out.events.push_back(a);
+    }
+  }
+  return out;
+}
+
+struct EdgeInfo {
+  std::string held_rank;
+  bool held_allow = false;
+  std::string acq_rank;
+  bool acq_allow = false;
+  int file = -1;
+  size_t pos = 0;  // file offset of the inner acquisition
+};
+
+}  // namespace
+
+void RunLockOrderPass(const Corpus& corpus, std::vector<Finding>* out,
+                      std::vector<LockEdge>* edges) {
+  const auto& fns = corpus.symtab.functions();
+  std::vector<FnLocks> locks;
+  locks.reserve(fns.size());
+  for (const FunctionDef& fn : fns) locks.push_back(ExtractLocks(corpus, fn));
+
+  std::map<std::pair<std::string, std::string>, EdgeInfo> graph;
+  auto add_edge = [&](const Acq& held, const std::string& acq_node,
+                      const std::string& acq_rank, bool acq_allow, int file,
+                      size_t file_pos) {
+    const auto key = std::make_pair(held.node, acq_node);
+    if (graph.count(key)) return;
+    EdgeInfo e;
+    e.held_rank = held.rank;
+    e.held_allow = held.same_allow;
+    e.acq_rank = acq_rank;
+    e.acq_allow = acq_allow;
+    e.file = file;
+    e.pos = file_pos;
+    graph[key] = e;
+  };
+
+  static const std::set<std::string> kKeywords = {
+      "if",     "for",    "while",  "switch", "return", "sizeof",
+      "catch",  "assert", "static_cast", "co_await", "new", "delete"};
+
+  for (size_t fi = 0; fi < fns.size(); ++fi) {
+    const FunctionDef& fn = fns[fi];
+    const FnLocks& fl = locks[fi];
+    const SourceFile& file = corpus.files[fn.file];
+    const std::string& text = file.scrubbed.text;
+    const std::string body =
+        text.substr(fn.body_open, fn.body_close - fn.body_open + 1);
+
+    auto held_at = [&](size_t pos) {
+      std::vector<const Acq*> held;
+      for (const Acq& a : fl.entry) held.push_back(&a);
+      for (const Acq& a : fl.events) {
+        if (a.pos < pos && pos < a.end) held.push_back(&a);
+      }
+      return held;
+    };
+
+    // Direct nesting edges.
+    for (const Acq& ev : fl.events) {
+      if (ev.assertion) continue;  // held-source only, not an acquisition
+      for (const Acq* h : held_at(ev.pos)) {
+        if (h == &ev) continue;
+        add_edge(*h, ev.node, ev.rank, ev.same_allow, fn.file,
+                 fn.body_open + ev.pos);
+      }
+    }
+
+    // One-level call inlining: a call made while holding locks imports the
+    // callee's own acquisitions as edges at the call site.
+    size_t i = 0;
+    while (i < body.size()) {
+      if (!(std::isalpha(static_cast<unsigned char>(body[i])) ||
+            body[i] == '_')) {
+        ++i;
+        continue;
+      }
+      size_t j = i;
+      while (j < body.size() && IsIdentChar(body[j])) ++j;
+      const std::string name = body.substr(i, j - i);
+      const size_t open = SkipSpaces(body, j);
+      const size_t at = i;
+      i = j;
+      if (open >= body.size() || body[open] != '(') continue;
+      if (kKeywords.count(name)) continue;
+      const std::vector<const Acq*> held = held_at(at);
+      if (held.empty()) continue;
+      // Resolve the callee: same-class method for bare calls, otherwise a
+      // corpus-unique function name.
+      const FunctionDef* callee = nullptr;
+      const size_t chain = ChainStart(text, fn.body_open + at);
+      if (chain == fn.body_open + at) {
+        callee = corpus.symtab.FindMethod(fn.class_name, name);
+      }
+      if (!callee) {
+        const auto cands = corpus.symtab.FindFunctions(name);
+        if (cands.size() == 1) callee = cands[0];
+      }
+      if (!callee || callee == &fn) continue;
+      // Find the callee's extracted events.
+      for (size_t ci = 0; ci < fns.size(); ++ci) {
+        if (&fns[ci] != callee) continue;
+        for (const Acq& ev : locks[ci].events) {
+          if (ev.assertion) continue;
+          for (const Acq* h : held) {
+            add_edge(*h, ev.node, ev.rank, ev.same_allow, fn.file,
+                     fn.body_open + at);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Emit the sidecar edge list and check each edge's declared ranks.
+  for (const auto& [key, e] : graph) {
+    const SourceFile& file = corpus.files[e.file];
+    const int line = LineOf(file.scrubbed.text, e.pos);
+    LockEdge le;
+    le.held = key.first;
+    le.held_rank = e.held_rank;
+    le.acquired = key.second;
+    le.acquired_rank = e.acq_rank;
+    le.site = file.display + ":" + std::to_string(line);
+    edges->push_back(le);
+
+    // Same-mutex self-edges are excluded from the rank check: under
+    // flow-insensitive extraction they are indistinguishable from the
+    // legitimate unlock-then-relock window (BufferFusion::FlushEntryLocked),
+    // cv-wait re-acquisition (PLockManager::Acquire), and thread-body
+    // lambdas re-locking the spawner's mutex (StandbyReplicator::Start).
+    // Actual recursive acquisition is caught deterministically at runtime
+    // by RankedMutex's per-thread stack. The edge still lands in the
+    // sidecar above so the graph stays complete.
+    if (key.first != key.second) {
+      const int held_rank = RankValue(e.held_rank);
+      const int acq_rank = RankValue(e.acq_rank);
+      if (held_rank < 0 || acq_rank < 0) continue;  // unranked-mutex's domain
+      if (acq_rank < held_rank) continue;           // strictly decreasing: ok
+      if (acq_rank == held_rank && e.held_allow && e.acq_allow) continue;
+      Report(file, e.pos, "lock-order",
+             "acquiring " + key.second + " (LockRank::" + e.acq_rank +
+                 ") while holding " + key.first + " (LockRank::" + e.held_rank +
+                 "): rank must strictly decrease (same rank needs "
+                 "SameRank::kAllow on both mutexes)",
+             out);
+    }
+  }
+
+  // Cycle detection over the edge graph (iterative Tarjan SCC). Self-edges
+  // are the crabbing pattern, judged by the rank check above; components of
+  // two or more mutexes deadlock statically even when every edge passes.
+  std::map<std::string, int> id;
+  std::vector<std::string> names;
+  std::vector<std::vector<int>> adj;
+  for (const auto& [key, e] : graph) {
+    for (const std::string& n : {key.first, key.second}) {
+      if (!id.count(n)) {
+        id[n] = static_cast<int>(names.size());
+        names.push_back(n);
+        adj.emplace_back();
+      }
+    }
+    if (key.first != key.second) adj[id[key.first]].push_back(id[key.second]);
+  }
+  const int n = static_cast<int>(names.size());
+  std::vector<int> index(n, -1), low(n, 0), comp(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int next_index = 0, next_comp = 0;
+  for (int root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    // Iterative Tarjan: frame = (node, next child position).
+    std::vector<std::pair<int, size_t>> call;
+    call.emplace_back(root, 0);
+    while (!call.empty()) {
+      auto& [v, child] = call.back();
+      if (child == 0) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      while (child < adj[v].size()) {
+        const int w = adj[v][child++];
+        if (index[w] == -1) {
+          call.emplace_back(w, 0);
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) low[v] = std::min(low[v], index[w]);
+      }
+      if (descended) continue;
+      if (low[v] == index[v]) {
+        for (;;) {
+          const int w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp[w] = next_comp;
+          if (w == v) break;
+        }
+        ++next_comp;
+      }
+      const int done = v;
+      call.pop_back();
+      if (!call.empty()) {
+        low[call.back().first] =
+            std::min(low[call.back().first], low[done]);
+      }
+    }
+  }
+  std::map<int, std::vector<int>> comps;
+  for (int v = 0; v < n; ++v) comps[comp[v]].push_back(v);
+  for (const auto& [c, members] : comps) {
+    if (members.size() < 2) continue;
+    std::string cycle;
+    for (const int v : members) {
+      if (!cycle.empty()) cycle += " <-> ";
+      cycle += names[v];
+    }
+    // Anchor the finding at some edge inside the component.
+    for (const auto& [key, e] : graph) {
+      if (comp[id[key.first]] != c || comp[id[key.second]] != c) continue;
+      const SourceFile& file = corpus.files[e.file];
+      Report(file, e.pos, "lock-order",
+             "static deadlock cycle in the acquired-while-held graph: " +
+                 cycle + " (every edge passes the rank check individually; "
+                 "break the cycle or collapse the locks)",
+             out);
+      break;
+    }
+  }
+}
+
+}  // namespace polarlint

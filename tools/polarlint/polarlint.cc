@@ -1,115 +1,55 @@
-// polarlint: project-specific static checks for the polardb-mp tree.
+// polarlint: project-specific semantic analysis for the polardb-mp tree.
 //
-// The toolchain has no libclang, so this is a deliberate token-level
-// checker: it scrubs comments and string literals out of each translation
-// unit, then pattern-matches the residue. False positives are silenced with
-// an annotation that doubles as documentation:
+// The toolchain has no libclang, so this is a purpose-built analyzer: a
+// comment/literal scrubber and C++ tokenizer (lexer.*), a cross-TU symbol
+// table of per-class member/annotation/mutex tables and every function
+// definition (symtab.*), and four analysis passes over that table:
 //
-//   // polarlint: allow(<rule>) <reason>
+//   token        the nine v1 single-file rules (rules_token.cc): raw-mutex,
+//                unranked-mutex, raw-atomic, no-hostptr-memcpy,
+//                nondeterminism, blocking-force, fusion-bypass,
+//                unchecked-fabric-status, unguarded-field.
+//   capability   the gcc-host subset of clang's thread-safety analysis
+//                (pass_capability.cc): every GUARDED_BY(m) field access
+//                must hold m via REQUIRES, a scoped guard, .lock(), or
+//                AssertHeld on the enclosing path — cross-TU, so a header
+//                annotation covers the .cc body.
+//   lock-order   the static acquired-while-held graph (pass_lock_order.cc):
+//                declared-rank violations and SCC deadlock cycles the
+//                runtime checker only catches if a test interleaves them.
+//                The full edge list goes to the JSON sidecar.
+//   fabric       PR 8's retry/dedup protocol rules (pass_fabric.cc):
+//                fabric-retry, fabric-request-id, seqlock-payload — plus
+//                the --tsan-supp suppression audit (tsan-supp).
 //
-// on the same line as the match or the line immediately above it.
-//
-// Rules (ids as used in allow() and fixtures):
-//
-//   raw-mutex          std::mutex / std::shared_mutex / std::recursive_mutex /
-//                      std::timed_mutex / std::condition_variable[_any]
-//                      anywhere but src/common/lock_rank.h. Every lock in the
-//                      tree is a RankedMutex/RankedSharedMutex with a declared
-//                      LockRank; waiting goes through polarmp::CondVar.
-//
-//   unranked-mutex     a RankedMutex/RankedSharedMutex member or variable
-//                      declaration whose initializer does not name a
-//                      LockRank:: rank.
-//
-//   raw-atomic         the literal type std::atomic<uint64_t> outside
-//                      src/obs (which implements counters), src/rdma and
-//                      src/dsm (which implement the remote atomics those
-//                      cells are targets of). Counters belong in
-//                      obs::Counter; genuine non-counter cells carry an
-//                      allow() with the reason.
-//
-//   no-hostptr-memcpy  a memcpy whose destination argument mentions
-//                      HostPtr, outside src/dsm and src/rdma. Host-side
-//                      writes into fabric-registered memory must go through
-//                      Dsm::HostWrite / Dsm::HostWriteSeqlocked so the
-//                      bounds check and seqlock protocol cannot be skipped.
-//
-//   nondeterminism     rand() / srand() / std::random_device / std::mt19937 /
-//                      time(nullptr) outside src/common/random.h. Simulation
-//                      code draws from polarmp::Random so runs are seedable
-//                      and reproducible.
-//
-//   blocking-force     LogWriter::ForceTo / ForceAll (the blocking shims
-//                      over the async force pipeline) inside src/engine,
-//                      src/txn or src/node. Hot paths enqueue with
-//                      ForceAsync/ForceAllAsync and continue (or wait on
-//                      the returned handle where the call site is
-//                      inherently synchronous); the blocking names are
-//                      test/edge-only so a committer can never sneak back
-//                      to one-force-per-caller.
-//
-//   fusion-bypass      Dsm / the Buffer Fusion RPC surface (FetchPage,
-//                      PushPage, RegisterCopy, UnregisterCopy, NotifyPush,
-//                      seqlocked reads/writes, ChargeRpc) named from
-//                      src/engine outside buffer_pool.* and undo.*, which
-//                      own the engine's fusion/DSM plumbing. Traversal code
-//                      reaches remote pages through Mtr/BufferPool (the
-//                      guarded path) or the compute-side IndexCache
-//                      (src/cache/, the version-validated one-sided path) —
-//                      never by talking to the fabric itself, so every
-//                      remote access stays visible to the cache's
-//                      invalidation protocol and the fabric-ops accounting.
-//
-//   unchecked-fabric-status
-//                      a fabric-verb call (one-sided DSM verbs, seqlocked
-//                      reads/writes, region registration, the Lock Fusion /
-//                      Buffer Fusion / TIT RPC surfaces) whose returned
-//                      Status or StatusOr is discarded — either a bare
-//                      expression statement or a (void) cast. Every verb can
-//                      fail with an injected transient, a genuine endpoint
-//                      death, or a retry-budget Busy; dropping the status
-//                      silently turns a recoverable fault into corruption.
-//                      Consume it, POLARMP_RETURN_IF_ERROR it, or document
-//                      the deliberate discard with an allow() reason.
-//                      `Read`/`Write` are only matched when the receiver
-//                      chain names the fabric or the DSM (a file's Read is
-//                      out of scope).
-//
-//   unguarded-field    a mutable data member of a class that owns a
-//                      RankedMutex/RankedSharedMutex, where the member is
-//                      neither GUARDED_BY/PT_GUARDED_BY-annotated, nor
-//                      const/constexpr/static, nor itself a synchronization
-//                      or telemetry object (RankedMutex, RankedSharedMutex,
-//                      CondVar, obs::Counter, obs::Gauge,
-//                      obs::LatencyHistogram), nor a
-//                      std::atomic in the raw-atomic-exempt dirs (src/obs,
-//                      src/rdma, src/dsm). Every escape is documented in
-//                      place:
-//
-//                        // polarlint: unguarded(<reason>)
-//
-//                      on the member's line or in the contiguous comment
-//                      block immediately above it. This is what keeps the
-//                      Clang thread-safety annotations (see
-//                      common/thread_annotations.h) honest on GCC-only
-//                      builds: a new field in a locked class must either
-//                      join the capability analysis or explain itself.
+// Rule ids double as escape names: `// polarlint: allow(<rule>) <reason>`
+// on the finding's line, the line above, or a contiguous comment block
+// above. unguarded-field and seqlock-payload have dedicated markers
+// (`polarlint: unguarded(<reason>)`, `polarlint: seqlock-payload(<reason>)`)
+// that the rules and the tsan.supp audit share. DESIGN.md §7 documents
+// rationale, semantics, and what the capability subset deliberately does
+// not prove.
 //
 // Usage:
-//   polarlint [--root <repo-root>] <file-or-dir>...
+//   polarlint [--root <repo-root>] [--json <sidecar>] [--tsan-supp <file>]
+//             [--max-wall-ms <n>] <file-or-dir>...
 //   polarlint --self-test <fixtures-dir>
 //
-// Exit status: 0 clean, 1 findings (or self-test mismatch), 2 usage/IO
-// error. Rules key off the path relative to --root (default: cwd); only
-// paths under src/ are checked, so tests and benches stay unconstrained.
+// Exit status: 0 clean, 1 findings / self-test mismatch / wall-clock bound
+// exceeded, 2 usage or IO error. Rules key off paths relative to --root
+// (default: cwd); only paths under src/ are checked, so tests and benches
+// stay unconstrained.
 //
-// Self-test mode lints each fixture file under the path it declares with
+// Self-test mode lints each fixture under the path it declares with
 //   // polarlint-fixture-path: src/engine/whatever.h
 // and requires the produced findings to exactly match the lines marked
 //   <violating code>  // polarlint-fixture-expect: <rule>
+// A SUBDIRECTORY of the fixtures dir is one multi-file corpus linted
+// together (this is what proves cross-TU resolution); a corpus file named
+// tsan.supp exercises the suppression audit instead of being linted.
 
 #include <algorithm>
-#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -119,732 +59,16 @@
 #include <string>
 #include <vector>
 
+#include "rules.h"
+
 namespace {
 
 namespace fs = std::filesystem;
 
-struct Finding {
-  std::string file;  // path as reported (relative to root when possible)
-  int line = 0;      // 1-based
-  std::string rule;
-  std::string message;
-};
-
-// Source text with comments and string/char literals blanked out (replaced
-// by spaces, newlines preserved), plus the comment text per line so
-// allow() annotations can be looked up after scrubbing.
-struct Scrubbed {
-  std::string text;
-  std::vector<std::string> comment_on_line;  // index 0 unused; 1-based
-  std::vector<bool> code_on_line;            // non-space scrubbed content
-};
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-Scrubbed Scrub(const std::string& src) {
-  Scrubbed out;
-  out.text.assign(src.size(), ' ');
-  const size_t lines = 2 + std::count(src.begin(), src.end(), '\n');
-  out.comment_on_line.assign(lines + 1, std::string());
-
-  size_t i = 0;
-  int line = 1;
-  auto copy = [&](size_t n) {
-    for (size_t k = 0; k < n && i < src.size(); ++k, ++i) {
-      out.text[i] = src[i];
-      if (src[i] == '\n') ++line;
-    }
-  };
-  auto blank = [&](size_t n, bool record_comment) {
-    for (size_t k = 0; k < n && i < src.size(); ++k, ++i) {
-      if (src[i] == '\n') {
-        out.text[i] = '\n';
-        ++line;
-      } else {
-        out.text[i] = ' ';
-        if (record_comment) out.comment_on_line[line].push_back(src[i]);
-      }
-    }
-  };
-
-  while (i < src.size()) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    if (c == '/' && next == '/') {
-      size_t end = src.find('\n', i);
-      if (end == std::string::npos) end = src.size();
-      blank(end - i, /*record_comment=*/true);
-    } else if (c == '/' && next == '*') {
-      size_t end = src.find("*/", i + 2);
-      end = end == std::string::npos ? src.size() : end + 2;
-      blank(end - i, /*record_comment=*/true);
-    } else if (c == 'R' && next == '"' && !(i > 0 && IsIdentChar(src[i - 1]))) {
-      // Raw string: R"delim( ... )delim"
-      size_t open = src.find('(', i + 2);
-      if (open == std::string::npos) {
-        copy(src.size() - i);
-        break;
-      }
-      const std::string delim = src.substr(i + 2, open - (i + 2));
-      const std::string closer = ")" + delim + "\"";
-      size_t end = src.find(closer, open + 1);
-      end = end == std::string::npos ? src.size() : end + closer.size();
-      blank(end - i, /*record_comment=*/false);
-    } else if (c == '"' || c == '\'') {
-      const char quote = c;
-      size_t j = i + 1;
-      while (j < src.size() && src[j] != quote) {
-        if (src[j] == '\\') ++j;
-        ++j;
-      }
-      blank(std::min(j + 1, src.size()) - i, /*record_comment=*/false);
-    } else {
-      copy(1);
-    }
-  }
-  out.code_on_line.assign(out.comment_on_line.size(), false);
-  int l = 1;
-  for (const char c : out.text) {
-    if (c == '\n') {
-      ++l;
-    } else if (!std::isspace(static_cast<unsigned char>(c))) {
-      out.code_on_line[l] = true;
-    }
-  }
-  return out;
-}
-
-int LineOf(const std::string& text, size_t pos) {
-  return 1 + static_cast<int>(std::count(text.begin(), text.begin() + pos, '\n'));
-}
-
-bool LineAllows(const Scrubbed& s, int line, const std::string& rule) {
-  const std::string needle = "polarlint: allow(" + rule + ")";
-  const auto has = [&](int l) {
-    return l >= 1 && l < static_cast<int>(s.comment_on_line.size()) &&
-           s.comment_on_line[l].find(needle) != std::string::npos;
-  };
-  // Same line or the line immediately above.
-  if (has(line) || has(line - 1)) return true;
-  // A contiguous comment-only block immediately above — lets several
-  // stacked polarlint escape lines document one declaration.
-  for (int l = line - 1; l >= 1 && l < static_cast<int>(s.code_on_line.size()) &&
-                         !s.code_on_line[l] && !s.comment_on_line[l].empty();
-       --l) {
-    if (has(l)) return true;
-  }
-  return false;
-}
-
-// Occurrences of `token` in scrubbed text with identifier boundaries on
-// both sides.
-std::vector<size_t> TokenHits(const std::string& text,
-                              const std::string& token) {
-  std::vector<size_t> hits;
-  size_t pos = 0;
-  while ((pos = text.find(token, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
-    const size_t after = pos + token.size();
-    const bool right_ok = after >= text.size() || !IsIdentChar(text[after]);
-    if (left_ok && right_ok) hits.push_back(pos);
-    pos = after;
-  }
-  return hits;
-}
-
-size_t SkipSpaces(const std::string& text, size_t pos) {
-  while (pos < text.size() &&
-         std::isspace(static_cast<unsigned char>(text[pos]))) {
-    ++pos;
-  }
-  return pos;
-}
-
-bool StartsWith(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-std::string Trim(const std::string& s) {
-  size_t b = 0;
-  size_t e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return s.substr(b, e - b);
-}
-
-// Index of the '}' matching the '{' at `open` (text.size() if unmatched).
-size_t MatchBrace(const std::string& text, size_t open) {
-  int depth = 0;
-  for (size_t j = open; j < text.size(); ++j) {
-    if (text[j] == '{') ++depth;
-    if (text[j] == '}' && --depth == 0) return j;
-  }
-  return text.size();
-}
-
-// Removes balanced <...> spans (template argument lists) so that a '(' left
-// over marks a function rather than std::function<void()> and friends.
-// Unbalanced '<' (shifts, comparisons) are kept as-is.
-std::string StripAngles(const std::string& s) {
-  std::string out;
-  for (size_t i = 0; i < s.size(); ++i) {
-    if (s[i] == '<') {
-      int depth = 1;
-      size_t j = i + 1;
-      for (; j < s.size() && depth > 0; ++j) {
-        if (s[j] == '<') ++depth;
-        if (s[j] == '>') --depth;
-      }
-      if (depth == 0) {
-        i = j - 1;
-        continue;
-      }
-    }
-    out += s[i];
-  }
-  return out;
-}
-
-// A class/struct definition in scrubbed text: keyword position, body braces.
-struct ClassSpan {
-  size_t kw = 0;
-  size_t open = 0;   // '{'
-  size_t close = 0;  // matching '}'
-};
-
-std::vector<ClassSpan> FindClassSpans(const std::string& text) {
-  std::vector<ClassSpan> spans;
-  for (const std::string kw : {"class", "struct"}) {
-    for (size_t pos : TokenHits(text, kw)) {
-      // `enum class` / `enum struct` define enumerators, not members.
-      size_t b = pos;
-      while (b > 0 && std::isspace(static_cast<unsigned char>(text[b - 1]))) {
-        --b;
-      }
-      size_t e = b;
-      while (b > 0 && IsIdentChar(text[b - 1])) --b;
-      if (text.substr(b, e - b) == "enum") continue;
-      // Walk to the body's '{'. Anything that closes an enclosing construct
-      // first means this is not a definition: a template parameter
-      // (`template <class T>`), a function parameter (`void f(class X*)`),
-      // a forward declaration.
-      int paren = 0;
-      int angle = 0;
-      size_t open = std::string::npos;
-      for (size_t j = pos + kw.size(); j < text.size(); ++j) {
-        const char c = text[j];
-        if (c == '(' || c == '[') {
-          ++paren;
-        } else if (c == ')' || c == ']') {
-          if (paren == 0) break;
-          --paren;
-        } else if (c == '<') {
-          ++angle;
-        } else if (c == '>') {
-          if (angle == 0) break;
-          --angle;
-        } else if ((c == '=' || c == ';') && paren == 0 && angle == 0) {
-          break;
-        } else if (c == '{' && paren == 0) {
-          open = j;
-          break;
-        }
-      }
-      if (open == std::string::npos) continue;
-      spans.push_back(ClassSpan{pos, open, MatchBrace(text, open)});
-    }
-  }
-  std::sort(spans.begin(), spans.end(),
-            [](const ClassSpan& a, const ClassSpan& b) { return a.kw < b.kw; });
-  return spans;
-}
-
-// One member-level declaration (everything between ';'s at class-body depth,
-// with function bodies and nested class definitions skipped).
-struct MemberStmt {
-  size_t begin = 0;  // first non-space char
-  size_t end = 0;    // the terminating ';'
-  std::string text;
-};
-
-std::vector<MemberStmt> MemberStatements(
-    const std::string& text, const ClassSpan& span,
-    const std::map<size_t, ClassSpan>& span_by_kw) {
-  std::vector<MemberStmt> stmts;
-  size_t pos = span.open + 1;
-  size_t begin = std::string::npos;
-  std::string stmt;
-  int paren = 0;
-  auto reset = [&] {
-    begin = std::string::npos;
-    stmt.clear();
-    paren = 0;
-  };
-  while (pos < span.close) {
-    // Nested class/struct definition: its members belong to its own scan.
-    // Skip the definition plus any declarators up to the trailing ';'.
-    const auto nested = span_by_kw.find(pos);
-    if (nested != span_by_kw.end() && nested->second.close < span.close) {
-      pos = nested->second.close + 1;
-      while (pos < span.close && text[pos] != ';') {
-        if (text[pos] == '{') pos = MatchBrace(text, pos);
-        ++pos;
-      }
-      ++pos;
-      reset();
-      continue;
-    }
-    const char c = text[pos];
-    if (c == '(' || c == '[') {
-      ++paren;
-    } else if ((c == ')' || c == ']') && paren > 0) {
-      --paren;
-    } else if (c == '{' && paren == 0) {
-      // Function body vs a field's brace initializer: a '(' outside
-      // template argument lists means a parameter list.
-      const bool is_function =
-          StripAngles(stmt).find('(') != std::string::npos;
-      pos = MatchBrace(text, pos) + 1;
-      if (is_function) reset();
-      continue;
-    } else if (c == ';' && paren == 0) {
-      if (begin != std::string::npos) {
-        stmts.push_back(MemberStmt{begin, pos, stmt});
-      }
-      reset();
-      ++pos;
-      continue;
-    } else if (c == ':' && paren == 0) {
-      const std::string t = Trim(stmt);
-      if (t == "public" || t == "private" || t == "protected") {
-        reset();
-        ++pos;
-        continue;
-      }
-    }
-    if (begin == std::string::npos &&
-        !std::isspace(static_cast<unsigned char>(c))) {
-      begin = pos;
-    }
-    stmt += c;
-    ++pos;
-  }
-  return stmts;
-}
-
-bool HasToken(const std::string& stmt, const std::string& token) {
-  return !TokenHits(stmt, token).empty();
-}
-
-// Start of the receiver chain ending at the method token at `pos`: for
-// `node->lock_fusion()->Release` it walks back over `()` segments and
-// identifiers joined by `.` / `->` / `::` and returns the index of `node`.
-// A bare (unqualified) call returns `pos` itself. Stops conservatively at
-// anything it cannot parse (e.g. a cast), leaving the chain shorter.
-size_t ChainStart(const std::string& text, size_t pos) {
-  size_t start = pos;
-  for (;;) {
-    size_t k = start;
-    while (k > 0 && std::isspace(static_cast<unsigned char>(text[k - 1]))) --k;
-    size_t conn = 0;
-    if (k >= 1 && text[k - 1] == '.') {
-      conn = 1;
-    } else if (k >= 2 && text[k - 2] == '-' && text[k - 1] == '>') {
-      conn = 2;
-    } else if (k >= 2 && text[k - 2] == ':' && text[k - 1] == ':') {
-      conn = 2;
-    }
-    if (conn == 0) return start;
-    k -= conn;
-    while (k > 0 && std::isspace(static_cast<unsigned char>(text[k - 1]))) --k;
-    if (k >= 1 && text[k - 1] == ')') {
-      // A call segment in the chain, e.g. the `()` of `lock_fusion()`.
-      int depth = 0;
-      size_t m = k;
-      while (m > 0) {
-        --m;
-        if (text[m] == ')') ++depth;
-        if (text[m] == '(' && --depth == 0) break;
-      }
-      if (depth != 0) return start;
-      k = m;
-      while (k > 0 && std::isspace(static_cast<unsigned char>(text[k - 1]))) {
-        --k;
-      }
-    }
-    if (k == 0 || !IsIdentChar(text[k - 1])) return start;
-    while (k > 0 && IsIdentChar(text[k - 1])) --k;
-    start = k;
-  }
-}
-
-// Is `stmt` a declaration of a lock the class owns by value
-// (`RankedMutex name...`, as opposed to a reference/pointer/parameter)?
-bool DeclaresOwnedMutex(const std::string& stmt) {
-  for (const std::string token : {"RankedMutex", "RankedSharedMutex"}) {
-    for (size_t pos : TokenHits(stmt, token)) {
-      const size_t after = SkipSpaces(stmt, pos + token.size());
-      if (after < stmt.size() &&
-          (std::isalpha(static_cast<unsigned char>(stmt[after])) ||
-           stmt[after] == '_')) {
-        return true;
-      }
-    }
-  }
-  return false;
-}
-
-class Linter {
- public:
-  // `rel` is the repo-relative path (forward slashes) used for rule
-  // scoping; `display` is what findings print.
-  void LintFile(const std::string& rel, const std::string& display,
-                const std::string& content) {
-    if (!StartsWith(rel, "src/")) return;
-    const Scrubbed s = Scrub(content);
-    CheckRawMutex(rel, display, s);
-    CheckUnrankedMutex(rel, display, s);
-    CheckRawAtomic(rel, display, s);
-    CheckHostPtrMemcpy(rel, display, s);
-    CheckNondeterminism(rel, display, s);
-    CheckBlockingForce(rel, display, s);
-    CheckFusionBypass(rel, display, s);
-    CheckUncheckedFabricStatus(rel, display, s);
-    CheckUnguardedFields(rel, display, s);
-  }
-
-  const std::vector<Finding>& findings() const { return findings_; }
-
- private:
-  void Report(const std::string& display, const Scrubbed& s, size_t pos,
-              const std::string& rule, const std::string& message) {
-    const int line = LineOf(s.text, pos);
-    if (LineAllows(s, line, rule)) return;
-    findings_.push_back(Finding{display, line, rule, message});
-  }
-
-  void CheckRawMutex(const std::string& rel, const std::string& display,
-                     const Scrubbed& s) {
-    if (rel == "src/common/lock_rank.h") return;
-    static const char* kBanned[] = {
-        "std::mutex",          "std::shared_mutex",
-        "std::recursive_mutex", "std::timed_mutex",
-        "std::condition_variable", "std::condition_variable_any",
-    };
-    for (const char* token : kBanned) {
-      for (size_t pos : TokenHits(s.text, token)) {
-        Report(display, s, pos, "raw-mutex",
-               std::string(token) +
-                   " is banned: use RankedMutex/RankedSharedMutex/CondVar "
-                   "from common/lock_rank.h with a declared LockRank");
-      }
-    }
-  }
-
-  void CheckUnrankedMutex(const std::string& rel, const std::string& display,
-                          const Scrubbed& s) {
-    if (rel == "src/common/lock_rank.h") return;
-    for (const char* token : {"RankedMutex", "RankedSharedMutex"}) {
-      for (size_t pos : TokenHits(s.text, token)) {
-        const size_t after = SkipSpaces(s.text, pos + std::string(token).size());
-        if (after >= s.text.size()) continue;
-        const char c = s.text[after];
-        // Only declarations introduce a new lock: `RankedMutex name{...};`.
-        // References, pointers, template arguments and parameter lists
-        // (`&`, `*`, `>`, `(`, `)`, `,`, `;`) do not.
-        if (!(std::isalpha(static_cast<unsigned char>(c)) || c == '_')) {
-          continue;
-        }
-        const size_t stmt_end = s.text.find(';', after);
-        const std::string stmt =
-            s.text.substr(after, stmt_end == std::string::npos
-                                     ? std::string::npos
-                                     : stmt_end - after);
-        if (stmt.find("LockRank::") == std::string::npos) {
-          Report(display, s, pos, "unranked-mutex",
-                 std::string(token) +
-                     " declaration must name its LockRank:: rank in the "
-                     "initializer");
-        }
-      }
-    }
-  }
-
-  void CheckRawAtomic(const std::string& rel, const std::string& display,
-                      const Scrubbed& s) {
-    if (StartsWith(rel, "src/obs/") || StartsWith(rel, "src/rdma/") ||
-        StartsWith(rel, "src/dsm/")) {
-      return;
-    }
-    for (size_t pos : TokenHits(s.text, "std::atomic<uint64_t>")) {
-      Report(display, s, pos, "raw-atomic",
-             "hand-rolled std::atomic<uint64_t>: counters belong in "
-             "obs::Counter; non-counter cells need "
-             "`// polarlint: allow(raw-atomic) <reason>`");
-    }
-  }
-
-  void CheckHostPtrMemcpy(const std::string& rel, const std::string& display,
-                          const Scrubbed& s) {
-    if (StartsWith(rel, "src/dsm/") || StartsWith(rel, "src/rdma/")) return;
-    for (size_t pos : TokenHits(s.text, "memcpy")) {
-      size_t open = SkipSpaces(s.text, pos + 6);
-      if (open >= s.text.size() || s.text[open] != '(') continue;
-      // First argument: up to the top-level comma.
-      int depth = 1;
-      size_t j = open + 1;
-      const size_t arg_begin = j;
-      while (j < s.text.size() && depth > 0) {
-        const char c = s.text[j];
-        if (c == '(') ++depth;
-        if (c == ')') --depth;
-        if (c == ',' && depth == 1) break;
-        ++j;
-      }
-      const std::string arg = s.text.substr(arg_begin, j - arg_begin);
-      if (arg.find("HostPtr") != std::string::npos) {
-        Report(display, s, pos, "no-hostptr-memcpy",
-               "raw memcpy into fabric-registered memory: use "
-               "Dsm::HostWrite / Dsm::HostWriteSeqlocked");
-      }
-    }
-  }
-
-  void CheckNondeterminism(const std::string& rel, const std::string& display,
-                           const Scrubbed& s) {
-    if (rel == "src/common/random.h") return;
-    auto call_of = [&](const char* name) {
-      std::vector<size_t> calls;
-      for (size_t pos : TokenHits(s.text, name)) {
-        const size_t open = SkipSpaces(s.text, pos + std::string(name).size());
-        if (open < s.text.size() && s.text[open] == '(') calls.push_back(pos);
-      }
-      return calls;
-    };
-    for (size_t pos : call_of("rand")) {
-      Report(display, s, pos, "nondeterminism",
-             "rand(): draw from polarmp::Random (common/random.h) so runs "
-             "are seedable");
-    }
-    for (size_t pos : call_of("srand")) {
-      Report(display, s, pos, "nondeterminism",
-             "srand(): seed a polarmp::Random instance instead");
-    }
-    for (const char* token :
-         {"std::random_device", "std::mt19937", "std::mt19937_64"}) {
-      for (size_t pos : TokenHits(s.text, token)) {
-        Report(display, s, pos, "nondeterminism",
-               std::string(token) +
-                   ": use polarmp::Random (common/random.h) so runs are "
-                   "seedable");
-      }
-    }
-    for (size_t pos : call_of("time")) {
-      const size_t open = SkipSpaces(s.text, pos + 4);
-      const size_t close = s.text.find(')', open);
-      if (close == std::string::npos) continue;
-      std::string arg = s.text.substr(open + 1, close - open - 1);
-      arg.erase(std::remove_if(arg.begin(), arg.end(),
-                               [](unsigned char c) { return std::isspace(c); }),
-                arg.end());
-      if (arg == "nullptr" || arg == "NULL" || arg == "0") {
-        Report(display, s, pos, "nondeterminism",
-               "time(nullptr): wall-clock seeding breaks reproducibility; "
-               "use polarmp::Random");
-      }
-    }
-  }
-
-  void CheckBlockingForce(const std::string& rel, const std::string& display,
-                          const Scrubbed& s) {
-    // Only the layers on the commit hot path are constrained; src/wal owns
-    // the shims' definitions, and tests/benches are outside src/ anyway.
-    if (!StartsWith(rel, "src/engine/") && !StartsWith(rel, "src/txn/") &&
-        !StartsWith(rel, "src/node/")) {
-      return;
-    }
-    for (const char* token : {"ForceTo", "ForceAll"}) {
-      for (size_t pos : TokenHits(s.text, token)) {
-        Report(display, s, pos, "blocking-force",
-               std::string(token) +
-                   " is a test/edge-only blocking shim: enqueue with "
-                   "LogWriter::ForceAsync/ForceAllAsync and continue, or "
-                   "Wait() on the handle if the site is inherently "
-                   "synchronous");
-      }
-    }
-  }
-
-  void CheckFusionBypass(const std::string& rel, const std::string& display,
-                         const Scrubbed& s) {
-    if (!StartsWith(rel, "src/engine/")) return;
-    // The LBP and the undo log own the engine's fusion/DSM plumbing; every
-    // other engine file goes through them or through the IndexCache.
-    if (StartsWith(rel, "src/engine/buffer_pool.") ||
-        StartsWith(rel, "src/engine/undo.")) {
-      return;
-    }
-    for (const char* token :
-         {"Dsm", "ReadSeqlocked", "WriteSeqlocked", "FetchPage",
-          "FetchPageVersioned", "PushPage", "RegisterCopy", "UnregisterCopy",
-          "NotifyPush", "ChargeRpc"}) {
-      for (size_t pos : TokenHits(s.text, token)) {
-        Report(display, s, pos, "fusion-bypass",
-               std::string(token) +
-                   ": engine traversal code must not touch Dsm or the "
-                   "fusion RPC surface directly; go through Mtr/BufferPool "
-                   "or the compute-side IndexCache (src/cache/)");
-      }
-    }
-  }
-
-  void CheckUncheckedFabricStatus(const std::string& rel,
-                                  const std::string& display,
-                                  const Scrubbed& s) {
-    (void)rel;  // applies to all of src/: every layer calls into the fabric
-    // Verbs whose Status/StatusOr carries the only record of a fault.
-    // Declarations and definitions are naturally skipped: their name is
-    // preceded by a return type, not a statement boundary.
-    static const char* kVerbs[] = {
-        "FetchAdd64",     "CompareSwap64",  "Load64",
-        "Store64",        "ReadSeqlocked",  "WriteSeqlocked",
-        "RegisterRegion", "DeregisterRegion", "AcquirePLock",
-        "ReleasePLock",   "RegisterWait",   "AwaitHolder",
-        "FetchPage",      "FetchPageVersioned", "PushPage",
-        "RegisterCopy",   "UnregisterCopy", "NotifyPush",
-        "FlushPages",     "FlushAllDirty",  "ReadSlot",
-        "SetRefRemote",   "InjectRpcFault"};
-    // Read/Write are too generic to ban bare: only receivers that name the
-    // fabric or the DSM are in scope.
-    static const char* kGated[] = {"Read", "Write"};
-    auto check = [&](const char* name, bool gated) {
-      for (size_t pos : TokenHits(s.text, name)) {
-        const size_t open = SkipSpaces(s.text, pos + std::string(name).size());
-        if (open >= s.text.size() || s.text[open] != '(') continue;  // no call
-        const size_t chain = ChainStart(s.text, pos);
-        if (gated) {
-          std::string recv = s.text.substr(chain, pos - chain);
-          std::transform(recv.begin(), recv.end(), recv.begin(),
-                         [](unsigned char c) { return std::tolower(c); });
-          if (recv.find("fabric") == std::string::npos &&
-              recv.find("dsm") == std::string::npos) {
-            continue;
-          }
-        }
-        size_t k = chain;
-        while (k > 0 &&
-               std::isspace(static_cast<unsigned char>(s.text[k - 1]))) {
-          --k;
-        }
-        // The status is discarded when the chain opens a statement (after
-        // ';', '{', '}' or at file start) or sits behind a ')' — a (void)
-        // cast or a brace-less if/for body, both of which drop it.
-        const char prev = k == 0 ? ';' : s.text[k - 1];
-        if (prev != ';' && prev != '{' && prev != '}' && prev != ')') continue;
-        Report(display, s, pos, "unchecked-fabric-status",
-               std::string(name) +
-                   ": fabric-verb Status discarded; handle it, wrap it in "
-                   "POLARMP_RETURN_IF_ERROR, or document the deliberate "
-                   "discard with `// polarlint: "
-                   "allow(unchecked-fabric-status) <reason>`");
-      }
-    };
-    for (const char* name : kVerbs) check(name, /*gated=*/false);
-    for (const char* name : kGated) check(name, /*gated=*/true);
-  }
-
-  void CheckUnguardedFields(const std::string& rel, const std::string& display,
-                            const Scrubbed& s) {
-    // lock_rank.h wraps the raw std primitives; the annotation macros are
-    // defined in thread_annotations.h. Neither can be stated in terms of
-    // itself.
-    if (rel == "src/common/lock_rank.h" ||
-        rel == "src/common/thread_annotations.h") {
-      return;
-    }
-    const bool atomics_exempt = StartsWith(rel, "src/obs/") ||
-                                StartsWith(rel, "src/rdma/") ||
-                                StartsWith(rel, "src/dsm/");
-
-    auto escape_on = [&](int l) {
-      return l >= 1 && l < static_cast<int>(s.comment_on_line.size()) &&
-             s.comment_on_line[l].find("polarlint: unguarded(") !=
-                 std::string::npos;
-    };
-
-    const std::vector<ClassSpan> spans = FindClassSpans(s.text);
-    std::map<size_t, ClassSpan> span_by_kw;
-    for (const ClassSpan& span : spans) span_by_kw[span.kw] = span;
-
-    for (const ClassSpan& span : spans) {
-      const std::vector<MemberStmt> stmts =
-          MemberStatements(s.text, span, span_by_kw);
-      bool owns_mutex = false;
-      for (const MemberStmt& stmt : stmts) {
-        if (DeclaresOwnedMutex(stmt.text)) owns_mutex = true;
-      }
-      if (!owns_mutex) continue;
-
-      for (const MemberStmt& stmt : stmts) {
-        // Non-field member-level statements.
-        bool skip = false;
-        for (const char* token :
-             {"using", "typedef", "friend", "enum", "static_assert",
-              "operator"}) {
-          if (HasToken(stmt.text, token)) skip = true;
-        }
-        if (skip) continue;
-        // Annotated: part of the capability analysis. (Checked before the
-        // function test — the annotation macros take parentheses.)
-        if (stmt.text.find("GUARDED_BY(") != std::string::npos) continue;
-        // A '(' outside template arguments marks a method declaration.
-        if (StripAngles(stmt.text).find('(') != std::string::npos) continue;
-        // Immutable members need no lock.
-        if (HasToken(stmt.text, "const") || HasToken(stmt.text, "constexpr") ||
-            HasToken(stmt.text, "static")) {
-          continue;
-        }
-        // Synchronization and telemetry objects are internally consistent.
-        bool whitelisted = false;
-        for (const char* token :
-             {"RankedMutex", "RankedSharedMutex", "CondVar", "obs::Counter",
-              "obs::Gauge", "obs::LatencyHistogram"}) {
-          if (HasToken(stmt.text, token)) whitelisted = true;
-        }
-        if (whitelisted) continue;
-        // Atomics in the dirs that implement remote-atomic targets are the
-        // raw-atomic rule's domain, not this one's.
-        if (atomics_exempt &&
-            stmt.text.find("std::atomic") != std::string::npos) {
-          continue;
-        }
-        // Documented escape on the member's own lines or in the contiguous
-        // comment block immediately above.
-        const int first = LineOf(s.text, stmt.begin);
-        const int last = LineOf(s.text, stmt.end);
-        bool escaped = false;
-        for (int l = first; l <= last && !escaped; ++l) {
-          escaped = escape_on(l);
-        }
-        for (int l = first - 1;
-             !escaped && l >= 1 && l < static_cast<int>(s.code_on_line.size()) &&
-             !s.code_on_line[l] && !s.comment_on_line[l].empty();
-             --l) {
-          escaped = escape_on(l);
-        }
-        if (escaped) continue;
-        Report(display, s, stmt.begin, "unguarded-field",
-               "mutable member of a RankedMutex-owning class: annotate with "
-               "GUARDED_BY(<mu>), make it const, or document why not with "
-               "`// polarlint: unguarded(<reason>)`");
-      }
-    }
-  }
-
-  std::vector<Finding> findings_;
-};
+using polarlint::Corpus;
+using polarlint::Finding;
+using polarlint::LockEdge;
+using polarlint::SourceFile;
 
 bool IsSourceFile(const fs::path& p) {
   const std::string ext = p.extension().string();
@@ -868,61 +92,342 @@ std::string RelativeTo(const fs::path& file, const fs::path& root) {
   return rel.generic_string();
 }
 
-int RunLint(const fs::path& root, const std::vector<fs::path>& inputs) {
-  std::vector<fs::path> files;
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// ---- analysis over one corpus ----------------------------------------------
+
+struct PassTiming {
+  std::string name;
+  double ms = 0;
+  size_t findings = 0;
+};
+
+struct AnalysisResult {
+  std::vector<Finding> findings;
+  std::vector<LockEdge> edges;
+  std::vector<PassTiming> timings;
+  double total_ms = 0;
+};
+
+AnalysisResult Analyze(Corpus* corpus, const std::string& supp_display,
+                       const std::string& supp_content, bool run_supp) {
+  AnalysisResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  auto timed = [&](const char* name, auto&& pass) {
+    const auto p0 = std::chrono::steady_clock::now();
+    const size_t before = r.findings.size();
+    pass();
+    r.timings.push_back(
+        PassTiming{name, MsSince(p0), r.findings.size() - before});
+  };
+
+  timed("symtab", [&] { corpus->Build(); });
+  timed("token", [&] { polarlint::RunTokenRules(*corpus, &r.findings); });
+  timed("capability",
+        [&] { polarlint::RunCapabilityPass(*corpus, &r.findings); });
+  timed("lock-order",
+        [&] { polarlint::RunLockOrderPass(*corpus, &r.findings, &r.edges); });
+  timed("fabric", [&] { polarlint::RunFabricPass(*corpus, &r.findings); });
+  if (run_supp) {
+    timed("tsan-supp", [&] {
+      polarlint::RunTsanSuppAudit(*corpus, supp_display, supp_content,
+                                  &r.findings);
+    });
+  }
+
+  std::stable_sort(r.findings.begin(), r.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  r.total_ms = MsSince(t0);
+  return r;
+}
+
+// Every rule id, in report order, so the summary table shows explicit
+// zeroes (CI diffs a disappearing rule as loudly as a new finding).
+const char* kAllRules[] = {
+    "raw-mutex",      "unranked-mutex",    "raw-atomic",
+    "no-hostptr-memcpy", "nondeterminism", "blocking-force",
+    "fusion-bypass",  "unchecked-fabric-status", "unguarded-field",
+    "capability",     "lock-order",        "fabric-retry",
+    "fabric-request-id", "seqlock-payload", "tsan-supp"};
+
+// ---- JSON sidecar ----------------------------------------------------------
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool WriteJsonSidecar(const fs::path& path, const AnalysisResult& r,
+                      size_t files_scanned) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\n  \"schema\": \"polarlint.findings.v1\",\n";
+  out << "  \"files_scanned\": " << files_scanned << ",\n";
+  char ms[32];
+  std::snprintf(ms, sizeof ms, "%.1f", r.total_ms);
+  out << "  \"total_ms\": " << ms << ",\n";
+  out << "  \"passes\": [";
+  for (size_t i = 0; i < r.timings.size(); ++i) {
+    const PassTiming& t = r.timings[i];
+    std::snprintf(ms, sizeof ms, "%.1f", t.ms);
+    out << (i ? ", " : "") << "{\"name\": \"" << t.name << "\", \"ms\": " << ms
+        << ", \"findings\": " << t.findings << "}";
+  }
+  out << "],\n";
+  std::map<std::string, size_t> by_rule;
+  for (const char* rule : kAllRules) by_rule[rule] = 0;
+  for (const Finding& f : r.findings) ++by_rule[f.rule];
+  out << "  \"rules\": {";
+  bool first = true;
+  for (const auto& [rule, count] : by_rule) {
+    out << (first ? "" : ", ") << "\"" << rule << "\": " << count;
+    first = false;
+  }
+  out << "},\n";
+  out << "  \"findings\": [";
+  for (size_t i = 0; i < r.findings.size(); ++i) {
+    const Finding& f = r.findings[i];
+    out << (i ? ",\n    " : "\n    ") << "{\"file\": \"" << JsonEscape(f.file)
+        << "\", \"line\": " << f.line << ", \"rule\": \"" << f.rule
+        << "\", \"message\": \"" << JsonEscape(f.message) << "\"}";
+  }
+  out << (r.findings.empty() ? "" : "\n  ") << "],\n";
+  out << "  \"lock_order\": {\n    \"nodes\": [";
+  std::set<std::string> nodes;
+  for (const LockEdge& e : r.edges) {
+    nodes.insert(e.held);
+    nodes.insert(e.acquired);
+  }
+  first = true;
+  for (const std::string& n : nodes) {
+    out << (first ? "" : ", ") << "\"" << JsonEscape(n) << "\"";
+    first = false;
+  }
+  out << "],\n    \"edges\": [";
+  for (size_t i = 0; i < r.edges.size(); ++i) {
+    const LockEdge& e = r.edges[i];
+    out << (i ? ",\n      " : "\n      ") << "{\"held\": \""
+        << JsonEscape(e.held) << "\", \"held_rank\": \"" << e.held_rank
+        << "\", \"acquired\": \"" << JsonEscape(e.acquired)
+        << "\", \"acquired_rank\": \"" << e.acquired_rank
+        << "\", \"site\": \"" << JsonEscape(e.site) << "\"}";
+  }
+  out << (r.edges.empty() ? "" : "\n    ") << "]\n  }\n}\n";
+  return static_cast<bool>(out);
+}
+
+// ---- lint mode -------------------------------------------------------------
+
+int RunLint(const fs::path& root, const std::vector<fs::path>& inputs,
+            const fs::path& json_path, const fs::path& supp_path,
+            double max_wall_ms) {
+  std::vector<fs::path> paths;
   for (const fs::path& p : inputs) {
     std::error_code ec;
     if (fs::is_directory(p, ec)) {
       for (const auto& entry : fs::recursive_directory_iterator(p, ec)) {
         if (entry.is_regular_file() && IsSourceFile(entry.path())) {
-          files.push_back(entry.path());
+          paths.push_back(entry.path());
         }
       }
     } else if (fs::is_regular_file(p, ec)) {
-      files.push_back(p);
+      paths.push_back(p);
     } else {
       std::fprintf(stderr, "polarlint: no such file or directory: %s\n",
                    p.string().c_str());
       return 2;
     }
   }
-  std::sort(files.begin(), files.end());
+  std::sort(paths.begin(), paths.end());
 
-  Linter linter;
-  for (const fs::path& f : files) {
-    std::string content;
-    if (!ReadFile(f, &content)) {
+  Corpus corpus;
+  for (const fs::path& f : paths) {
+    SourceFile sf;
+    if (!ReadFile(f, &sf.content)) {
       std::fprintf(stderr, "polarlint: cannot read %s\n", f.string().c_str());
       return 2;
     }
-    const std::string rel = RelativeTo(f, root);
-    linter.LintFile(rel, rel, content);
+    sf.rel = RelativeTo(f, root);
+    sf.display = sf.rel;
+    corpus.files.push_back(std::move(sf));
   }
 
-  for (const Finding& f : linter.findings()) {
+  std::string supp_content;
+  std::string supp_display;
+  if (!supp_path.empty()) {
+    if (!ReadFile(supp_path, &supp_content)) {
+      std::fprintf(stderr, "polarlint: cannot read %s\n",
+                   supp_path.string().c_str());
+      return 2;
+    }
+    supp_display = RelativeTo(supp_path, root);
+  }
+
+  const AnalysisResult r =
+      Analyze(&corpus, supp_display, supp_content, !supp_path.empty());
+
+  for (const Finding& f : r.findings) {
     std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                 f.message.c_str());
   }
-  if (!linter.findings().empty()) {
-    std::printf("polarlint: %zu finding(s)\n", linter.findings().size());
+
+  // Per-pass timing and per-rule counts — check.sh surfaces this table.
+  std::printf("pass         ms  findings\n");
+  for (const PassTiming& t : r.timings) {
+    std::printf("%-10s %6.1f  %zu\n", t.name.c_str(), t.ms, t.findings);
+  }
+  std::map<std::string, size_t> by_rule;
+  for (const Finding& f : r.findings) ++by_rule[f.rule];
+  std::printf("rule                      findings\n");
+  for (const char* rule : kAllRules) {
+    std::printf("%-25s %zu\n", rule, by_rule.count(rule) ? by_rule[rule] : 0);
+  }
+  std::printf(
+      "polarlint: %zu finding(s), %zu lock-order edge(s) over %zu file(s) "
+      "in %.1f ms\n",
+      r.findings.size(), r.edges.size(), corpus.files.size(), r.total_ms);
+
+  if (!json_path.empty() && !WriteJsonSidecar(json_path, r,
+                                              corpus.files.size())) {
+    std::fprintf(stderr, "polarlint: cannot write %s\n",
+                 json_path.string().c_str());
+    return 2;
+  }
+  if (max_wall_ms > 0 && r.total_ms > max_wall_ms) {
+    std::fprintf(stderr,
+                 "polarlint: wall-clock bound exceeded: %.1f ms > %.0f ms "
+                 "(the analyzer must never become the slowest CI stage "
+                 "unnoticed)\n",
+                 r.total_ms, max_wall_ms);
     return 1;
   }
-  return 0;
+  return r.findings.empty() ? 0 : 1;
 }
 
-// ---- self-test ------------------------------------------------------------
+// ---- self-test -------------------------------------------------------------
 
 std::string FixtureDecl(const std::string& content, const std::string& key) {
   const size_t pos = content.find(key);
   if (pos == std::string::npos) return "";
   size_t begin = pos + key.size();
-  while (begin < content.size() && (content[begin] == ' ')) ++begin;
+  while (begin < content.size() && content[begin] == ' ') ++begin;
   size_t end = begin;
-  while (end < content.size() && !std::isspace(static_cast<unsigned char>(
-                                     content[end]))) {
+  while (end < content.size() &&
+         !std::isspace(static_cast<unsigned char>(content[end]))) {
     ++end;
   }
   return content.substr(begin, end - begin);
+}
+
+// Expected findings: (file display, line, rule) for every line tagged
+// `polarlint-fixture-expect: rule` (works in any comment syntax — the raw
+// lines are scanned, so .supp `#` comments tag entries the same way).
+using Expectation = std::tuple<std::string, int, std::string>;
+
+void CollectExpectations(const std::string& display,
+                         const std::string& content,
+                         std::multiset<Expectation>* out) {
+  std::istringstream lines(content);
+  std::string line_text;
+  int line_no = 0;
+  while (std::getline(lines, line_text)) {
+    ++line_no;
+    size_t pos = 0;
+    const std::string key = "polarlint-fixture-expect:";
+    while ((pos = line_text.find(key, pos)) != std::string::npos) {
+      const std::string rule = FixtureDecl(line_text.substr(pos), key);
+      if (!rule.empty()) out->emplace(display, line_no, rule);
+      pos += key.size();
+    }
+  }
+}
+
+// One fixture corpus: a single file, or every file of a subdirectory linted
+// together (cross-TU). Returns true when findings matched expectations.
+bool RunFixtureCorpus(const std::string& label,
+                      const std::vector<fs::path>& files) {
+  Corpus corpus;
+  std::string supp_content;
+  std::string supp_display;
+  std::multiset<Expectation> expected;
+  for (const fs::path& f : files) {
+    std::string content;
+    if (!ReadFile(f, &content)) {
+      std::fprintf(stderr, "polarlint: cannot read %s\n", f.string().c_str());
+      return false;
+    }
+    const std::string display = f.filename().string();
+    CollectExpectations(display, content, &expected);
+    if (f.filename() == "tsan.supp") {
+      supp_content = std::move(content);
+      supp_display = display;
+      continue;
+    }
+    SourceFile sf;
+    sf.rel = FixtureDecl(content, "polarlint-fixture-path:");
+    if (sf.rel.empty()) sf.rel = "src/fixtures/" + display;
+    sf.display = display;
+    sf.content = std::move(content);
+    corpus.files.push_back(std::move(sf));
+  }
+
+  const AnalysisResult r =
+      Analyze(&corpus, supp_display, supp_content, !supp_display.empty());
+  std::multiset<Expectation> got;
+  for (const Finding& f : r.findings) got.emplace(f.file, f.line, f.rule);
+
+  if (got != expected) {
+    std::printf("FAIL %s\n", label.c_str());
+    for (const auto& e : expected) {
+      if (!got.count(e)) {
+        std::printf("  missing expected finding: %s:%d [%s]\n",
+                    std::get<0>(e).c_str(), std::get<1>(e),
+                    std::get<2>(e).c_str());
+      }
+    }
+    for (const auto& g : got) {
+      if (!expected.count(g)) {
+        std::printf("  unexpected finding: %s:%d [%s]\n",
+                    std::get<0>(g).c_str(), std::get<1>(g),
+                    std::get<2>(g).c_str());
+        for (const Finding& f : r.findings) {
+          if (f.file == std::get<0>(g) && f.line == std::get<1>(g) &&
+              f.rule == std::get<2>(g)) {
+            std::printf("    %s\n", f.message.c_str());
+          }
+        }
+      }
+    }
+    return false;
+  }
+  std::printf("OK   %s (%zu expectation(s))\n", label.c_str(),
+              expected.size());
+  return true;
 }
 
 int RunSelfTest(const fs::path& dir) {
@@ -932,74 +437,39 @@ int RunSelfTest(const fs::path& dir) {
                  dir.string().c_str());
     return 2;
   }
-  std::vector<fs::path> files;
+  std::vector<fs::path> singles;
+  std::vector<fs::path> corpora;
   for (const auto& entry : fs::directory_iterator(dir)) {
     if (entry.is_regular_file() && IsSourceFile(entry.path())) {
-      files.push_back(entry.path());
+      singles.push_back(entry.path());
+    } else if (entry.is_directory()) {
+      corpora.push_back(entry.path());
     }
   }
-  std::sort(files.begin(), files.end());
-  if (files.empty()) {
+  std::sort(singles.begin(), singles.end());
+  std::sort(corpora.begin(), corpora.end());
+  if (singles.empty() && corpora.empty()) {
     std::fprintf(stderr, "polarlint: no fixtures in %s\n",
                  dir.string().c_str());
     return 2;
   }
 
   bool ok = true;
-  for (const fs::path& f : files) {
-    std::string content;
-    if (!ReadFile(f, &content)) {
-      std::fprintf(stderr, "polarlint: cannot read %s\n", f.string().c_str());
-      return 2;
-    }
-    std::string rel = FixtureDecl(content, "polarlint-fixture-path:");
-    if (rel.empty()) rel = "src/fixtures/" + f.filename().string();
-
-    // Expected findings: every line tagged `polarlint-fixture-expect: rule`.
-    std::multiset<std::pair<int, std::string>> expected;
-    {
-      std::istringstream lines(content);
-      std::string line_text;
-      int line_no = 0;
-      while (std::getline(lines, line_text)) {
-        ++line_no;
-        size_t pos = 0;
-        const std::string key = "polarlint-fixture-expect:";
-        while ((pos = line_text.find(key, pos)) != std::string::npos) {
-          const std::string rule = FixtureDecl(line_text.substr(pos), key);
-          if (!rule.empty()) expected.emplace(line_no, rule);
-          pos += key.size();
-        }
+  for (const fs::path& f : singles) {
+    ok = RunFixtureCorpus(f.filename().string(), {f}) && ok;
+  }
+  for (const fs::path& d : corpora) {
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(d)) {
+      if (!entry.is_regular_file()) continue;
+      if (IsSourceFile(entry.path()) ||
+          entry.path().filename() == "tsan.supp") {
+        files.push_back(entry.path());
       }
     }
-
-    Linter linter;
-    linter.LintFile(rel, f.filename().string(), content);
-    std::multiset<std::pair<int, std::string>> got;
-    for (const Finding& finding : linter.findings()) {
-      got.emplace(finding.line, finding.rule);
-    }
-
-    if (got != expected) {
-      ok = false;
-      std::printf("FAIL %s (as %s)\n", f.filename().string().c_str(),
-                  rel.c_str());
-      for (const auto& [line, rule] : expected) {
-        if (!got.count({line, rule})) {
-          std::printf("  missing expected finding: line %d [%s]\n", line,
-                      rule.c_str());
-        }
-      }
-      for (const auto& [line, rule] : got) {
-        if (!expected.count({line, rule})) {
-          std::printf("  unexpected finding: line %d [%s]\n", line,
-                      rule.c_str());
-        }
-      }
-    } else {
-      std::printf("OK   %s (%zu expectation(s))\n",
-                  f.filename().string().c_str(), expected.size());
-    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) continue;
+    ok = RunFixtureCorpus(d.filename().string() + "/", files) && ok;
   }
   return ok ? 0 : 1;
 }
@@ -1009,6 +479,9 @@ int RunSelfTest(const fs::path& dir) {
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   fs::path selftest_dir;
+  fs::path json_path;
+  fs::path supp_path;
+  double max_wall_ms = 0;
   std::vector<fs::path> inputs;
 
   for (int i = 1; i < argc; ++i) {
@@ -1017,9 +490,17 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--self-test" && i + 1 < argc) {
       selftest_dir = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--tsan-supp" && i + 1 < argc) {
+      supp_path = argv[++i];
+    } else if (arg == "--max-wall-ms" && i + 1 < argc) {
+      max_wall_ms = std::atof(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: polarlint [--root <repo-root>] <file-or-dir>...\n"
+          "usage: polarlint [--root <repo-root>] [--json <sidecar>]\n"
+          "                 [--tsan-supp <file>] [--max-wall-ms <n>]\n"
+          "                 <file-or-dir>...\n"
           "       polarlint --self-test <fixtures-dir>\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -1032,9 +513,8 @@ int main(int argc, char** argv) {
 
   if (!selftest_dir.empty()) return RunSelfTest(selftest_dir);
   if (inputs.empty()) {
-    std::fprintf(stderr,
-                 "polarlint: no inputs (try --help)\n");
+    std::fprintf(stderr, "polarlint: no inputs (try --help)\n");
     return 2;
   }
-  return RunLint(root, inputs);
+  return RunLint(root, inputs, json_path, supp_path, max_wall_ms);
 }

@@ -1,0 +1,164 @@
+#ifndef POLARLINT_SYMTAB_H_
+#define POLARLINT_SYMTAB_H_
+
+// Cross-TU symbol table: per-class member tables (fields with their
+// GUARDED_BY mutex, owned RankedMutex members with their declared rank,
+// method declarations with their REQUIRES sets) plus every function
+// DEFINITION in the corpus (in-class bodies and out-of-class
+// `Class::Method(...) { ... }` bodies alike).
+//
+// This is what makes the semantic passes cross-TU: a field annotated in a
+// header is resolved against accesses in the .cc that defines the class's
+// methods, because both files land in one SymbolTable before any pass runs.
+//
+// The table is deliberately a SUBSET of C++ name lookup: classes are keyed
+// by their simple name (the tree keeps these unique per subsystem; when two
+// classes share a name their tables merge conservatively and ambiguous
+// lookups resolve to nothing), overloads merge their annotation sets, and
+// types are never fully resolved — mutex references are matched by the
+// trailing identifier of the lock expression. DESIGN.md §7 spells out what
+// this deliberately does not prove.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace polarlint {
+
+// One file of the corpus being linted together.
+struct SourceFile {
+  std::string rel;      // repo-relative path (rule scoping)
+  std::string display;  // what findings print
+  std::string content;  // raw bytes
+  Scrubbed scrubbed;    // filled by SymbolTable::Build
+};
+
+struct GuardedField {
+  std::string name;
+  std::string mutex;     // trailing identifier of the GUARDED_BY expression
+  bool pointee = false;  // PT_GUARDED_BY: the pointer itself is unguarded
+  int line = 0;
+  int file = -1;  // index into the corpus
+};
+
+struct MutexMember {
+  std::string name;
+  std::string rank;        // "kPageLatch" etc., "" while unresolved
+  bool shared = false;     // RankedSharedMutex
+  bool same_allow = false; // SameRank::kAllow
+  int line = 0;
+  int file = -1;
+};
+
+// Annotations from a method DECLARATION (in-class). Overloads merge.
+struct MethodDecl {
+  std::set<std::string> requires_mutexes;  // REQUIRES + REQUIRES_SHARED
+  bool no_analysis = false;                // NO_THREAD_SAFETY_ANALYSIS
+};
+
+struct ClassInfo {
+  std::string name;
+  std::vector<GuardedField> guarded_fields;
+  std::vector<MutexMember> mutexes;
+  std::map<std::string, MethodDecl> methods;
+
+  const MutexMember* FindMutex(const std::string& name) const;
+  bool HasGuardedFields() const { return !guarded_fields.empty(); }
+};
+
+// A function definition (a body we can analyze).
+struct FunctionDef {
+  std::string class_name;  // "" for free functions
+  std::string name;        // "LockFusion" for a ctor, "~LockFusion" for dtor
+  int file = -1;
+  size_t header_begin = 0;  // start of the signature text
+  size_t body_open = 0;     // '{'
+  size_t body_close = 0;    // matching '}'
+  std::set<std::string> requires_mutexes;  // from the definition itself
+  bool no_analysis = false;
+  std::string init_list;  // ctor member-init list text ("" otherwise)
+
+  bool is_ctor() const { return !class_name.empty() && name == class_name; }
+  bool is_dtor() const { return !name.empty() && name[0] == '~'; }
+};
+
+class SymbolTable {
+ public:
+  // Scrubs every file (filling file.scrubbed) and builds the table.
+  void Build(std::vector<SourceFile>* files);
+
+  // nullptr when the class is unknown. Classes sharing a simple name are
+  // merged (conservative union).
+  const ClassInfo* FindClass(const std::string& name) const;
+
+  const std::vector<FunctionDef>& functions() const { return functions_; }
+
+  // Functions with a given simple name (any class). Used for one-level
+  // call inlining and the tsan.supp audit.
+  std::vector<const FunctionDef*> FindFunctions(const std::string& name) const;
+  // The definition of Class::Name, if the corpus holds exactly one.
+  const FunctionDef* FindMethod(const std::string& cls,
+                                const std::string& name) const;
+
+  // Mutex resolution for the lock-order pass: `trailing` is the trailing
+  // identifier of a lock expression seen inside a method of `cls` ("" for
+  // free functions). Members of `cls` win; otherwise a globally unique
+  // mutex member name resolves; otherwise nullptr. `owner_out` receives the
+  // owning class name.
+  const MutexMember* ResolveMutex(const std::string& cls,
+                                  const std::string& trailing,
+                                  std::string* owner_out) const;
+
+  const std::map<std::string, ClassInfo>& classes() const { return classes_; }
+
+ private:
+  void ParseFile(int file_index, SourceFile* file);
+
+  std::map<std::string, ClassInfo> classes_;
+  std::vector<FunctionDef> functions_;
+  std::map<std::string, std::vector<int>> functions_by_name_;
+  // mutex member name -> owning class names (for unique-name resolution)
+  std::map<std::string, std::set<std::string>> mutex_owners_;
+};
+
+// Rank values mirroring src/common/lock_rank.h. The linter keeps its own
+// copy (it must run before anything compiles) and `lint_selftest` pins the
+// two in sync via a fixture that uses the extremes.
+int RankValue(const std::string& rank_name);
+
+// ---- class-structure utilities (shared with the token rules) ---------------
+
+// A class/struct definition in scrubbed text: keyword position, body braces.
+struct ClassSpan {
+  size_t kw = 0;
+  size_t open = 0;   // '{'
+  size_t close = 0;  // matching '}'
+};
+
+std::vector<ClassSpan> FindClassSpans(const std::string& text);
+
+// The class's name (skipping attribute macros, alignas, final).
+std::string ClassNameOf(const std::string& text, const ClassSpan& span);
+
+// One member-level declaration (everything between ';'s at class-body depth,
+// with function bodies and nested class definitions skipped).
+struct MemberStmt {
+  size_t begin = 0;  // first non-space char
+  size_t end = 0;    // the terminating ';'
+  std::string text;
+};
+
+std::vector<MemberStmt> MemberStatements(
+    const std::string& text, const ClassSpan& span,
+    const std::map<size_t, ClassSpan>& span_by_kw);
+
+// Is `stmt` a declaration of a lock the class owns by value?
+bool DeclaresOwnedMutex(const std::string& stmt);
+
+}  // namespace polarlint
+
+#endif  // POLARLINT_SYMTAB_H_
